@@ -1,0 +1,101 @@
+//! cprobe-style packet-train dispersion (measures the ADR, not avail-bw).
+
+use slops::{ProbeTransport, TransportError};
+use units::{Rate, TimeNs};
+
+/// cprobe parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CprobeConfig {
+    /// Number of trains to send (cprobe used 4–10; more smooths the ADR).
+    pub trains: u32,
+    /// Packets per train.
+    pub train_len: u32,
+    /// Packet size in bytes.
+    pub packet_size: u32,
+    /// Idle time between trains.
+    pub spacing: TimeNs,
+}
+
+impl Default for CprobeConfig {
+    fn default() -> Self {
+        CprobeConfig {
+            trains: 8,
+            train_len: 48,
+            packet_size: 1500,
+            spacing: TimeNs::from_millis(500),
+        }
+    }
+}
+
+/// The result of a cprobe run.
+#[derive(Clone, Debug)]
+pub struct CprobeEstimate {
+    /// The "available bandwidth" cprobe reports — really the average
+    /// dispersion rate (ADR) of its trains.
+    pub reported: Rate,
+    /// Per-train dispersion rates (for variability inspection).
+    pub per_train: Vec<Rate>,
+}
+
+/// Run a cprobe measurement: send trains, average their dispersion rates
+/// after dropping the fastest and slowest train (cprobe's own trimming).
+pub fn cprobe<T: ProbeTransport + ?Sized>(
+    transport: &mut T,
+    cfg: &CprobeConfig,
+) -> Result<CprobeEstimate, TransportError> {
+    assert!(cfg.trains >= 1 && cfg.train_len >= 2);
+    let mut rates: Vec<Rate> = Vec::with_capacity(cfg.trains as usize);
+    for _ in 0..cfg.trains {
+        let rec = transport.send_train(cfg.train_len, cfg.packet_size)?;
+        if let Some(r) = rec.dispersion_rate() {
+            rates.push(r);
+        }
+        transport.idle(cfg.spacing);
+    }
+    if rates.is_empty() {
+        return Err(TransportError::Io("no train produced a dispersion".into()));
+    }
+    let mut sorted = rates.clone();
+    sorted.sort_by(|a, b| a.bps().partial_cmp(&b.bps()).unwrap());
+    let trimmed: &[Rate] = if sorted.len() > 2 {
+        &sorted[1..sorted.len() - 1]
+    } else {
+        &sorted
+    };
+    let avg = trimmed.iter().map(|r| r.bps()).sum::<f64>() / trimmed.len() as f64;
+    Ok(CprobeEstimate {
+        reported: Rate::from_bps(avg),
+        per_train: rates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slops::testutil::OracleTransport;
+
+    #[test]
+    fn reports_adr_not_avail_bw() {
+        // Oracle: A = 40, C = 80 => ADR = 60. cprobe "avail-bw" is ~60.
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 3);
+        let est = cprobe(&mut t, &CprobeConfig::default()).unwrap();
+        assert!(
+            (est.reported.mbps() - 60.0).abs() < 1.0,
+            "reported {}",
+            est.reported
+        );
+        assert!(est.reported.mbps() > 40.0, "cprobe should overestimate A");
+        assert_eq!(est.per_train.len(), 8);
+    }
+
+    #[test]
+    fn single_train_works() {
+        let mut t = OracleTransport::new(Rate::from_mbps(10.0), 4);
+        let cfg = CprobeConfig {
+            trains: 1,
+            ..CprobeConfig::default()
+        };
+        let est = cprobe(&mut t, &cfg).unwrap();
+        assert!(est.reported.mbps() > 10.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! TOPP (train of packet pairs) avail-bw and capacity estimation.
+//!
+//! TOPP offers short probe streams at a sweep of rates `R_in` and measures
+//! the delivered rate `R_out` at the receiver. Under the fluid model
+//! (see the `fluid` crate), at a single congested link with capacity `C`
+//! and avail-bw `A`:
+//!
+//! ```text
+//! R_in ≤ A:  R_in / R_out = 1
+//! R_in > A:  R_in / R_out = (R_in + C − A) / C   — linear in R_in
+//! ```
+//!
+//! so the ratio curve bends at `A`, the slope of the upper segment is
+//! `1/C`, and its intercept is `(C − A)/C`. We sweep rates, find the bend,
+//! and least-squares fit the upper segment.
+
+use slops::{stream_params, ProbeTransport, SlopsConfig, StreamRecord, TransportError};
+use units::{Rate, TimeNs};
+
+/// TOPP parameters.
+#[derive(Clone, Debug)]
+pub struct ToppConfig {
+    /// Lowest offered rate.
+    pub min_rate: Rate,
+    /// Highest offered rate (should exceed the expected avail-bw; rates
+    /// near or above the capacity are fine).
+    pub max_rate: Rate,
+    /// Number of rate steps in the sweep.
+    pub steps: u32,
+    /// Packets per probe stream at each rate.
+    pub stream_len: u32,
+    /// Idle time between streams.
+    pub spacing: TimeNs,
+    /// A rate is considered "bent" once R_in/R_out exceeds this.
+    pub bend_threshold: f64,
+}
+
+impl Default for ToppConfig {
+    fn default() -> Self {
+        ToppConfig {
+            min_rate: Rate::from_mbps(1.0),
+            max_rate: Rate::from_mbps(100.0),
+            steps: 25,
+            stream_len: 50,
+            spacing: TimeNs::from_millis(200),
+            bend_threshold: 1.02,
+        }
+    }
+}
+
+/// The result of a TOPP sweep.
+#[derive(Clone, Debug)]
+pub struct ToppEstimate {
+    /// Estimated avail-bw of the tight link.
+    pub avail_bw: Rate,
+    /// Estimated capacity of the tight link.
+    pub capacity: Rate,
+    /// The sweep samples `(offered, delivered)`.
+    pub sweep: Vec<(Rate, Rate)>,
+}
+
+/// Receive-time span between the first and last received packets of a
+/// stream, in nanoseconds. Receive instant = send_offset + OWD; the
+/// constant clock offset cancels in the difference. `None` when fewer
+/// than two packets arrived or the span is non-positive.
+pub(crate) fn delivered_gap_ns(rec: &StreamRecord) -> Option<i64> {
+    if rec.samples.len() < 2 {
+        return None;
+    }
+    let first = rec.samples.first().unwrap();
+    let last = rec.samples.last().unwrap();
+    let t0 = first.send_offset.as_nanos() as i64 + first.owd_ns;
+    let t1 = last.send_offset.as_nanos() as i64 + last.owd_ns;
+    (t1 > t0).then_some(t1 - t0)
+}
+
+/// Delivered rate of a stream record: `(n−1)·L·8 / receive span`.
+fn delivered_rate(rec: &StreamRecord, packet_size: u32) -> Option<Rate> {
+    let span = delivered_gap_ns(rec)?;
+    let bits = (rec.samples.len() as u64 - 1) * packet_size as u64 * 8;
+    Some(Rate::from_bps(
+        bits as f64 / (TimeNs::from_nanos(span as u64)).secs_f64(),
+    ))
+}
+
+/// Run a TOPP sweep over `transport`.
+pub fn topp<T: ProbeTransport + ?Sized>(
+    transport: &mut T,
+    cfg: &ToppConfig,
+) -> Result<ToppEstimate, TransportError> {
+    assert!(cfg.steps >= 4 && cfg.max_rate.bps() > cfg.min_rate.bps());
+    let mut scfg = SlopsConfig::default();
+    scfg.stream_len = cfg.stream_len;
+    let mut sweep: Vec<(Rate, Rate)> = Vec::with_capacity(cfg.steps as usize);
+    for i in 0..cfg.steps {
+        let frac = i as f64 / (cfg.steps - 1) as f64;
+        let r_in = Rate::from_bps(
+            cfg.min_rate.bps() + frac * (cfg.max_rate.bps() - cfg.min_rate.bps()),
+        );
+        let req = stream_params(r_in, i, &scfg);
+        let rec = transport.send_stream(&req)?;
+        if let Some(r_out) = delivered_rate(&rec, req.packet_size) {
+            sweep.push((req.actual_rate(), r_out));
+        }
+        transport.idle(cfg.spacing);
+    }
+    if sweep.len() < 4 {
+        return Err(TransportError::Io("too few usable TOPP samples".into()));
+    }
+    // Find the bend: first offered rate whose ratio exceeds the threshold
+    // and stays above it for the rest of the sweep (noise robustness).
+    let ratios: Vec<f64> = sweep.iter().map(|(i, o)| i.bps() / o.bps()).collect();
+    let bend = (0..ratios.len())
+        .find(|&k| ratios[k..].iter().all(|&r| r > cfg.bend_threshold))
+        .unwrap_or(ratios.len());
+    let upper = &sweep[bend..];
+    if upper.len() < 2 {
+        // Never bent: the path was never congested in the sweep range; the
+        // avail-bw is at least the maximum offered rate.
+        let max_offered = sweep.last().unwrap().0;
+        return Ok(ToppEstimate {
+            avail_bw: max_offered,
+            capacity: max_offered,
+            sweep,
+        });
+    }
+    // Least-squares fit ratio = a + b·R_in on the upper segment.
+    let n = upper.len() as f64;
+    let xs: Vec<f64> = upper.iter().map(|(i, _)| i.bps()).collect();
+    let ys: Vec<f64> = upper
+        .iter()
+        .map(|(i, o)| i.bps() / o.bps())
+        .collect();
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return Err(TransportError::Io("degenerate TOPP fit".into()));
+    }
+    let b = (n * sxy - sx * sy) / denom; // slope = 1/C
+    let a = (sy - b * sx) / n; // intercept = (C − A)/C
+    if b <= 0.0 {
+        return Err(TransportError::Io("non-positive TOPP slope".into()));
+    }
+    let capacity = 1.0 / b;
+    let avail = capacity * (1.0 - a);
+    Ok(ToppEstimate {
+        avail_bw: Rate::from_bps(avail.clamp(0.0, capacity.max(0.0))),
+        capacity: Rate::from_bps(capacity.max(0.0)),
+        sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slops::testutil::OracleTransport;
+
+    #[test]
+    fn recovers_avail_bw_and_capacity_on_oracle() {
+        // Oracle path: A = 40 Mb/s, C = 80 Mb/s, fluid OWD ramps.
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 9);
+        t.spike_prob = 0.0; // noise-free fluid path
+        let est = topp(&mut t, &ToppConfig::default()).unwrap();
+        assert!(
+            (est.avail_bw.mbps() - 40.0).abs() < 4.0,
+            "avail {}",
+            est.avail_bw
+        );
+        assert!(
+            (est.capacity.mbps() - 80.0).abs() < 8.0,
+            "capacity {}",
+            est.capacity
+        );
+    }
+
+    #[test]
+    fn uncongested_sweep_reports_floor_at_max_rate() {
+        let mut t = OracleTransport::new(Rate::from_mbps(500.0), 10);
+        t.spike_prob = 0.0;
+        let cfg = ToppConfig {
+            max_rate: Rate::from_mbps(50.0), // well below A
+            ..ToppConfig::default()
+        };
+        let est = topp(&mut t, &cfg).unwrap();
+        assert!(est.avail_bw.mbps() >= 49.0);
+    }
+
+    #[test]
+    fn delivered_rate_uses_receive_span() {
+        use slops::PacketSample;
+        let rec = StreamRecord {
+            sent: 3,
+            samples: vec![
+                PacketSample {
+                    idx: 0,
+                    send_offset: TimeNs::ZERO,
+                    owd_ns: 1000,
+                },
+                PacketSample {
+                    idx: 1,
+                    send_offset: TimeNs::from_micros(100),
+                    owd_ns: 1000,
+                },
+                PacketSample {
+                    idx: 2,
+                    send_offset: TimeNs::from_micros(200),
+                    owd_ns: 1000,
+                },
+            ],
+        };
+        // 2 * 500B * 8 / 200 us = 40 Mb/s
+        let r = delivered_rate(&rec, 500).unwrap();
+        assert!((r.mbps() - 40.0).abs() < 1e-9);
+        let empty = StreamRecord {
+            sent: 3,
+            samples: vec![],
+        };
+        assert!(delivered_rate(&empty, 500).is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! `cargo bench --bench figures` — regenerate every figure of the paper at
+//! reduced fidelity (quick preset), so a single `cargo bench` run exercises
+//! the entire reproduction end to end. Full-fidelity runs: the per-figure
+//! binaries (`cargo run --release -p availbw-bench --bin fig05`).
+
+use availbw_bench::figs;
+use availbw_bench::RunOpts;
+
+fn main() {
+    // cargo bench passes --bench; ignore all arguments.
+    let opts = RunOpts::quick();
+    println!("availbw reproduction, quick preset: {opts:?}");
+    let t0 = std::time::Instant::now();
+    let figures: &[(&str, fn(&RunOpts) -> String)] = &[
+        ("fig01_03", figs::fig01_03::run),
+        ("fig05", figs::fig05::run),
+        ("fig06", figs::fig06::run),
+        ("fig07", figs::fig07::run),
+        ("fig08", figs::fig08::run),
+        ("fig09", figs::fig09::run),
+        ("fig10", figs::fig10::run),
+        ("fig11", figs::fig11::run),
+        ("fig12", figs::fig12::run),
+        ("fig13", figs::fig13::run),
+        ("fig14", figs::fig14::run),
+        ("fig15_16", figs::fig15_16::run),
+        ("fig17_18", figs::fig17_18::run),
+        ("ablations", figs::ablations::run),
+        ("comparison", figs::comparison::run),
+        ("ssthresh", figs::ssthresh::run),
+    ];
+    for (name, f) in figures {
+        let t = std::time::Instant::now();
+        let _ = f(&opts);
+        eprintln!("[{name} done in {:.1?}]", t.elapsed());
+    }
+    eprintln!("all figures regenerated in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the hot paths: trend statistics, OWD
+//! preprocessing, the simulator's event loop, the PRNG, and the rate
+//! search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_trend_stats(c: &mut Criterion) {
+    let owds: Vec<i64> = (0..100).map(|i| 1000 + i * 37 + (i % 7) * 1000).collect();
+    c.bench_function("group_medians_k100", |b| {
+        b.iter(|| slops::owd::group_medians(black_box(&owds)))
+    });
+    let medians = slops::owd::group_medians(&owds);
+    c.bench_function("pct_metric", |b| {
+        b.iter(|| slops::pct_metric(black_box(&medians)))
+    });
+    c.bench_function("pdt_metric", |b| {
+        b.iter(|| slops::pdt_metric(black_box(&medians)))
+    });
+    let cfg = slops::SlopsConfig::default();
+    c.bench_function("classify_medians", |b| {
+        b.iter(|| slops::classify_medians(black_box(&medians), &cfg))
+    });
+}
+
+fn bench_prng(c: &mut Criterion) {
+    c.bench_function("prng_next_u64", |b| {
+        let mut rng = netsim::Prng::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    c.bench_function("prng_pareto", |b| {
+        let mut rng = netsim::Prng::new(1);
+        b.iter(|| black_box(rng.pareto_mean(1.9, 0.005)))
+    });
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    use netsim::app::CountingSink;
+    use netsim::{FlowId, LinkConfig, Packet, Simulator};
+    use units::{Rate, TimeNs};
+    // Throughput of the engine: one link, 10k packets, run to completion.
+    c.bench_function("engine_10k_packets_one_link", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(1);
+                let l = sim.add_link(LinkConfig::new(
+                    Rate::from_mbps(1000.0),
+                    TimeNs::from_micros(10),
+                ));
+                let sink = sim.add_app(Box::new(CountingSink::default()));
+                let route = sim.route(&[l], sink);
+                for i in 0..10_000u64 {
+                    sim.inject(
+                        Packet::new(500, FlowId(1), i, route.clone()),
+                        TimeNs::from_nanos(i * 100),
+                    );
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_until_idle(TimeNs::from_secs(10));
+                black_box(sim.events_processed())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rate_search(c: &mut Criterion) {
+    use slops::{FleetOutcome, RateSearch};
+    use units::Rate;
+    c.bench_function("rate_search_full_convergence", |b| {
+        b.iter(|| {
+            let mut s = RateSearch::new(
+                Rate::from_mbps(120.0),
+                Rate::from_mbps(1.0),
+                Rate::from_mbps(1.5),
+                None,
+            );
+            while let Some(r) = s.next_rate() {
+                let outcome = if r.mbps() > 47.3 {
+                    FleetOutcome::AboveAvailBw
+                } else {
+                    FleetOutcome::BelowAvailBw
+                };
+                s.record(r, outcome);
+            }
+            black_box(s.bounds())
+        })
+    });
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    use fluid::{FluidLink, FluidPath};
+    use units::Rate;
+    let path = FluidPath::new(
+        (0..10)
+            .map(|i| {
+                FluidLink::new(
+                    Rate::from_mbps(100.0 - i as f64),
+                    Rate::from_mbps(50.0 - i as f64),
+                )
+            })
+            .collect(),
+    );
+    c.bench_function("fluid_owds_k100_h10", |b| {
+        b.iter(|| black_box(path.owds(Rate::from_mbps(60.0), 500, 100)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trend_stats,
+    bench_prng,
+    bench_event_loop,
+    bench_rate_search,
+    bench_fluid
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation study of pathload's design choices (see availbw-bench::figs::ablations).
+
+fn main() {
+    let opts = availbw_bench::RunOpts::from_env();
+    availbw_bench::figs::ablations::run(&opts);
+}

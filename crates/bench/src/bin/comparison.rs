@@ -1,0 +1,6 @@
+//! pathload vs TOPP vs cprobe comparison (see availbw-bench::figs::comparison).
+
+fn main() {
+    let opts = availbw_bench::RunOpts::from_env();
+    availbw_bench::figs::comparison::run(&opts);
+}

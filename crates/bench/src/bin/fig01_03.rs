@@ -1,0 +1,6 @@
+//! Reproduces the paper's Figure 01_03 (see availbw-bench::figs).
+
+fn main() {
+    let opts = availbw_bench::RunOpts::from_env();
+    availbw_bench::figs::fig01_03::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's Figure 15_16 (see availbw-bench::figs).
+
+fn main() {
+    let opts = availbw_bench::RunOpts::from_env();
+    availbw_bench::figs::fig15_16::run(&opts);
+}

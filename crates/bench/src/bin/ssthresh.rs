@@ -1,0 +1,6 @@
+//! ssthresh-tuning experiment (see availbw-bench::figs::ssthresh).
+
+fn main() {
+    let opts = availbw_bench::RunOpts::from_env();
+    availbw_bench::figs::ssthresh::run(&opts);
+}

@@ -1,0 +1,77 @@
+//! Helpers shared by the accuracy and dynamics figures.
+
+use crate::RunOpts;
+use simprobe::scenarios::{PaperPath, PaperPathConfig};
+use slops::{Session, SlopsConfig};
+use units::stats;
+
+/// Result of repeated pathload runs on one configuration point.
+#[derive(Debug, Clone)]
+pub struct RepeatedRuns {
+    /// Reported lower bounds, Mb/s.
+    pub lows: Vec<f64>,
+    /// Reported upper bounds, Mb/s.
+    pub highs: Vec<f64>,
+    /// Relative variation ρ of each run.
+    pub rhos: Vec<f64>,
+}
+
+impl RepeatedRuns {
+    /// Mean of the lower bounds.
+    pub fn avg_low(&self) -> f64 {
+        stats::mean(&self.lows)
+    }
+
+    /// Mean of the upper bounds.
+    pub fn avg_high(&self) -> f64 {
+        stats::mean(&self.highs)
+    }
+
+    /// Center of the average range.
+    pub fn center(&self) -> f64 {
+        (self.avg_low() + self.avg_high()) / 2.0
+    }
+
+    /// Coefficient of variation of the upper bounds (the paper reports
+    /// 0.10–0.30 for its 50-run averages).
+    pub fn cov_high(&self) -> f64 {
+        stats::Summary::of(&self.highs).cov()
+    }
+
+    /// CDF of ρ at the {5,…,95} percentiles.
+    pub fn rho_cdf(&self) -> Vec<(f64, f64)> {
+        stats::cdf_points(&self.rhos)
+    }
+}
+
+/// Run pathload `opts.runs` times on fresh instances of `path_cfg`
+/// (a new seed per run, as the paper's 50-run averages do).
+pub fn repeated_runs(
+    path_cfg: &PaperPathConfig,
+    slops_cfg: &SlopsConfig,
+    opts: &RunOpts,
+    point: usize,
+) -> RepeatedRuns {
+    let mut lows = Vec::with_capacity(opts.runs);
+    let mut highs = Vec::with_capacity(opts.runs);
+    let mut rhos = Vec::with_capacity(opts.runs);
+    for run in 0..opts.runs {
+        let seed = opts.run_seed(point, run);
+        let mut t = PaperPath::build(path_cfg, seed).into_transport();
+        match Session::new(slops_cfg.clone()).run(&mut t) {
+            Ok(est) => {
+                lows.push(est.low.mbps());
+                highs.push(est.high.mbps());
+                rhos.push(est.relative_variation());
+            }
+            Err(e) => eprintln!("run {run} failed: {e}"),
+        }
+    }
+    RepeatedRuns { lows, highs, rhos }
+}
+
+/// Print-and-return convention shared by all figure mains.
+pub fn emit(report: String) -> String {
+    println!("{report}");
+    report
+}

@@ -1,0 +1,57 @@
+//! Figure 6: accuracy vs nontight-link load. The nontight avail-bw is held
+//! at 8 Mb/s (tightness β = 0.5) while the nontight utilization rises from
+//! 20% to 80% (the nontight capacity shrinks accordingly); the end-to-end
+//! avail-bw stays 4 Mb/s. Pathload must keep bracketing it at both path
+//! lengths.
+
+use crate::figs::common::{emit, repeated_runs};
+use crate::report::{section, Table};
+use crate::RunOpts;
+use simprobe::scenarios::PaperPathConfig;
+use slops::SlopsConfig;
+
+const NONTIGHT_UTILS: [f64; 4] = [0.20, 0.40, 0.60, 0.80];
+const HOPS: [usize; 2] = [3, 5];
+
+/// Run the experiment and return the report.
+pub fn run(opts: &RunOpts) -> String {
+    let mut out = section(
+        "Figure 6: accuracy vs nontight load (A=4 Mb/s, A_nt=8 Mb/s fixed, beta=0.5)",
+    );
+    let mut tab = Table::new(&[
+        "H",
+        "u_nt",
+        "C_nt (Mb/s)",
+        "avg R_lo",
+        "avg R_hi",
+        "center",
+        "brackets A=4?",
+    ]);
+    for (hi, hops) in HOPS.iter().enumerate() {
+        for (ui, u_nt) in NONTIGHT_UTILS.iter().enumerate() {
+            let mut cfg = PaperPathConfig::default();
+            cfg.hops = *hops;
+            cfg.tight_util = 0.60; // A = 4 Mb/s
+            cfg.nontight_util = *u_nt;
+            cfg.set_tightness(0.5); // holds A_nt at 8 Mb/s
+            debug_assert!((cfg.nontight_avail().mbps() - 8.0).abs() < 1e-9);
+            let res = repeated_runs(&cfg, &SlopsConfig::default(), opts, 100 + hi * 10 + ui);
+            let brackets = res.avg_low() <= 4.2 && 3.8 <= res.avg_high();
+            tab.row(&[
+                format!("{hops}"),
+                format!("{:.0}%", u_nt * 100.0),
+                format!("{:.1}", cfg.nontight_capacity.mbps()),
+                format!("{:.2}", res.avg_low()),
+                format!("{:.2}", res.avg_high()),
+                format!("{:.2}", res.center()),
+                if brackets { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&tab.render());
+    out.push_str(
+        "\npaper shape: the range includes A = 4 Mb/s regardless of the number\n\
+         or load of nontight links; the center stays within ~10% of A.\n",
+    );
+    emit(out)
+}

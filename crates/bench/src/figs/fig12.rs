@@ -1,0 +1,48 @@
+//! Figure 12: avail-bw variability vs degree of statistical multiplexing.
+//! Three bottlenecks at the same ~65% utilization but very different
+//! capacities / flow counts: path A (155 Mb/s, many flows), path B
+//! (12.4 Mb/s), path C (6.1 Mb/s, few flows). More multiplexing smooths
+//! the aggregate, so ρ falls as capacity/flow count grows.
+
+use crate::figs::common::emit;
+use crate::report::{render_cdfs, section};
+use crate::RunOpts;
+use simprobe::scenarios::multiplexing_path;
+use slops::{Session, SlopsConfig};
+use units::stats::{cdf_points, percentile};
+use units::Rate;
+
+/// (label, capacity Mb/s, ON/OFF sources) — sources scale with capacity,
+/// mirroring the backbone/university/department tight links of the paper.
+const PATHS: [(&str, f64, usize); 3] =
+    [("A-155Mbps", 155.0, 200), ("B-12.4Mbps", 12.4, 16), ("C-6.1Mbps", 6.1, 8)];
+
+/// Run the experiment and return the report.
+pub fn run(opts: &RunOpts) -> String {
+    let mut out = section(
+        "Figure 12: CDF of rho vs statistical multiplexing (all tight links at ~65%)",
+    );
+    let mut series = Vec::new();
+    let mut p75s = Vec::new();
+    for (pi, (label, cap, sources)) in PATHS.iter().enumerate() {
+        let mut rhos = Vec::with_capacity(opts.runs);
+        for run in 0..opts.runs {
+            let seed = opts.run_seed(700 + pi, run);
+            let mut t = multiplexing_path(Rate::from_mbps(*cap), 0.65, *sources, seed);
+            match Session::new(SlopsConfig::default()).run(&mut t) {
+                Ok(est) => rhos.push(est.relative_variation()),
+                Err(e) => eprintln!("{label} run {run}: {e}"),
+            }
+        }
+        p75s.push(percentile(&rhos, 75.0));
+        series.push((label.to_string(), cdf_points(&rhos)));
+    }
+    out.push_str(&render_cdfs("rho", &series));
+    out.push_str(&format!(
+        "\n75th-percentile rho: A {:.2}, B {:.2}, C {:.2}\n\
+         paper shape: rho(A) < rho(B) < rho(C) — higher multiplexing gives a\n\
+         smoother, more predictable avail-bw (paper: roughly 1x/2x/3x).\n",
+        p75s[0], p75s[1], p75s[2]
+    ));
+    emit(out)
+}

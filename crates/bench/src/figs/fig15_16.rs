@@ -1,0 +1,156 @@
+//! Figures 15–16: BTC (greedy TCP) throughput vs avail-bw, and the RTT
+//! damage it does. 25 minutes in five phases A–E; a greedy connection runs
+//! during B and D.
+//!
+//! The three headline effects to reproduce:
+//! 1. during B/D the BTC connection saturates the path (MRTG avail < 0.5
+//!    Mb/s) while its own 1-s throughput is highly variable;
+//! 2. RTT inflates from its quiescent level by the tight link's buffer
+//!    depth (~170 ms at 8.2 Mb/s) with large jitter;
+//! 3. the BTC throughput *exceeds* the avail-bw of the surrounding phases
+//!    by ~20–30% — it steals bandwidth from reactive TCP cross traffic.
+
+use crate::figs::btc::{build_btc_world, TIGHT_CAPACITY_MBPS};
+use crate::figs::common::emit;
+use crate::report::{section, Table};
+use crate::RunOpts;
+use tcpsim::{TcpConnection, TcpSender, TcpSenderConfig};
+use units::stats::{mean, percentile};
+use units::TimeNs;
+
+/// Run the experiment and return the report.
+pub fn run(opts: &RunOpts) -> String {
+    let phase = opts.phase;
+    let total = phase * 5;
+    let mut out = section(&format!(
+        "Figures 15-16: BTC vs avail-bw on an {TIGHT_CAPACITY_MBPS} Mb/s tight link (5 x {phase} phases, BTC in B and D)"
+    ));
+    let mut world = build_btc_world(opts.seed, total, TimeNs::from_secs(1), phase);
+
+    // Pre-create the two BTC connections, starting at phases B and D.
+    let b_start = phase;
+    let d_start = phase * 3;
+    let btc_b = TcpConnection::start_at(
+        &mut world.sim,
+        &world.chain,
+        TcpSenderConfig::greedy(1),
+        b_start,
+    );
+    let btc_d = TcpConnection::start_at(
+        &mut world.sim,
+        &world.chain,
+        TcpSenderConfig::greedy(2),
+        d_start,
+    );
+
+    // Drive the 25 minutes, stopping each BTC at its phase end.
+    world.sim.run_until(b_start + phase);
+    world.sim.app_mut::<TcpSender>(btc_b.sender).stop();
+    world.sim.run_until(d_start + phase);
+    world.sim.app_mut::<TcpSender>(btc_d.sender).stop();
+    world.sim.run_until(total);
+
+    // --- Figure 15: per-phase avail-bw and BTC throughput ---
+    let mut tab = Table::new(&[
+        "phase",
+        "MRTG avail (Mb/s)",
+        "BTC 5-min avg (Mb/s)",
+        "BTC 1-s p5/p50/p95",
+    ]);
+    let mut phase_avail = Vec::new();
+    for (i, name) in ["A", "B", "C", "D", "E"].iter().enumerate() {
+        let start = phase * i as u64;
+        let avail = world.avail_in_window(start).mbps();
+        phase_avail.push(avail);
+        let btc = match *name {
+            "B" => Some(&btc_b),
+            "D" => Some(&btc_d),
+            _ => None,
+        };
+        let (avg, spread) = match btc {
+            Some(c) => {
+                let avg = c.throughput(&world.sim, start, start + phase).mbps();
+                let series: Vec<f64> = c
+                    .throughput_series(&world.sim, start, start + phase)
+                    .iter()
+                    .map(|r| r.mbps())
+                    .collect();
+                (
+                    format!("{avg:.2}"),
+                    format!(
+                        "{:.2}/{:.2}/{:.2}",
+                        percentile(&series, 5.0),
+                        percentile(&series, 50.0),
+                        percentile(&series, 95.0)
+                    ),
+                )
+            }
+            None => ("-".into(), "-".into()),
+        };
+        tab.row(&[name.to_string(), format!("{avail:.2}"), avg, spread]);
+    }
+    out.push_str(&tab.render());
+
+    // --- Figure 16: RTT per phase ---
+    let mut rtt_tab = Table::new(&["phase", "RTT p5 (ms)", "RTT p50", "RTT p95", "RTT max", "lost"]);
+    let pinger = world.sim.app::<netsim::Pinger>(world.pinger);
+    let mut quiescent = Vec::new();
+    let mut loaded = Vec::new();
+    for (i, name) in ["A", "B", "C", "D", "E"].iter().enumerate() {
+        let start = phase * i as u64;
+        let stats = pinger.stats_between(start, start + phase);
+        rtt_tab.row(&[
+            name.to_string(),
+            format!("{:.1}", percentile_of(pinger, start, start + phase, 5.0)),
+            format!("{:.1}", stats.rtt_ms.p50),
+            format!("{:.1}", stats.rtt_ms.p95),
+            format!("{:.1}", stats.rtt_ms.max),
+            format!("{}", stats.lost),
+        ]);
+        if matches!(*name, "B" | "D") {
+            loaded.push(stats.rtt_ms.p50);
+        } else {
+            quiescent.push(stats.rtt_ms.p50);
+        }
+    }
+    out.push_str("\nRTT during the experiment (1-s pings):\n");
+    out.push_str(&rtt_tab.render());
+
+    let btc_avg = (btc_b
+        .throughput(&world.sim, b_start, b_start + phase)
+        .mbps()
+        + btc_d.throughput(&world.sim, d_start, d_start + phase).mbps())
+        / 2.0;
+    let surrounding = (phase_avail[0] + phase_avail[2] + phase_avail[4]) / 3.0;
+    let rtt_quiet = mean(&quiescent);
+    let rtt_loaded = mean(&loaded);
+    out.push_str(&format!(
+        "\nBTC average {:.2} Mb/s vs surrounding avail-bw {:.2} Mb/s: ratio {:.2}\n\
+         quiescent median RTT {:.0} ms vs loaded {:.0} ms (+{:.0} ms)\n\
+         paper shape: avail < 0.5 Mb/s during B/D; BTC 20-30% above the\n\
+         surrounding avail-bw; RTT inflated by the tight-link buffer with\n\
+         high jitter (paper: 200 -> 200-370 ms).\n",
+        btc_avg,
+        surrounding,
+        btc_avg / surrounding.max(1e-9),
+        rtt_quiet,
+        rtt_loaded,
+        rtt_loaded - rtt_quiet,
+    ));
+    emit(out)
+}
+
+fn percentile_of(
+    pinger: &netsim::Pinger,
+    from: TimeNs,
+    to: TimeNs,
+    p: f64,
+) -> f64 {
+    let rtts: Vec<f64> = pinger
+        .samples
+        .iter()
+        .filter(|s| s.sent_at >= from && s.sent_at < to)
+        .filter_map(|s| s.rtt.map(|r| r.millis_f64()))
+        .collect();
+    percentile(&rtts, p)
+}

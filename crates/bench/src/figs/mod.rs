@@ -1,0 +1,20 @@
+//! One module per figure of the paper's evaluation section.
+
+pub mod ablations;
+pub mod btc;
+pub mod common;
+pub mod comparison;
+pub mod fig01_03;
+pub mod ssthresh;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15_16;
+pub mod fig17_18;

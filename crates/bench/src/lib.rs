@@ -1,0 +1,80 @@
+//! # availbw-bench — the reproduction harness
+//!
+//! One module (and one binary) per figure of the paper's evaluation.
+//! Each figure function takes a [`RunOpts`] and returns the formatted
+//! report it also prints, so the quick-mode `cargo bench` target, the
+//! full-mode binaries, and EXPERIMENTS.md all share one code path.
+//!
+//! Run a single figure at full fidelity:
+//!
+//! ```text
+//! cargo run --release -p availbw-bench --bin fig05
+//! ```
+//!
+//! Environment knobs: `AVAILBW_RUNS` overrides the per-point run count,
+//! `AVAILBW_QUICK=1` selects the reduced preset (also used by
+//! `cargo bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+pub mod report;
+
+use units::TimeNs;
+
+/// Execution options shared by all figures.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// pathload runs per configuration point (the paper uses 50 for
+    /// Figs. 5–7 and 110 for Figs. 11–14).
+    pub runs: usize,
+    /// Experiment phase length for the 25-minute TCP experiments
+    /// (5 minutes in the paper; shorter in quick mode).
+    pub phase: TimeNs,
+    /// Root seed; every run derives its own.
+    pub seed: u64,
+}
+
+impl RunOpts {
+    /// The paper's full fidelity.
+    pub fn full() -> RunOpts {
+        RunOpts {
+            runs: 50,
+            phase: TimeNs::from_secs(300),
+            seed: 20020819, // SIGCOMM 2002 started August 19
+        }
+    }
+
+    /// Reduced preset for `cargo bench` / smoke testing.
+    pub fn quick() -> RunOpts {
+        RunOpts {
+            runs: 6,
+            phase: TimeNs::from_secs(45),
+            seed: 20020819,
+        }
+    }
+
+    /// `full()` unless `AVAILBW_QUICK=1`; `AVAILBW_RUNS` overrides `runs`.
+    pub fn from_env() -> RunOpts {
+        let mut opts = if std::env::var("AVAILBW_QUICK").is_ok_and(|v| v == "1") {
+            RunOpts::quick()
+        } else {
+            RunOpts::full()
+        };
+        if let Ok(r) = std::env::var("AVAILBW_RUNS") {
+            if let Ok(r) = r.parse::<usize>() {
+                opts.runs = r.max(1);
+            }
+        }
+        opts
+    }
+
+    /// Per-run derived seed.
+    pub fn run_seed(&self, point: usize, run: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((point as u64) << 32)
+            .wrapping_add(run as u64)
+    }
+}

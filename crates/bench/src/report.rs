@@ -1,0 +1,115 @@
+//! Plain-text report formatting: aligned tables and CDF listings, printed
+//! the way the paper's figures tabulate their series.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Render a CDF sampled at the {5, 15, …, 95} percentiles, one series per
+/// labelled column (the layout of the paper's Figs. 11–14).
+pub fn render_cdfs(metric: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut header: Vec<&str> = vec!["percentile"];
+    for (label, _) in series {
+        header.push(label);
+    }
+    let mut t = Table::new(&header);
+    if let Some((_, first)) = series.first() {
+        for (i, (p, _)) in first.iter().enumerate() {
+            let mut row = vec![format!("{p:.0}%")];
+            for (_, cdf) in series {
+                row.push(format!("{:.3}", cdf[i].1));
+            }
+            t.row(&row);
+        }
+    }
+    format!("{metric}\n{}", t.render())
+}
+
+/// Section header for figure reports.
+pub fn section(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["a", "long-header", "b"]);
+        t.row(&["1".into(), "2".into(), "333333".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn cdf_rendering() {
+        let cdf = vec![(5.0, 0.1), (15.0, 0.2)];
+        let s = render_cdfs("rho", &[("pathA".into(), cdf)]);
+        assert!(s.contains("rho"));
+        assert!(s.contains("pathA"));
+        assert!(s.contains("5%"));
+        assert!(s.contains("0.100"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types.
+
+use core::fmt;
+
+/// Errors raised by a [`crate::transport::ProbeTransport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The underlying channel failed (socket error, peer went away...).
+    Io(String),
+    /// The transport refused the request (rate above its maximum, ...).
+    Unsupported(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(msg) => write!(f, "transport I/O error: {msg}"),
+            TransportError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Errors raised by a measurement session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlopsError {
+    /// The transport failed.
+    Transport(TransportError),
+    /// Every stream of a fleet was unusable (all packets lost, or the
+    /// sender could not keep the requested spacing).
+    NoUsableStreams,
+    /// Configuration rejected (e.g. thresholds outside their ranges).
+    BadConfig(String),
+}
+
+impl fmt::Display for SlopsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlopsError::Transport(e) => write!(f, "{e}"),
+            SlopsError::NoUsableStreams => write!(f, "no usable streams in fleet"),
+            SlopsError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SlopsError {}
+
+impl From<TransportError> for SlopsError {
+    fn from(e: TransportError) -> Self {
+        SlopsError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TransportError::Io("boom".into());
+        assert_eq!(e.to_string(), "transport I/O error: boom");
+        let s: SlopsError = e.into();
+        assert_eq!(s.to_string(), "transport I/O error: boom");
+        assert_eq!(
+            SlopsError::NoUsableStreams.to_string(),
+            "no usable streams in fleet"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Fleet-level classification (§IV "Fleets of Streams" and "Grey Region").
+//!
+//! Pathload never decides `R ≷ A` from one stream: it sends a fleet of N
+//! streams at the same rate and votes. If at least `f·N` streams are type I
+//! the fleet rate is above the avail-bw; if at least `f·N` are type N it is
+//! below; otherwise the avail-bw fluctuated around the rate during the
+//! fleet — the **grey region**. Loss rules (§IV): one stream with excessive
+//! loss (>10 %), or moderate loss (>3 %) on too many streams, aborts the
+//! fleet, which is then treated as "rate too high".
+
+use crate::config::SlopsConfig;
+use crate::trend::StreamClass;
+use units::Rate;
+
+/// Verdict of one fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetOutcome {
+    /// ≥ f·N streams increasing: the fleet rate exceeds the avail-bw.
+    AboveAvailBw,
+    /// ≥ f·N streams non-increasing: the fleet rate is below the avail-bw.
+    BelowAvailBw,
+    /// Neither: the avail-bw varied around the fleet rate (grey region).
+    Grey,
+    /// Aborted due to losses; treated as rate-too-high with backoff.
+    AbortedLossy,
+}
+
+/// Per-fleet record kept in the session trace (one per fleet).
+#[derive(Clone, Debug)]
+pub struct FleetTrace {
+    /// The actual fleet rate (from the realized stream parameters).
+    pub rate: Rate,
+    /// Stream classifications, in send order.
+    pub stream_classes: Vec<StreamClass>,
+    /// Per-stream loss fractions.
+    pub losses: Vec<f64>,
+    /// The verdict.
+    pub outcome: FleetOutcome,
+}
+
+/// Vote on a fleet given its per-stream classes and loss fractions.
+pub fn classify_fleet(
+    classes: &[StreamClass],
+    losses: &[f64],
+    cfg: &SlopsConfig,
+) -> FleetOutcome {
+    debug_assert_eq!(classes.len(), losses.len());
+    // Loss rules first.
+    if losses.iter().any(|&l| l > cfg.loss_abort_stream) {
+        return FleetOutcome::AbortedLossy;
+    }
+    let moderate = losses.iter().filter(|&&l| l > cfg.loss_moderate).count();
+    if (moderate as f64) > cfg.moderate_fraction * classes.len() as f64 {
+        return FleetOutcome::AbortedLossy;
+    }
+    let inc = classes
+        .iter()
+        .filter(|c| matches!(c, StreamClass::Increasing))
+        .count() as f64;
+    let non = classes
+        .iter()
+        .filter(|c| matches!(c, StreamClass::NonIncreasing))
+        .count() as f64;
+    let unusable = classes
+        .iter()
+        .filter(|c| matches!(c, StreamClass::Unusable))
+        .count() as f64;
+    if unusable > 0.5 * classes.len() as f64 || inc + non == 0.0 {
+        // Most streams unusable: no meaningful vote is possible.
+        return FleetOutcome::AbortedLossy;
+    }
+    // The fraction f is taken over the streams that rendered a verdict;
+    // ambiguous streams abstain (they indicate avail-bw fluctuation around
+    // the fleet rate and therefore pull the vote toward Grey by shrinking
+    // both sides' counts relative to the threshold only when the decisive
+    // votes themselves are split).
+    let threshold = (cfg.fleet_fraction * (inc + non)).ceil().max(1.0);
+    if inc >= threshold {
+        FleetOutcome::AboveAvailBw
+    } else if non >= threshold {
+        FleetOutcome::BelowAvailBw
+    } else {
+        FleetOutcome::Grey
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SlopsConfig {
+        SlopsConfig::default()
+    }
+
+    fn classes(inc: usize, non: usize, unusable: usize) -> Vec<StreamClass> {
+        let mut v = Vec::new();
+        v.extend(std::iter::repeat_n(StreamClass::Increasing, inc));
+        v.extend(std::iter::repeat_n(StreamClass::NonIncreasing, non));
+        v.extend(std::iter::repeat_n(StreamClass::Unusable, unusable));
+        v
+    }
+
+    fn classes_with_ambiguous(inc: usize, non: usize, amb: usize) -> Vec<StreamClass> {
+        let mut v = classes(inc, non, 0);
+        v.extend(std::iter::repeat_n(StreamClass::Ambiguous, amb));
+        v
+    }
+
+    #[test]
+    fn unanimous_votes() {
+        let c = cfg();
+        let no_loss = vec![0.0; 12];
+        assert_eq!(
+            classify_fleet(&classes(12, 0, 0), &no_loss, &c),
+            FleetOutcome::AboveAvailBw
+        );
+        assert_eq!(
+            classify_fleet(&classes(0, 12, 0), &no_loss, &c),
+            FleetOutcome::BelowAvailBw
+        );
+    }
+
+    #[test]
+    fn split_vote_is_grey() {
+        let c = cfg();
+        let no_loss = vec![0.0; 12];
+        // f=0.7, 12 decisive votes => threshold ceil(8.4)=9. 6/6: grey.
+        assert_eq!(
+            classify_fleet(&classes(6, 6, 0), &no_loss, &c),
+            FleetOutcome::Grey
+        );
+        // 8 increasing is still below the threshold of 9.
+        assert_eq!(
+            classify_fleet(&classes(8, 4, 0), &no_loss, &c),
+            FleetOutcome::Grey
+        );
+        // 9 reaches it.
+        assert_eq!(
+            classify_fleet(&classes(9, 3, 0), &no_loss, &c),
+            FleetOutcome::AboveAvailBw
+        );
+    }
+
+    #[test]
+    fn ambiguous_streams_abstain() {
+        let c = cfg();
+        let no_loss = vec![0.0; 12];
+        // 6 I, 2 N, 4 ambiguous: threshold ceil(0.7*8)=6 => Above.
+        assert_eq!(
+            classify_fleet(&classes_with_ambiguous(6, 2, 4), &no_loss, &c),
+            FleetOutcome::AboveAvailBw
+        );
+        // 4 I, 4 N, 4 ambiguous: split decisive votes => Grey.
+        assert_eq!(
+            classify_fleet(&classes_with_ambiguous(4, 4, 4), &no_loss, &c),
+            FleetOutcome::Grey
+        );
+        // All ambiguous: no decisive votes at all => aborted.
+        assert_eq!(
+            classify_fleet(&classes_with_ambiguous(0, 0, 12), &no_loss, &c),
+            FleetOutcome::AbortedLossy
+        );
+    }
+
+    #[test]
+    fn single_excessive_loss_aborts() {
+        let c = cfg();
+        let mut losses = vec![0.0; 12];
+        losses[5] = 0.11;
+        assert_eq!(
+            classify_fleet(&classes(12, 0, 0), &losses, &c),
+            FleetOutcome::AbortedLossy
+        );
+    }
+
+    #[test]
+    fn widespread_moderate_loss_aborts() {
+        let c = cfg();
+        // 7 of 12 streams above the 3% moderate threshold (> 50%).
+        let losses: Vec<f64> = (0..12).map(|i| if i < 7 { 0.05 } else { 0.0 }).collect();
+        assert_eq!(
+            classify_fleet(&classes(0, 12, 0), &losses, &c),
+            FleetOutcome::AbortedLossy
+        );
+        // 6 of 12 is exactly 50%: not aborted.
+        let losses: Vec<f64> = (0..12).map(|i| if i < 6 { 0.05 } else { 0.0 }).collect();
+        assert_eq!(
+            classify_fleet(&classes(0, 12, 0), &losses, &c),
+            FleetOutcome::BelowAvailBw
+        );
+    }
+
+    #[test]
+    fn mostly_unusable_fleet_aborts() {
+        let c = cfg();
+        let no_loss = vec![0.0; 12];
+        assert_eq!(
+            classify_fleet(&classes(2, 3, 7), &no_loss, &c),
+            FleetOutcome::AbortedLossy
+        );
+    }
+
+    #[test]
+    fn higher_fraction_widens_grey() {
+        // With f = 0.9 the same 9/3 vote is no longer decisive (Fig. 8).
+        let mut c = cfg();
+        c.fleet_fraction = 0.9;
+        let no_loss = vec![0.0; 12];
+        assert_eq!(
+            classify_fleet(&classes(9, 3, 0), &no_loss, &c),
+            FleetOutcome::Grey
+        );
+        assert_eq!(
+            classify_fleet(&classes(11, 1, 0), &no_loss, &c),
+            FleetOutcome::AboveAvailBw
+        );
+    }
+
+    #[test]
+    fn tiny_fleet_needs_at_least_one_vote() {
+        let c = cfg();
+        assert_eq!(
+            classify_fleet(&classes(1, 0, 0), &[0.0], &c),
+            FleetOutcome::AboveAvailBw
+        );
+        assert_eq!(
+            classify_fleet(&classes(0, 1, 0), &[0.0], &c),
+            FleetOutcome::BelowAvailBw
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # slops — Self-Loading Periodic Streams (the paper's core contribution)
+//!
+//! Implements the SLoPS end-to-end available-bandwidth measurement
+//! methodology and the pathload estimation algorithm of Jain & Dovrolis
+//! (SIGCOMM 2002 / ToN 2003), §III–§IV:
+//!
+//! * [`owd`] — relative one-way-delay processing: Γ ≈ √K group medians.
+//! * [`trend`] — the PCT (eq. 8) and PDT (eq. 9) increasing-trend
+//!   statistics and stream classification (type I / type N).
+//! * [`stream`] — periodic-stream parameter selection: packet size `L`,
+//!   period `T`, length `K`, respecting `L_min`, the MTU and `T_min`.
+//! * [`fleet`] — fleets of N streams and the three-way verdict:
+//!   `R > A`, `R < A`, or the **grey region** `R ≈ A`.
+//! * [`ratesearch`] — the binary-search rate adjustment with grey-region
+//!   bounds and the ω / χ termination rules.
+//! * [`session`] — the full measurement session driving any
+//!   [`transport::ProbeTransport`]: packet-train initialization,
+//!   fleet pacing (idle ≥ max(RTT, 9·V) so the average probing load stays
+//!   below 10 % of the probing rate), loss handling, and the final
+//!   `[R_min, R_max]` report.
+//! * [`metrics`] — the relative-variation metric ρ (eq. 12) and the
+//!   weighted average used to compare against MRTG (eq. 11).
+//!
+//! The crate is transport-agnostic: the same [`session::Session`] runs over
+//! the packet-level simulator (`simprobe` crate) and over real UDP sockets
+//! (`pathload-net` crate). For algorithm testing without a network there is
+//! [`testutil::OracleTransport`], a synthetic path with a known avail-bw.
+//!
+//! ```
+//! use slops::testutil::OracleTransport;
+//! use slops::{Session, SlopsConfig};
+//! use units::Rate;
+//!
+//! let mut path = OracleTransport::new(Rate::from_mbps(40.0), 42);
+//! let est = Session::new(SlopsConfig::default()).run(&mut path).unwrap();
+//! assert!(est.low.mbps() <= 40.0 && 40.0 <= est.high.mbps() + 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod fleet;
+pub mod metrics;
+pub mod monitor;
+pub mod owd;
+pub mod ratesearch;
+pub mod session;
+pub mod stream;
+pub mod testutil;
+pub mod transport;
+pub mod trend;
+pub mod validation;
+
+pub use config::{InitialRate, SlopsConfig, TrendMode};
+pub use error::{SlopsError, TransportError};
+pub use fleet::{FleetOutcome, FleetTrace};
+pub use metrics::{relative_variation, weighted_average};
+pub use monitor::{monitor_until, sla_compliance, AvailBwSeries, MonitorSample};
+pub use ratesearch::RateSearch;
+pub use session::{Estimate, Session, Termination};
+pub use stream::{stream_params, StreamRequest};
+pub use transport::{PacketSample, ProbeTransport, StreamRecord, TrainRecord};
+pub use trend::{classify_medians, classify_stream, pct_metric, pdt_metric, StreamClass};
+pub use validation::{check_spacing, spacing_acceptable, SpacingReport};

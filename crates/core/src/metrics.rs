@@ -1,0 +1,58 @@
+//! Reporting metrics from the paper.
+
+use units::{Rate, TimeNs};
+
+/// Relative variation ρ of a reported range (eq. 12):
+/// `ρ = (R_max − R_min) / ((R_max + R_min)/2)`. Zero when the midpoint is 0.
+pub fn relative_variation(low: Rate, high: Rate) -> f64 {
+    let mid = (low.bps() + high.bps()) * 0.5;
+    if mid <= 0.0 {
+        0.0
+    } else {
+        (high.bps() - low.bps()).max(0.0) / mid
+    }
+}
+
+/// Duration-weighted average of consecutive measurement midpoints (eq. 11):
+/// used to compare a sequence of pathload runs against one 5-minute MRTG
+/// reading. Each entry is `(run_duration, low, high)`.
+pub fn weighted_average(runs: &[(TimeNs, Rate, Rate)]) -> Rate {
+    let total: f64 = runs.iter().map(|(d, _, _)| d.secs_f64()).sum();
+    if total <= 0.0 {
+        return Rate::ZERO;
+    }
+    let sum: f64 = runs
+        .iter()
+        .map(|(d, lo, hi)| d.secs_f64() * (lo.bps() + hi.bps()) * 0.5)
+        .sum();
+    Rate::from_bps(sum / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_basic() {
+        let rho = relative_variation(Rate::from_mbps(3.0), Rate::from_mbps(5.0));
+        assert!((rho - 0.5).abs() < 1e-12); // 2 / 4
+        assert_eq!(relative_variation(Rate::ZERO, Rate::ZERO), 0.0);
+        // Degenerate range: rho = 0.
+        assert_eq!(
+            relative_variation(Rate::from_mbps(4.0), Rate::from_mbps(4.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn weighted_average_weights_by_duration() {
+        let runs = [
+            (TimeNs::from_secs(10), Rate::from_mbps(2.0), Rate::from_mbps(4.0)), // mid 3
+            (TimeNs::from_secs(30), Rate::from_mbps(6.0), Rate::from_mbps(8.0)), // mid 7
+        ];
+        // (10*3 + 30*7)/40 = 6
+        let avg = weighted_average(&runs);
+        assert!((avg.mbps() - 6.0).abs() < 1e-9);
+        assert!(weighted_average(&[]).is_zero());
+    }
+}

@@ -1,0 +1,204 @@
+//! Continuous avail-bw monitoring: back-to-back measurement sessions
+//! aggregated into a time series.
+//!
+//! This is the usage mode behind the paper's motivating applications
+//! (§I, §IX): SLA verification, server selection, overlay routing, and
+//! streaming rate adaptation all want a *series* of avail-bw ranges, plus
+//! window averages comparable to router statistics (eq. 11) — exactly how
+//! the paper's own Fig. 10 verification drives the tool.
+
+use crate::error::SlopsError;
+use crate::metrics::weighted_average;
+use crate::session::{Estimate, Session};
+use crate::transport::ProbeTransport;
+use units::{Rate, TimeNs};
+
+/// One completed measurement in a monitoring series.
+#[derive(Clone, Debug)]
+pub struct MonitorSample {
+    /// Transport time when the measurement started.
+    pub started: TimeNs,
+    /// Measurement duration.
+    pub duration: TimeNs,
+    /// The estimate.
+    pub estimate: Estimate,
+}
+
+/// A time series of avail-bw measurements over one transport.
+#[derive(Debug, Default)]
+pub struct AvailBwSeries {
+    /// Samples in measurement order.
+    pub samples: Vec<MonitorSample>,
+}
+
+impl AvailBwSeries {
+    /// Duration-weighted average of the range midpoints over `[from, to)`
+    /// (eq. 11), suitable for comparison with an MRTG window.
+    pub fn window_average(&self, from: TimeNs, to: TimeNs) -> Rate {
+        let runs: Vec<(TimeNs, Rate, Rate)> = self
+            .samples
+            .iter()
+            .filter(|s| s.started >= from && s.started < to)
+            .map(|s| (s.duration, s.estimate.low, s.estimate.high))
+            .collect();
+        weighted_average(&runs)
+    }
+
+    /// The widest range observed (the avail-bw variation envelope).
+    pub fn envelope(&self) -> Option<(Rate, Rate)> {
+        let lo = self
+            .samples
+            .iter()
+            .map(|s| s.estimate.low)
+            .reduce(Rate::min)?;
+        let hi = self
+            .samples
+            .iter()
+            .map(|s| s.estimate.high)
+            .reduce(Rate::max)?;
+        Some((lo, hi))
+    }
+}
+
+/// Run measurements back to back until `deadline` on the transport clock,
+/// idling `gap` between runs. Errors abort the series (the samples taken
+/// so far are returned alongside the error).
+pub fn monitor_until<T: ProbeTransport + ?Sized>(
+    session: &Session,
+    transport: &mut T,
+    deadline: TimeNs,
+    gap: TimeNs,
+) -> (AvailBwSeries, Option<SlopsError>) {
+    let mut series = AvailBwSeries::default();
+    while transport.elapsed() < deadline {
+        let started = transport.elapsed();
+        match session.run(transport) {
+            Ok(est) => {
+                let duration = transport.elapsed().saturating_sub(started);
+                series.samples.push(MonitorSample {
+                    started,
+                    duration,
+                    estimate: est,
+                });
+            }
+            Err(e) => return (series, Some(e)),
+        }
+        if !gap.is_zero() && transport.elapsed() < deadline {
+            transport.idle(gap);
+        }
+    }
+    (series, None)
+}
+
+/// Check a service-level objective against a monitoring series: the
+/// fraction of samples whose range midpoint met `floor`.
+pub fn sla_compliance(series: &AvailBwSeries, floor: Rate) -> f64 {
+    if series.samples.is_empty() {
+        return 0.0;
+    }
+    let met = series
+        .samples
+        .iter()
+        .filter(|s| s.estimate.midpoint().bps() >= floor.bps())
+        .count();
+    met as f64 / series.samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlopsConfig;
+    use crate::testutil::OracleTransport;
+
+    #[test]
+    fn series_accumulates_until_deadline() {
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 1);
+        let session = Session::new(SlopsConfig::default());
+        let (series, err) = monitor_until(
+            &session,
+            &mut t,
+            TimeNs::from_secs(120),
+            TimeNs::from_secs(1),
+        );
+        assert!(err.is_none());
+        assert!(series.samples.len() >= 3, "got {}", series.samples.len());
+        // Every sample brackets the true avail-bw.
+        for s in &series.samples {
+            assert!(s.estimate.low.mbps() <= 41.5 && 38.5 <= s.estimate.high.mbps());
+            assert!(!s.duration.is_zero());
+        }
+        // Window average close to 40.
+        let avg = series.window_average(TimeNs::ZERO, TimeNs::from_secs(120));
+        assert!((avg.mbps() - 40.0).abs() < 4.0, "avg = {avg}");
+        let (lo, hi) = series.envelope().unwrap();
+        assert!(lo.mbps() <= 40.0 + 1.5 && 40.0 - 1.5 <= hi.mbps());
+    }
+
+    #[test]
+    fn sla_compliance_fractions() {
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 2);
+        let session = Session::new(SlopsConfig::default());
+        let (series, _) = monitor_until(
+            &session,
+            &mut t,
+            TimeNs::from_secs(60),
+            TimeNs::ZERO,
+        );
+        assert!(sla_compliance(&series, Rate::from_mbps(10.0)) > 0.99);
+        assert!(sla_compliance(&series, Rate::from_mbps(100.0)) < 0.01);
+        assert_eq!(sla_compliance(&AvailBwSeries::default(), Rate::ZERO), 0.0);
+    }
+
+    #[test]
+    fn errors_surface_with_partial_series() {
+        use crate::error::TransportError;
+        use crate::stream::StreamRequest;
+        use crate::transport::{StreamRecord, TrainRecord};
+
+        /// Delegates to the oracle until the fuse burns, then fails.
+        struct Fused {
+            inner: OracleTransport,
+            streams_left: u32,
+        }
+        impl ProbeTransport for Fused {
+            fn send_stream(
+                &mut self,
+                req: &StreamRequest,
+            ) -> Result<StreamRecord, TransportError> {
+                if self.streams_left == 0 {
+                    return Err(TransportError::Io("peer vanished".into()));
+                }
+                self.streams_left -= 1;
+                self.inner.send_stream(req)
+            }
+            fn send_train(&mut self, len: u32, size: u32) -> Result<TrainRecord, TransportError> {
+                self.inner.send_train(len, size)
+            }
+            fn rtt(&mut self) -> TimeNs {
+                self.inner.rtt()
+            }
+            fn idle(&mut self, dur: TimeNs) {
+                self.inner.idle(dur)
+            }
+            fn elapsed(&self) -> TimeNs {
+                self.inner.elapsed()
+            }
+        }
+
+        // Enough streams for roughly one full session, then failure.
+        let mut t = Fused {
+            inner: OracleTransport::new(Rate::from_mbps(40.0), 3),
+            streams_left: 100,
+        };
+        let session = Session::new(SlopsConfig::default());
+        let (series, err) = monitor_until(
+            &session,
+            &mut t,
+            TimeNs::from_secs(600),
+            TimeNs::ZERO,
+        );
+        assert!(err.is_some(), "the fuse must eventually blow");
+        // At least one measurement completed before the failure.
+        assert!(!series.samples.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Relative-OWD preprocessing: partition the K per-packet delays into
+//! Γ ≈ √K groups of consecutive measurements and keep each group's median
+//! (§IV "Detecting an Increasing OWD Trend"). Medians-of-groups are robust
+//! to outliers (a delayed packet, a receiver context switch) that would
+//! otherwise dominate the pairwise statistics.
+
+/// Group medians of a relative-OWD series.
+///
+/// Uses Γ = ⌊√n⌋ groups; the first `n mod Γ` groups take one extra element
+/// so every measurement is used. Returns an empty vector when `n < 4`
+/// (fewer than two groups of two — no trend can be established).
+pub fn group_medians(owds: &[i64]) -> Vec<f64> {
+    let n = owds.len();
+    if n < 4 {
+        return Vec::new();
+    }
+    let gamma = (n as f64).sqrt().floor() as usize;
+    let base = n / gamma;
+    let extra = n % gamma;
+    let mut medians = Vec::with_capacity(gamma);
+    let mut start = 0usize;
+    for g in 0..gamma {
+        let len = base + usize::from(g < extra);
+        let group = &owds[start..start + len];
+        medians.push(median_i64(group));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    medians
+}
+
+/// Median of a non-empty i64 slice (mean of the central pair when even).
+fn median_i64(xs: &[i64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    let mut v: Vec<i64> = xs.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2] as f64
+    } else {
+        (v[n / 2 - 1] as f64 + v[n / 2] as f64) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_samples_make_ten_groups_of_ten() {
+        let owds: Vec<i64> = (0..100).collect();
+        let m = group_medians(&owds);
+        assert_eq!(m.len(), 10);
+        // Group g covers [10g, 10g+10): median = 10g + 4.5
+        for (g, v) in m.iter().enumerate() {
+            assert_eq!(*v, 10.0 * g as f64 + 4.5);
+        }
+    }
+
+    #[test]
+    fn uneven_split_uses_every_sample() {
+        // n = 10 -> Γ = 3, groups of sizes 4, 3, 3.
+        let owds: Vec<i64> = (0..10).collect();
+        let m = group_medians(&owds);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0], 1.5); // median of 0,1,2,3
+        assert_eq!(m[1], 5.0); // median of 4,5,6
+        assert_eq!(m[2], 8.0); // median of 7,8,9
+    }
+
+    #[test]
+    fn too_few_samples_yield_nothing() {
+        assert!(group_medians(&[1, 2, 3]).is_empty());
+        assert!(group_medians(&[]).is_empty());
+    }
+
+    #[test]
+    fn medians_resist_outliers() {
+        // An increasing ramp with one huge outlier in the middle group.
+        let mut owds: Vec<i64> = (0..100).map(|i| i * 10).collect();
+        owds[55] = 1_000_000;
+        let m = group_medians(&owds);
+        // The outlier group's median is barely affected.
+        assert!(m[5] < 600.0, "median {} blew up", m[5]);
+        // Trend preserved.
+        assert!(m.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn negative_relative_owds_are_fine() {
+        // Receiver clock behind the sender's: all OWDs negative.
+        let owds: Vec<i64> = (0..100).map(|i| -1_000_000 + i * 7).collect();
+        let m = group_medians(&owds);
+        assert_eq!(m.len(), 10);
+        assert!(m.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,289 @@
+//! Rate-adjustment algorithm (§III-B eq. 7, refined in §IV "Rate
+//! Adjustment Algorithm"): a binary search over rates that additionally
+//! tracks a grey region.
+//!
+//! State: avail-bw bounds `R_min ≤ A ≤ R_max` and, once a grey verdict has
+//! been seen, grey bounds `G_min ≤ G_max` with
+//! `R_min ≤ G_min ≤ G_max ≤ R_max`. The next fleet rate is chosen halfway
+//! into the widest unresolved band; the search terminates when
+//!
+//! * `R_max − R_min ≤ ω` (no grey region), or
+//! * `R_max − G_max ≤ χ` **and** `G_min − R_min ≤ χ` (both avail-bw bounds
+//!   within the grey resolution of the grey-region bounds).
+//!
+//! The reported range is `[R_min, R_max]`: at most ω wide without a grey
+//! region, otherwise overestimating the grey-region width by at most 2χ
+//! (§VI).
+
+use crate::fleet::FleetOutcome;
+use units::Rate;
+
+/// The grey-region-aware bisection state machine.
+#[derive(Clone, Debug)]
+pub struct RateSearch {
+    rmin: Rate,
+    rmax: Rate,
+    grey: Option<(Rate, Rate)>,
+    omega: Rate,
+    chi: Rate,
+    /// Hard ceiling (transport's maximum generatable rate), if any.
+    ceiling: Option<Rate>,
+    /// Set when the search hit the ceiling while the path still looked
+    /// under-loaded — the avail-bw is then only known to be ≥ the ceiling.
+    saturated_at_ceiling: bool,
+    /// True once any fleet voted "above": from then on `rmax` is a genuine
+    /// upper bound and must never be widened.
+    saw_above: bool,
+}
+
+impl RateSearch {
+    /// Start a search over `[0, rmax0]` with resolutions ω and χ.
+    pub fn new(rmax0: Rate, omega: Rate, chi: Rate, ceiling: Option<Rate>) -> RateSearch {
+        assert!(rmax0.bps() > 0.0, "initial upper bound must be positive");
+        assert!(omega.bps() > 0.0 && chi.bps() >= omega.bps());
+        let rmax = match ceiling {
+            Some(c) => rmax0.min(c),
+            None => rmax0,
+        };
+        RateSearch {
+            rmin: Rate::ZERO,
+            rmax,
+            grey: None,
+            omega,
+            chi,
+            ceiling,
+            saturated_at_ceiling: false,
+            saw_above: false,
+        }
+    }
+
+    /// Current avail-bw bounds `[R_min, R_max]`.
+    pub fn bounds(&self) -> (Rate, Rate) {
+        (self.rmin, self.rmax)
+    }
+
+    /// Current grey-region bounds, if a grey verdict has been recorded.
+    pub fn grey_bounds(&self) -> Option<(Rate, Rate)> {
+        self.grey
+    }
+
+    /// True if the search stopped because the transport could not probe
+    /// faster, not because it bracketed the avail-bw.
+    pub fn saturated_at_ceiling(&self) -> bool {
+        self.saturated_at_ceiling
+    }
+
+    /// Record a fleet verdict at `rate` (the *actual* fleet rate).
+    pub fn record(&mut self, rate: Rate, outcome: FleetOutcome) {
+        match outcome {
+            FleetOutcome::AboveAvailBw | FleetOutcome::AbortedLossy => {
+                self.rmax = self.rmax.min(rate);
+                self.saw_above = true;
+            }
+            FleetOutcome::BelowAvailBw => {
+                self.rmin = self.rmin.max(rate);
+                // If no fleet has ever voted "above", rmax is still just the
+                // initial guess; a below-verdict near it means the true
+                // avail-bw may exceed rmax. Widen (doubling) unless capped
+                // by the transport ceiling.
+                if !self.saw_above && rate.bps() >= self.rmax.bps() * 0.95 {
+                    let widened = self.rmax * 2.0;
+                    self.rmax = match self.ceiling {
+                        Some(c) => {
+                            if self.rmax.bps() >= c.bps() * 0.999 {
+                                self.saturated_at_ceiling = true;
+                                self.rmax
+                            } else {
+                                widened.min(c)
+                            }
+                        }
+                        None => widened,
+                    };
+                }
+            }
+            FleetOutcome::Grey => {
+                let (gmin, gmax) = match self.grey {
+                    Some((lo, hi)) => (lo.min(rate), hi.max(rate)),
+                    None => (rate, rate),
+                };
+                self.grey = Some((gmin, gmax));
+            }
+        }
+        self.normalize();
+    }
+
+    /// Keep `rmin ≤ gmin ≤ gmax ≤ rmax` under noisy verdicts.
+    fn normalize(&mut self) {
+        if let Some((gmin, gmax)) = self.grey {
+            let gmin = gmin.max(self.rmin);
+            let gmax = gmax.min(self.rmax);
+            self.grey = if gmin.bps() <= gmax.bps() {
+                Some((gmin, gmax))
+            } else {
+                None // verdicts invalidated the grey region; drop it
+            };
+        }
+        // A noisy Below above an Above can invert the bounds; restore a
+        // consistent (degenerate) bracket at the midpoint.
+        if self.rmin.bps() > self.rmax.bps() {
+            let mid = self.rmin.midpoint(self.rmax);
+            self.rmin = mid;
+            self.rmax = mid;
+        }
+    }
+
+    /// The rate the next fleet should probe, or `None` when the search has
+    /// terminated.
+    pub fn next_rate(&self) -> Option<Rate> {
+        if self.saturated_at_ceiling {
+            return None;
+        }
+        match self.grey {
+            None => {
+                if (self.rmax - self.rmin).bps() <= self.omega.bps() {
+                    None
+                } else {
+                    Some(self.rmin.midpoint(self.rmax))
+                }
+            }
+            Some((gmin, gmax)) => {
+                if (self.rmax - gmax).bps() > self.chi.bps() {
+                    Some(gmax.midpoint(self.rmax))
+                } else if (gmin - self.rmin).bps() > self.chi.bps() {
+                    Some(self.rmin.midpoint(gmin))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(x: f64) -> Rate {
+        Rate::from_mbps(x)
+    }
+
+    /// Drive the search against a perfect oracle with fixed avail-bw.
+    fn run_oracle(a_mbps: f64, rmax0: f64) -> (RateSearch, usize) {
+        let mut s = RateSearch::new(mbps(rmax0), mbps(1.0), mbps(1.5), Some(mbps(1000.0)));
+        let mut fleets = 0;
+        while let Some(r) = s.next_rate() {
+            fleets += 1;
+            assert!(fleets < 64, "search did not terminate");
+            let outcome = if r.mbps() > a_mbps {
+                FleetOutcome::AboveAvailBw
+            } else {
+                FleetOutcome::BelowAvailBw
+            };
+            s.record(r, outcome);
+        }
+        (s, fleets)
+    }
+
+    #[test]
+    fn converges_to_fixed_avail_bw() {
+        for a in [3.3, 10.0, 47.9, 74.0] {
+            let (s, fleets) = run_oracle(a, 120.0);
+            let (lo, hi) = s.bounds();
+            assert!(lo.mbps() <= a && a <= hi.mbps(), "A={a} not in [{lo}, {hi}]");
+            assert!((hi - lo).mbps() <= 1.0 + 1e-9, "range too wide for A={a}");
+            // Binary search over 120 Mb/s to 1 Mb/s resolution: ≈ log2(120) fleets.
+            assert!(fleets <= 9, "too many fleets: {fleets}");
+        }
+    }
+
+    #[test]
+    fn expands_upper_bound_when_avail_bw_exceeds_initial_guess() {
+        let (s, _) = run_oracle(90.0, 20.0); // rmax0 far below A
+        let (lo, hi) = s.bounds();
+        assert!(lo.mbps() <= 90.0 && 90.0 <= hi.mbps(), "[{lo}, {hi}]");
+        assert!(!s.saturated_at_ceiling());
+    }
+
+    #[test]
+    fn reports_saturation_at_transport_ceiling() {
+        let mut s = RateSearch::new(mbps(100.0), mbps(1.0), mbps(1.5), Some(mbps(100.0)));
+        let mut guard = 0;
+        while let Some(r) = s.next_rate() {
+            s.record(r, FleetOutcome::BelowAvailBw); // path never saturates
+            guard += 1;
+            assert!(guard < 50);
+        }
+        assert!(s.saturated_at_ceiling());
+        assert!(s.bounds().1.mbps() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn grey_region_narrows_from_both_sides() {
+        // Oracle: avail-bw varies in [38, 42] — grey verdicts inside,
+        // crisp verdicts outside.
+        let mut s = RateSearch::new(mbps(120.0), mbps(1.0), mbps(1.5), None);
+        let mut fleets = 0;
+        while let Some(r) = s.next_rate() {
+            fleets += 1;
+            assert!(fleets < 64, "no termination");
+            let v = r.mbps();
+            let outcome = if v > 42.0 {
+                FleetOutcome::AboveAvailBw
+            } else if v < 38.0 {
+                FleetOutcome::BelowAvailBw
+            } else {
+                FleetOutcome::Grey
+            };
+            s.record(r, outcome);
+        }
+        let (lo, hi) = s.bounds();
+        let (gmin, gmax) = s.grey_bounds().expect("grey region detected");
+        assert!(gmin.mbps() >= 38.0 - 1e-9 && gmax.mbps() <= 42.0 + 1e-9);
+        // Both bounds within χ of the grey bounds.
+        assert!((gmin - lo).mbps() <= 1.5 + 1e-9);
+        assert!((hi - gmax).mbps() <= 1.5 + 1e-9);
+        // Report width ≤ grey width + 2χ.
+        assert!((hi - lo).mbps() <= (gmax - gmin).mbps() + 3.0 + 1e-9);
+        // And the true variation range is inside the report.
+        assert!(lo.mbps() <= 38.0 && hi.mbps() >= 42.0);
+    }
+
+    #[test]
+    fn aborted_fleet_lowers_rmax() {
+        let mut s = RateSearch::new(mbps(100.0), mbps(1.0), mbps(1.5), None);
+        let r = s.next_rate().unwrap();
+        assert!((r.mbps() - 50.0).abs() < 1e-9);
+        s.record(r, FleetOutcome::AbortedLossy);
+        assert!((s.bounds().1.mbps() - 50.0).abs() < 1e-9);
+        let r2 = s.next_rate().unwrap();
+        assert!(r2.bps() < r.bps());
+    }
+
+    #[test]
+    fn contradicted_grey_region_is_dropped_or_clamped() {
+        let mut s = RateSearch::new(mbps(100.0), mbps(1.0), mbps(1.5), None);
+        s.record(mbps(50.0), FleetOutcome::Grey);
+        s.record(mbps(40.0), FleetOutcome::AboveAvailBw); // contradicts grey
+        // The degenerate grey region at 50 lies entirely above the new
+        // rmax = 40: it must be dropped (or, if partially overlapping in
+        // other scenarios, clamped inside the bounds).
+        match s.grey_bounds() {
+            None => {}
+            Some((gmin, gmax)) => {
+                assert!(gmax.mbps() <= 40.0 + 1e-9);
+                assert!(gmin.mbps() <= gmax.mbps());
+            }
+        }
+        // And the search still makes progress.
+        assert!(s.next_rate().is_some());
+    }
+
+    #[test]
+    fn inverted_bounds_recover() {
+        let mut s = RateSearch::new(mbps(100.0), mbps(1.0), mbps(1.5), None);
+        s.record(mbps(30.0), FleetOutcome::AboveAvailBw); // rmax = 30
+        s.record(mbps(60.0), FleetOutcome::BelowAvailBw); // contradicts: rmin = 60
+        let (lo, hi) = s.bounds();
+        assert!(lo.bps() <= hi.bps());
+    }
+}

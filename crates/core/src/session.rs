@@ -1,0 +1,301 @@
+//! The full pathload measurement session (§IV).
+//!
+//! One [`Session::run`] call:
+//!
+//! 1. estimates the path RTT;
+//! 2. initializes the rate search — by default from the dispersion (ADR) of
+//!    a back-to-back packet train, which upper-bounds the avail-bw;
+//! 3. sends fleets of N periodic streams, classifying each stream's OWD
+//!    trend and each fleet as above / below / grey;
+//! 4. bisects until the ω / χ termination rules fire (or a fleet budget or
+//!    the transport's maximum rate is exhausted);
+//! 5. reports the final `[R_min, R_max]` range plus a full per-fleet trace.
+//!
+//! Pacing: between the streams of a fleet the session idles
+//! `max(RTT, (1/x − 1)·V)` where `V = K·T` is the stream duration and `x`
+//! the configured average-load cap (0.1 ⇒ idle ≥ 9 V ⇒ average probing
+//! load < 10 % of the fleet rate, §IV "Fleets of Streams").
+
+use crate::config::{InitialRate, SlopsConfig};
+use crate::error::SlopsError;
+use crate::fleet::{classify_fleet, FleetTrace};
+use crate::ratesearch::RateSearch;
+use crate::stream::stream_params;
+use crate::transport::ProbeTransport;
+use crate::trend::classify_stream;
+use units::{Rate, TimeNs};
+
+/// Why the session stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// `R_max − R_min ≤ ω` with no grey region.
+    Resolution,
+    /// Both avail-bw bounds within χ of the grey-region bounds.
+    GreyResolution,
+    /// The transport cannot probe faster; avail-bw ≥ the reported low bound.
+    TransportCeiling,
+    /// The fleet budget ran out before the resolutions were met.
+    FleetBudget,
+}
+
+/// The result of a measurement session.
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Lower end of the avail-bw variation range.
+    pub low: Rate,
+    /// Upper end of the avail-bw variation range.
+    pub high: Rate,
+    /// Grey-region bounds, when one was detected.
+    pub grey: Option<(Rate, Rate)>,
+    /// Why the session stopped.
+    pub termination: Termination,
+    /// Per-fleet trace, in probing order.
+    pub fleets: Vec<FleetTrace>,
+    /// Transport time consumed by the whole session.
+    pub elapsed: TimeNs,
+}
+
+impl Estimate {
+    /// Midpoint of the reported range.
+    pub fn midpoint(&self) -> Rate {
+        self.low.midpoint(self.high)
+    }
+
+    /// Relative variation ρ of the reported range (eq. 12).
+    pub fn relative_variation(&self) -> f64 {
+        crate::metrics::relative_variation(self.low, self.high)
+    }
+}
+
+/// A configured measurement session; cheap to clone and reuse.
+#[derive(Clone, Debug)]
+pub struct Session {
+    cfg: SlopsConfig,
+}
+
+impl Session {
+    /// Create a session with the given configuration.
+    pub fn new(cfg: SlopsConfig) -> Session {
+        Session { cfg }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SlopsConfig {
+        &self.cfg
+    }
+
+    /// Run one measurement over `transport`.
+    pub fn run<T: ProbeTransport + ?Sized>(&self, transport: &mut T) -> Result<Estimate, SlopsError> {
+        self.cfg.validate().map_err(SlopsError::BadConfig)?;
+        let start = transport.elapsed();
+        let rtt = transport.rtt();
+
+        // Initial upper bound for the search.
+        let tool_max = self.cfg.max_rate();
+        let ceiling = match transport.max_rate() {
+            Some(m) => m.min(tool_max),
+            None => tool_max,
+        };
+        let rmax0 = match self.cfg.initial {
+            InitialRate::Train { len, size } => {
+                let rec = transport.send_train(len, size)?;
+                match rec.dispersion_rate() {
+                    // ADR ≥ A; pad 25% for dispersion noise.
+                    Some(adr) => (adr * 1.25).min(ceiling),
+                    None => ceiling,
+                }
+            }
+            InitialRate::FixedMax(r) => r.min(ceiling),
+        };
+
+        let mut search = RateSearch::new(
+            rmax0,
+            self.cfg.resolution,
+            self.cfg.grey_resolution,
+            Some(ceiling),
+        );
+        let mut fleets: Vec<FleetTrace> = Vec::new();
+        let mut stream_id: u32 = 0;
+        let mut budget_exhausted = false;
+
+        while let Some(rate) = search.next_rate() {
+            if fleets.len() as u32 >= self.cfg.max_fleets {
+                budget_exhausted = true;
+                break;
+            }
+            let req_proto = stream_params(rate, stream_id, &self.cfg);
+            let actual_rate = req_proto.actual_rate();
+            let v = req_proto.duration();
+            let idle = rtt.max(TimeNs::from_secs_f64(
+                v.secs_f64() * (1.0 / self.cfg.avg_load_factor - 1.0),
+            ));
+
+            let mut classes = Vec::with_capacity(self.cfg.fleet_len as usize);
+            let mut losses = Vec::with_capacity(self.cfg.fleet_len as usize);
+            for _ in 0..self.cfg.fleet_len {
+                let mut req = req_proto;
+                req.stream_id = stream_id;
+                stream_id += 1;
+                let rec = transport.send_stream(&req)?;
+                losses.push(rec.loss_fraction());
+                // A stream whose sender could not hold the nominal spacing
+                // did not probe at its nominal rate: discard it (§IV,
+                // context-switch detection).
+                let spacing = crate::validation::check_spacing(
+                    &rec,
+                    &req,
+                    self.cfg.spacing_tolerance,
+                );
+                if !crate::validation::spacing_acceptable(
+                    &spacing,
+                    self.cfg.spacing_max_violations,
+                ) {
+                    classes.push(crate::trend::StreamClass::Unusable);
+                } else {
+                    classes.push(classify_stream(&rec, &self.cfg));
+                }
+                // A stream is sent only after the previous one has been
+                // acknowledged plus the pacing idle (§IV).
+                transport.idle(idle);
+                // Early abort: one stream with excessive loss kills the
+                // fleet without sending the rest (the real tool aborts
+                // as soon as the receiver reports it).
+                if *losses.last().unwrap() > self.cfg.loss_abort_stream {
+                    break;
+                }
+            }
+            let outcome = classify_fleet(&classes, &losses, &self.cfg);
+            fleets.push(FleetTrace {
+                rate: actual_rate,
+                stream_classes: classes,
+                losses,
+                outcome,
+            });
+            search.record(actual_rate, outcome);
+        }
+
+        let (low, high) = search.bounds();
+        let termination = if budget_exhausted {
+            Termination::FleetBudget
+        } else if search.saturated_at_ceiling() {
+            Termination::TransportCeiling
+        } else if search.grey_bounds().is_some() {
+            Termination::GreyResolution
+        } else {
+            Termination::Resolution
+        };
+        Ok(Estimate {
+            low,
+            high,
+            grey: search.grey_bounds(),
+            termination,
+            fleets,
+            elapsed: transport.elapsed().saturating_sub(start),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::OracleTransport;
+
+    fn run_with_avail(a_mbps: f64, seed: u64) -> Estimate {
+        let mut t = OracleTransport::new(Rate::from_mbps(a_mbps), seed);
+        Session::new(SlopsConfig::default()).run(&mut t).unwrap()
+    }
+
+    #[test]
+    fn brackets_fixed_avail_bw() {
+        for (a, seed) in [(5.0, 1), (20.0, 2), (47.0, 3), (74.0, 4)] {
+            let est = run_with_avail(a, seed);
+            assert!(
+                est.low.mbps() <= a + 1.0 && a - 1.0 <= est.high.mbps(),
+                "A={a}: reported [{}, {}]",
+                est.low,
+                est.high
+            );
+            assert!(est.fleets.len() >= 3, "suspiciously few fleets");
+        }
+    }
+
+    #[test]
+    fn terminates_at_resolution_without_noise() {
+        let est = run_with_avail(40.0, 7);
+        assert_eq!(est.termination, Termination::Resolution);
+        assert!((est.high - est.low).mbps() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn grey_region_produces_wider_report() {
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 11);
+        t.avail_halfwidth = Rate::from_mbps(4.0); // avail-bw varies 36..44
+        let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+        assert_eq!(est.termination, Termination::GreyResolution);
+        assert!(est.grey.is_some());
+        // The report brackets the mean avail-bw, is wider than the
+        // noise-free ω resolution, and stays within the true variation
+        // range padded by the grey resolution χ (§VI).
+        assert!(
+            est.low.mbps() <= 40.0 && 40.0 <= est.high.mbps(),
+            "mean not bracketed: [{}, {}]",
+            est.low,
+            est.high
+        );
+        assert!((est.high - est.low).mbps() >= 1.5, "range suspiciously tight");
+        assert!(est.low.mbps() >= 36.0 - 2.0 - 1e-6, "low = {}", est.low);
+        assert!(est.high.mbps() <= 44.0 + 2.0 + 1e-6, "high = {}", est.high);
+    }
+
+    #[test]
+    fn lossy_path_still_terminates() {
+        let mut t = OracleTransport::new(Rate::from_mbps(30.0), 13);
+        t.loss_prob = 0.02; // below the moderate threshold per stream, mostly
+        let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+        assert!(est.low.mbps() <= 31.0 && est.high.mbps() >= 28.0);
+    }
+
+    #[test]
+    fn heavy_loss_aborts_fleets_downward() {
+        let mut t = OracleTransport::new(Rate::from_mbps(50.0), 17);
+        t.loss_above_rate = Some(Rate::from_mbps(20.0));
+        t.loss_prob_above = 0.5;
+        // Any probing above 20 Mb/s sees 50% loss => fleets abort => the
+        // estimate collapses below 20 Mb/s even though trend-A is 50.
+        let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+        assert!(
+            est.high.mbps() <= 21.0,
+            "losses should cap the estimate, got {}",
+            est.high
+        );
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let mut cfg = SlopsConfig::default();
+        cfg.fleet_fraction = 0.1;
+        let mut t = OracleTransport::new(Rate::from_mbps(10.0), 1);
+        let err = Session::new(cfg).run(&mut t).unwrap_err();
+        assert!(matches!(err, SlopsError::BadConfig(_)));
+    }
+
+    #[test]
+    fn transport_ceiling_is_reported() {
+        let mut t = OracleTransport::new(Rate::from_mbps(500.0), 19);
+        t.max_rate = Some(Rate::from_mbps(100.0));
+        let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+        assert_eq!(est.termination, Termination::TransportCeiling);
+        assert!(est.high.mbps() <= 100.0 + 1e-6);
+    }
+
+    #[test]
+    fn session_is_reusable() {
+        let s = Session::new(SlopsConfig::default());
+        let mut t1 = OracleTransport::new(Rate::from_mbps(25.0), 23);
+        let mut t2 = OracleTransport::new(Rate::from_mbps(60.0), 29);
+        let e1 = s.run(&mut t1).unwrap();
+        let e2 = s.run(&mut t2).unwrap();
+        assert!(e1.low.mbps() <= 25.0 + 1.0 && 25.0 - 1.0 <= e1.high.mbps());
+        assert!(e2.low.mbps() <= 60.0 + 1.0 && 60.0 - 1.0 <= e2.high.mbps());
+    }
+}

@@ -1,0 +1,128 @@
+//! Periodic-stream parameter selection (§IV "Stream Parameters").
+//!
+//! Given a target rate `R`, pick packet size `L` and period `T` so that
+//! `L·8/T = R` subject to `L_min ≤ L ≤ MTU` and `T ≥ T_min`:
+//!
+//! * start from `T = T_min` and `L = R·T/8`;
+//! * if `L < L_min`, fix `L = L_min` and stretch the period
+//!   (`T = L·8/R`) — low rates use small, widely spaced packets;
+//! * if `L > MTU`, clamp `L = MTU` — the achievable rate saturates at
+//!   `MTU·8/T_min`, the tool's maximum measurable rate.
+//!
+//! Because `L` is an integer number of bytes, the *actual* rate `L·8/T`
+//! can differ slightly from the requested one; the rate-adjustment logic
+//! must use the actual rate ([`StreamRequest::actual_rate`]).
+
+use crate::config::SlopsConfig;
+use units::{Rate, TimeNs};
+
+/// Fully determined parameters of one periodic stream.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamRequest {
+    /// Stream id (unique within a session; used to tag probe packets).
+    pub stream_id: u32,
+    /// Packet size L in bytes.
+    pub packet_size: u32,
+    /// Packet period T.
+    pub period: TimeNs,
+    /// Number of packets K.
+    pub count: u32,
+}
+
+impl StreamRequest {
+    /// The exact rate realized by these parameters: `L·8/T`.
+    pub fn actual_rate(&self) -> Rate {
+        Rate::from_bps(self.packet_size as f64 * 8.0 / self.period.secs_f64())
+    }
+
+    /// Stream duration `V = K·T`.
+    pub fn duration(&self) -> TimeNs {
+        self.period * self.count as u64
+    }
+}
+
+/// Choose stream parameters realizing `rate` as closely as possible under
+/// the configuration's constraints (see module docs).
+pub fn stream_params(rate: Rate, stream_id: u32, cfg: &SlopsConfig) -> StreamRequest {
+    assert!(rate.bps() > 0.0, "stream rate must be positive");
+    let t_min = cfg.min_period;
+    // L at the minimum period.
+    let l_at_tmin = rate.bps() * t_min.secs_f64() / 8.0;
+    let (packet_size, period) = if l_at_tmin < cfg.min_packet as f64 {
+        // Low rate: fix L = L_min, stretch the period. The period is
+        // quantized to whole microseconds like the real tool's
+        // gettimeofday-based pacing.
+        let l = cfg.min_packet;
+        let t_us = (l as f64 * 8.0 / rate.bps() * 1e6).round().max(1.0);
+        (l, TimeNs::from_micros(t_us as u64))
+    } else if l_at_tmin > cfg.mtu as f64 {
+        // Above the measurable maximum: saturate.
+        (cfg.mtu, t_min)
+    } else {
+        (l_at_tmin.round() as u32, t_min)
+    };
+    StreamRequest {
+        stream_id,
+        packet_size,
+        period,
+        count: cfg.stream_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SlopsConfig {
+        SlopsConfig::default()
+    }
+
+    #[test]
+    fn mid_rate_uses_min_period() {
+        // 40 Mb/s at T=100us => L = 500 B
+        let req = stream_params(Rate::from_mbps(40.0), 0, &cfg());
+        assert_eq!(req.period, TimeNs::from_micros(100));
+        assert_eq!(req.packet_size, 500);
+        assert!((req.actual_rate().mbps() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_rate_stretches_period() {
+        // 1 Mb/s at T=100us would need L=12.5 B < 200 B: stretch T.
+        let req = stream_params(Rate::from_mbps(1.0), 0, &cfg());
+        assert_eq!(req.packet_size, 200);
+        assert_eq!(req.period, TimeNs::from_micros(1600));
+        assert!((req.actual_rate().mbps() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn high_rate_saturates_at_mtu() {
+        // 200 Mb/s > max 120 Mb/s: clamp to MTU at T_min.
+        let req = stream_params(Rate::from_mbps(200.0), 0, &cfg());
+        assert_eq!(req.packet_size, 1500);
+        assert_eq!(req.period, TimeNs::from_micros(100));
+        assert!((req.actual_rate().mbps() - cfg().max_rate().mbps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounding_is_reflected_in_actual_rate() {
+        // 41.234 Mb/s => L = 515.4 B, rounds to 515 B => actual 41.2 Mb/s.
+        let req = stream_params(Rate::from_mbps(41.234), 0, &cfg());
+        assert_eq!(req.packet_size, 515);
+        assert!((req.actual_rate().mbps() - 41.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_is_k_times_t() {
+        let req = stream_params(Rate::from_mbps(40.0), 0, &cfg());
+        assert_eq!(req.duration(), TimeNs::from_millis(10)); // 100 * 100us
+    }
+
+    #[test]
+    fn boundary_rate_exactly_min_packet() {
+        // Rate that yields exactly L_min at T_min: 200*8/100us = 16 Mb/s.
+        let req = stream_params(Rate::from_mbps(16.0), 0, &cfg());
+        assert_eq!(req.packet_size, 200);
+        assert_eq!(req.period, TimeNs::from_micros(100));
+    }
+}

@@ -1,0 +1,263 @@
+//! A synthetic [`ProbeTransport`] with a known avail-bw — the oracle used
+//! by the unit and property tests of the estimation logic.
+//!
+//! The oracle models a single-tight-link fluid path: when the stream rate
+//! exceeds the (per-stream sampled) avail-bw, OWDs ramp with the fluid
+//! slope `L·8(1 − A/R)/C`; otherwise they are flat. Optional uniform
+//! jitter, random loss (globally or above a rate threshold), an arbitrary
+//! clock offset, and an avail-bw that varies uniformly per stream make it
+//! a controllable stand-in for every path condition the session logic must
+//! survive. It is deterministic given its seed.
+
+use crate::error::TransportError;
+use crate::stream::StreamRequest;
+use crate::transport::{PacketSample, ProbeTransport, StreamRecord, TrainRecord};
+use units::{Rate, TimeNs};
+
+/// Deterministic synthetic path with a known available bandwidth.
+#[derive(Clone, Debug)]
+pub struct OracleTransport {
+    /// Mean avail-bw of the emulated path.
+    pub avail: Rate,
+    /// Per-stream avail-bw varies uniformly in `avail ± avail_halfwidth`
+    /// (models the grey region).
+    pub avail_halfwidth: Rate,
+    /// Capacity of the emulated tight link (sets the OWD ramp slope).
+    pub tight_capacity: Rate,
+    /// Probability that a packet coincides with a cross-traffic burst and
+    /// picks up extra queueing delay. Queueing noise is one-sided: when the
+    /// stream rate is below the avail-bw most packets sit exactly at the
+    /// OWD floor (paper Fig. 2), which is what makes trendless streams
+    /// classifiable at all.
+    pub spike_prob: f64,
+    /// Mean of the (exponential) queueing-spike delay, in nanoseconds.
+    pub spike_mean_ns: f64,
+    /// Constant receiver−sender clock offset added to every OWD.
+    pub clock_offset_ns: i64,
+    /// Per-packet loss probability applied to all probes.
+    pub loss_prob: f64,
+    /// If set, probing faster than this rate suffers `loss_prob_above`.
+    pub loss_above_rate: Option<Rate>,
+    /// Extra per-packet loss probability above `loss_above_rate`.
+    pub loss_prob_above: f64,
+    /// Emulated path RTT.
+    pub rtt: TimeNs,
+    /// Maximum rate the transport admits, if bounded.
+    pub max_rate: Option<Rate>,
+    /// Receiver clock granularity in nanoseconds (1 µs like gettimeofday).
+    /// Quantization produces the timestamp ties real receivers see; without
+    /// them, continuous-valued noise makes the PCT statistic of a trendless
+    /// stream hover near 0.5 instead of well below it.
+    pub clock_resolution_ns: i64,
+    state: u64,
+    now: TimeNs,
+}
+
+impl OracleTransport {
+    /// An oracle path with the given mean avail-bw; the tight-link capacity
+    /// defaults to twice the avail-bw, queueing spikes on 25 % of packets
+    /// with a 20 µs mean, no loss, 10 ms RTT.
+    pub fn new(avail: Rate, seed: u64) -> OracleTransport {
+        OracleTransport {
+            avail,
+            avail_halfwidth: Rate::ZERO,
+            tight_capacity: avail * 2.0,
+            spike_prob: 0.25,
+            spike_mean_ns: 20_000.0,
+            clock_offset_ns: -123_456_789, // clocks are not synchronized
+            loss_prob: 0.0,
+            loss_above_rate: None,
+            loss_prob_above: 0.0,
+            rtt: TimeNs::from_millis(10),
+            max_rate: None,
+            clock_resolution_ns: 1_000,
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            now: TimeNs::ZERO,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: compact and plenty for a test oracle.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn uniform_sym(&mut self, amp: f64) -> f64 {
+        (self.f64() * 2.0 - 1.0) * amp
+    }
+
+    /// One-sided queueing noise: 0 with probability `1 − spike_prob`,
+    /// else an exponential extra delay.
+    fn queueing_noise(&mut self) -> f64 {
+        if self.spike_prob <= 0.0 || self.f64() >= self.spike_prob {
+            0.0
+        } else {
+            -self.spike_mean_ns * (1.0 - self.f64()).ln()
+        }
+    }
+}
+
+impl ProbeTransport for OracleTransport {
+    fn send_stream(&mut self, req: &StreamRequest) -> Result<StreamRecord, TransportError> {
+        let rate = req.actual_rate();
+        if let Some(max) = self.max_rate {
+            if rate.bps() > max.bps() * 1.0001 {
+                return Err(TransportError::Unsupported(format!(
+                    "rate {rate} above transport max {max}"
+                )));
+            }
+        }
+        // Sample this stream's avail-bw.
+        let a = self.avail.bps() + self.uniform_sym(self.avail_halfwidth.bps());
+        let slope_ns_per_pkt = if rate.bps() > a && a > 0.0 {
+            let bits = req.packet_size as f64 * 8.0;
+            bits * (1.0 - a / rate.bps()) / self.tight_capacity.bps() * 1e9
+        } else {
+            0.0
+        };
+        let loss = {
+            let extra = match self.loss_above_rate {
+                Some(thr) if rate.bps() > thr.bps() => self.loss_prob_above,
+                _ => 0.0,
+            };
+            (self.loss_prob + extra).min(1.0)
+        };
+        let mut samples = Vec::with_capacity(req.count as usize);
+        let mut ramp = 0.0f64;
+        for i in 0..req.count {
+            ramp += slope_ns_per_pkt;
+            if loss > 0.0 && self.f64() < loss {
+                continue;
+            }
+            let jitter = self.queueing_noise();
+            let owd = self.clock_offset_ns + (ramp + jitter) as i64;
+            let owd = if self.clock_resolution_ns > 1 {
+                owd.div_euclid(self.clock_resolution_ns) * self.clock_resolution_ns
+            } else {
+                owd
+            };
+            samples.push(PacketSample {
+                idx: i,
+                send_offset: req.period * i as u64,
+                owd_ns: owd,
+            });
+        }
+        self.now += req.duration();
+        Ok(StreamRecord {
+            sent: req.count,
+            samples,
+        })
+    }
+
+    fn send_train(&mut self, len: u32, size: u32) -> Result<TrainRecord, TransportError> {
+        // A long train's dispersion converges to the ADR, which for the
+        // single-queue fluid model sits between A and C.
+        let c = self.tight_capacity.bps();
+        let a = self.avail.bps();
+        let adr = c.min(a + (c - a) * 0.5).max(1.0);
+        let bits = (len.max(2) as u64 - 1) * size as u64 * 8;
+        let span = TimeNs::from_secs_f64(bits as f64 / adr);
+        let rec = TrainRecord {
+            sent: len,
+            received: len,
+            size,
+            first_recv: self.now,
+            last_recv: self.now + span,
+        };
+        self.now += span + self.rtt;
+        Ok(rec)
+    }
+
+    fn rtt(&mut self) -> TimeNs {
+        self.rtt
+    }
+
+    fn idle(&mut self, dur: TimeNs) {
+        self.now += dur;
+    }
+
+    fn max_rate(&self) -> Option<Rate> {
+        self.max_rate
+    }
+
+    fn elapsed(&self) -> TimeNs {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlopsConfig;
+    use crate::stream::stream_params;
+    use crate::trend::{classify_stream, StreamClass};
+
+    #[test]
+    fn stream_above_avail_ramps_and_below_is_flat() {
+        let cfg = SlopsConfig::default();
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 5);
+        let above = stream_params(Rate::from_mbps(60.0), 0, &cfg);
+        let rec = t.send_stream(&above).unwrap();
+        assert_eq!(classify_stream(&rec, &cfg), StreamClass::Increasing);
+        let below = stream_params(Rate::from_mbps(20.0), 1, &cfg);
+        let rec = t.send_stream(&below).unwrap();
+        assert_eq!(classify_stream(&rec, &cfg), StreamClass::NonIncreasing);
+    }
+
+    #[test]
+    fn train_dispersion_sits_between_avail_and_capacity() {
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 6);
+        let rec = t.send_train(48, 1500).unwrap();
+        let adr = rec.dispersion_rate().unwrap();
+        assert!(adr.mbps() > 40.0 && adr.mbps() <= 80.0, "adr = {adr}");
+    }
+
+    #[test]
+    fn losses_reduce_sample_count() {
+        let cfg = SlopsConfig::default();
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 7);
+        t.loss_prob = 0.3;
+        let req = stream_params(Rate::from_mbps(30.0), 0, &cfg);
+        let rec = t.send_stream(&req).unwrap();
+        assert!(rec.loss_fraction() > 0.15 && rec.loss_fraction() < 0.45);
+    }
+
+    #[test]
+    fn clock_offset_does_not_break_classification() {
+        let cfg = SlopsConfig::default();
+        for offset in [-5_000_000_000i64, 0, 7_000_000_000] {
+            let mut t = OracleTransport::new(Rate::from_mbps(40.0), 8);
+            t.clock_offset_ns = offset;
+            let req = stream_params(Rate::from_mbps(60.0), 0, &cfg);
+            let rec = t.send_stream(&req).unwrap();
+            assert_eq!(classify_stream(&rec, &cfg), StreamClass::Increasing);
+        }
+    }
+
+    #[test]
+    fn idle_advances_elapsed() {
+        let mut t = OracleTransport::new(Rate::from_mbps(10.0), 9);
+        assert_eq!(t.elapsed(), TimeNs::ZERO);
+        t.idle(TimeNs::from_millis(50));
+        assert_eq!(t.elapsed(), TimeNs::from_millis(50));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SlopsConfig::default();
+        let req = stream_params(Rate::from_mbps(45.0), 0, &cfg);
+        let run = |seed| {
+            let mut t = OracleTransport::new(Rate::from_mbps(40.0), seed);
+            t.send_stream(&req).unwrap().owds()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

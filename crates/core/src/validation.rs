@@ -1,0 +1,166 @@
+//! Sender-spacing validation (§IV "Stream Parameters", last sentence):
+//! the receiver checks the spacing with which packets *actually left* the
+//! sender, using the sender timestamps, to detect context switches and
+//! other rate deviations. A stream whose realized spacing deviates too
+//! much did not probe at its nominal rate and must not be classified.
+//!
+//! The simulator's injected streams are perfectly periodic; this exists
+//! for the real-socket transport, where the OS can preempt the sender
+//! mid-stream, and for any future transport with imperfect pacing.
+
+use crate::stream::StreamRequest;
+use crate::transport::StreamRecord;
+
+/// Result of validating a stream's realized send spacing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpacingReport {
+    /// Packets whose gap to their predecessor deviated from the nominal
+    /// period by more than the tolerance.
+    pub violations: u32,
+    /// Gaps inspected (received packets with a received predecessor).
+    pub inspected: u32,
+    /// Largest relative deviation observed, `|gap − T| / T`.
+    pub worst_deviation: f64,
+}
+
+impl SpacingReport {
+    /// Fraction of inspected gaps that violated the tolerance.
+    pub fn violation_fraction(&self) -> f64 {
+        if self.inspected == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.inspected as f64
+        }
+    }
+}
+
+/// Check the realized send offsets of `rec` against the nominal period of
+/// `req`. `tolerance` is the allowed relative deviation per gap (the real
+/// tool used a few tens of percent; context switches produce multi-period
+/// gaps that exceed any sane tolerance).
+pub fn check_spacing(rec: &StreamRecord, req: &StreamRequest, tolerance: f64) -> SpacingReport {
+    assert!(tolerance > 0.0);
+    let nominal = req.period.as_nanos() as f64;
+    let mut violations = 0;
+    let mut inspected = 0;
+    let mut worst: f64 = 0.0;
+    for pair in rec.samples.windows(2) {
+        // Only adjacent indices give a single-period gap.
+        if pair[1].idx != pair[0].idx + 1 {
+            continue;
+        }
+        let gap = pair[1].send_offset.as_nanos() as f64 - pair[0].send_offset.as_nanos() as f64;
+        let dev = (gap - nominal).abs() / nominal;
+        worst = worst.max(dev);
+        inspected += 1;
+        if dev > tolerance {
+            violations += 1;
+        }
+    }
+    SpacingReport {
+        violations,
+        inspected,
+        worst_deviation: worst,
+    }
+}
+
+/// Is the stream usable for trend classification? The tool discards
+/// streams where more than `max_fraction` of the gaps were off.
+pub fn spacing_acceptable(report: &SpacingReport, max_fraction: f64) -> bool {
+    report.violation_fraction() <= max_fraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlopsConfig;
+    use crate::stream::stream_params;
+    use crate::transport::PacketSample;
+    use units::{Rate, TimeNs};
+
+    fn record_with_offsets(offsets_us: &[u64]) -> StreamRecord {
+        StreamRecord {
+            sent: offsets_us.len() as u32,
+            samples: offsets_us
+                .iter()
+                .enumerate()
+                .map(|(i, us)| PacketSample {
+                    idx: i as u32,
+                    send_offset: TimeNs::from_micros(*us),
+                    owd_ns: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn req_100us() -> StreamRequest {
+        // 40 Mb/s => T = 100 µs exactly.
+        stream_params(Rate::from_mbps(40.0), 0, &SlopsConfig::default())
+    }
+
+    #[test]
+    fn perfect_spacing_passes() {
+        let offsets: Vec<u64> = (0..50).map(|i| i * 100).collect();
+        let rep = check_spacing(&record_with_offsets(&offsets), &req_100us(), 0.2);
+        assert_eq!(rep.violations, 0);
+        assert_eq!(rep.inspected, 49);
+        assert!(spacing_acceptable(&rep, 0.1));
+    }
+
+    #[test]
+    fn context_switch_gap_is_flagged() {
+        // One 2 ms stall in the middle: a classic scheduler preemption.
+        let mut offsets: Vec<u64> = (0..50).map(|i| i * 100).collect();
+        for o in offsets.iter_mut().skip(25) {
+            *o += 2_000;
+        }
+        let rep = check_spacing(&record_with_offsets(&offsets), &req_100us(), 0.2);
+        assert_eq!(rep.violations, 1);
+        assert!(rep.worst_deviation > 10.0);
+        assert!(spacing_acceptable(&rep, 0.1)); // one bad gap of 49 is fine
+    }
+
+    #[test]
+    fn persistent_jitter_fails_the_stream() {
+        // Alternating 40/160 µs gaps: every gap is 60% off.
+        let mut offsets = vec![0u64];
+        for i in 0..49 {
+            let gap = if i % 2 == 0 { 40 } else { 160 };
+            offsets.push(offsets.last().unwrap() + gap);
+        }
+        let rep = check_spacing(&record_with_offsets(&offsets), &req_100us(), 0.2);
+        assert!(rep.violation_fraction() > 0.9);
+        assert!(!spacing_acceptable(&rep, 0.5));
+    }
+
+    #[test]
+    fn lost_packets_skip_their_gaps() {
+        // Packets 0, 1, 5, 6: only gaps (0,1) and (5,6) are inspected.
+        let rec = StreamRecord {
+            sent: 10,
+            samples: [0u32, 1, 5, 6]
+                .iter()
+                .map(|&i| PacketSample {
+                    idx: i,
+                    send_offset: TimeNs::from_micros(i as u64 * 100),
+                    owd_ns: 0,
+                })
+                .collect(),
+        };
+        let rep = check_spacing(&rec, &req_100us(), 0.2);
+        assert_eq!(rep.inspected, 2);
+        assert_eq!(rep.violations, 0);
+    }
+
+    #[test]
+    fn empty_stream_is_trivially_acceptable() {
+        let rec = StreamRecord {
+            sent: 10,
+            samples: vec![],
+        };
+        let rep = check_spacing(&rec, &req_100us(), 0.2);
+        assert_eq!(rep.inspected, 0);
+        assert_eq!(rep.violation_fraction(), 0.0);
+        assert!(spacing_acceptable(&rep, 0.0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Edge-case and failure-injection tests for the measurement session,
+//! using the controllable oracle transport.
+
+use slops::testutil::OracleTransport;
+use slops::{
+    InitialRate, ProbeTransport, Session, SlopsConfig, StreamRecord, StreamRequest, Termination,
+    TrainRecord, TransportError,
+};
+use units::{Rate, TimeNs};
+
+#[test]
+fn fixed_initialization_works_without_trains() {
+    let mut t = OracleTransport::new(Rate::from_mbps(30.0), 1);
+    let mut cfg = SlopsConfig::default();
+    cfg.initial = InitialRate::FixedMax(Rate::from_mbps(100.0));
+    let est = Session::new(cfg).run(&mut t).unwrap();
+    assert!(est.low.mbps() <= 31.0 && 29.0 <= est.high.mbps());
+}
+
+#[test]
+fn very_low_avail_bw_uses_stretched_periods() {
+    // A = 0.8 Mb/s: probing rates below 1 Mb/s require L_min packets at
+    // multi-millisecond periods.
+    let mut t = OracleTransport::new(Rate::from_mbps(0.8), 2);
+    let mut cfg = SlopsConfig::default();
+    cfg.resolution = Rate::from_kbps(200.0);
+    cfg.grey_resolution = Rate::from_kbps(400.0);
+    let est = Session::new(cfg).run(&mut t).unwrap();
+    assert!(
+        est.low.mbps() <= 0.9 && 0.7 <= est.high.mbps(),
+        "[{}, {}]",
+        est.low,
+        est.high
+    );
+}
+
+#[test]
+fn avail_bw_above_tool_maximum_reports_ceiling() {
+    let mut t = OracleTransport::new(Rate::from_mbps(500.0), 3);
+    t.tight_capacity = Rate::from_mbps(1000.0);
+    // Tool max = MTU*8/T_min = 120 Mb/s < 500.
+    let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    assert_eq!(est.termination, Termination::TransportCeiling);
+    assert!(est.high.mbps() <= 120.0 + 1e-6);
+    assert!(est.low.mbps() >= 100.0, "low = {}", est.low);
+}
+
+#[test]
+fn total_loss_aborts_to_a_low_estimate_not_a_hang() {
+    let mut t = OracleTransport::new(Rate::from_mbps(50.0), 4);
+    t.loss_prob = 1.0; // every packet lost
+    let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    // Every fleet aborts lossy => rmax collapses toward zero.
+    assert!(est.high.mbps() < 2.0, "high = {}", est.high);
+}
+
+#[test]
+fn grey_everywhere_still_terminates() {
+    // Avail-bw varies so wildly that every fleet is grey.
+    let mut t = OracleTransport::new(Rate::from_mbps(50.0), 5);
+    t.avail_halfwidth = Rate::from_mbps(45.0);
+    let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    assert!(est.fleets.len() <= 64);
+    assert!(est.low.bps() <= est.high.bps());
+}
+
+#[test]
+fn elapsed_time_is_dominated_by_pacing() {
+    let mut t = OracleTransport::new(Rate::from_mbps(40.0), 6);
+    let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    // With idle = max(RTT, 9V) per stream and N=12 streams per fleet, the
+    // elapsed transport time must be far larger than the pure stream time.
+    let stream_time: f64 = est.fleets.len() as f64 * 12.0 * 0.01; // V ~ 10 ms
+    assert!(
+        est.elapsed.secs_f64() > 5.0 * stream_time,
+        "elapsed {} vs stream time {stream_time}s — pacing missing?",
+        est.elapsed
+    );
+}
+
+/// A transport whose send_stream fails after a few calls: the session must
+/// propagate the error, not panic or loop.
+struct FlakyTransport {
+    inner: OracleTransport,
+    calls_left: u32,
+}
+
+impl ProbeTransport for FlakyTransport {
+    fn send_stream(&mut self, req: &StreamRequest) -> Result<StreamRecord, TransportError> {
+        if self.calls_left == 0 {
+            return Err(TransportError::Io("link down".into()));
+        }
+        self.calls_left -= 1;
+        self.inner.send_stream(req)
+    }
+    fn send_train(&mut self, len: u32, size: u32) -> Result<TrainRecord, TransportError> {
+        self.inner.send_train(len, size)
+    }
+    fn rtt(&mut self) -> TimeNs {
+        self.inner.rtt()
+    }
+    fn idle(&mut self, dur: TimeNs) {
+        self.inner.idle(dur)
+    }
+}
+
+#[test]
+fn transport_failure_mid_fleet_surfaces_as_error() {
+    let mut t = FlakyTransport {
+        inner: OracleTransport::new(Rate::from_mbps(30.0), 7),
+        calls_left: 7,
+    };
+    let err = Session::new(SlopsConfig::default()).run(&mut t).unwrap_err();
+    assert!(err.to_string().contains("link down"));
+}
+
+#[test]
+fn small_fleet_and_stream_configs_still_work() {
+    let mut t = OracleTransport::new(Rate::from_mbps(25.0), 8);
+    let mut cfg = SlopsConfig::default();
+    cfg.fleet_len = 3;
+    cfg.stream_len = 25;
+    let est = Session::new(cfg).run(&mut t).unwrap();
+    assert!(
+        est.low.mbps() <= 26.5 && 23.5 <= est.high.mbps(),
+        "[{}, {}]",
+        est.low,
+        est.high
+    );
+}
+
+#[test]
+fn trace_rates_match_quantized_stream_parameters() {
+    let mut t = OracleTransport::new(Rate::from_mbps(40.0), 9);
+    let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    for f in &est.fleets {
+        // Every fleet rate must be realizable: L in [L_min, MTU], T >= T_min.
+        let req = slops::stream_params(f.rate, 0, &SlopsConfig::default());
+        let realized = req.actual_rate();
+        assert!(
+            (realized.bps() - f.rate.bps()).abs() / f.rate.bps() < 0.01,
+            "fleet rate {} not realizable (got {})",
+            f.rate,
+            realized
+        );
+    }
+}

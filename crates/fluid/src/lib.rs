@@ -1,0 +1,331 @@
+//! # fluid — the paper's analytic fluid model (Appendix)
+//!
+//! Models a path as a sequence of FIFO links with *stationary fluid* cross
+//! traffic, exactly as in the Appendix of Jain & Dovrolis. For a periodic
+//! probing stream of rate `R` and packet size `L`:
+//!
+//! * **Rate recursion (eqs. 19–21):** a link with capacity `C` and avail-bw
+//!   `A` (cross-traffic rate `C − A`) forwards a stream entering at rate
+//!   `R_in` at `R_out = R_in·C / (R_in + C − A)` when `R_in > A` (the link
+//!   stays backlogged between consecutive stream packets) and at
+//!   `R_out = R_in` otherwise.
+//! * **Queueing-delay growth (eq. 22):** when `R_in > A`, each stream packet
+//!   leaves behind `ΔQ = 8L(1 − A/R_in)` extra bits in the queue, adding
+//!   `ΔQ/C` one-way delay per consecutive pair.
+//! * **Proposition 1:** the one-way delays of the stream strictly increase
+//!   iff `R > A_path`; they are constant iff `R ≤ A_path`.
+//! * **Proposition 2:** the exit rate depends on `C_i`, `A_i` of *all* links
+//!   upstream of the tight link — so train dispersion alone cannot recover
+//!   the avail-bw (the ADR ≠ avail-bw result discussed in §II).
+//!
+//! The packet-level simulator (`netsim` + CBR cross traffic) converges to
+//! these formulas as packet sizes shrink; integration tests verify that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use units::Rate;
+
+/// One link of a fluid path.
+#[derive(Clone, Copy, Debug)]
+pub struct FluidLink {
+    /// Link capacity.
+    pub capacity: Rate,
+    /// Available bandwidth (capacity minus stationary cross-traffic rate).
+    pub avail: Rate,
+}
+
+impl FluidLink {
+    /// Create a link. Panics if `avail > capacity`.
+    pub fn new(capacity: Rate, avail: Rate) -> FluidLink {
+        assert!(
+            avail.bps() <= capacity.bps() && capacity.bps() > 0.0,
+            "avail-bw cannot exceed capacity"
+        );
+        FluidLink { capacity, avail }
+    }
+
+    /// Link utilization `u = 1 − A/C`.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.avail.bps() / self.capacity.bps()
+    }
+
+    /// Exit rate of a stream entering this link at `r_in` (eq. 19).
+    pub fn exit_rate(&self, r_in: Rate) -> Rate {
+        if r_in.bps() > self.avail.bps() {
+            let c = self.capacity.bps();
+            let cross = c - self.avail.bps();
+            Rate::from_bps(r_in.bps() * c / (r_in.bps() + cross))
+        } else {
+            r_in
+        }
+    }
+
+    /// Per-packet-pair queueing-delay increase at this link (seconds) for a
+    /// stream entering at `r_in` with `l` byte packets (eq. 22).
+    pub fn owd_delta(&self, r_in: Rate, l: u32) -> f64 {
+        if r_in.bps() > self.avail.bps() {
+            let bits = l as f64 * 8.0;
+            bits * (1.0 - self.avail.bps() / r_in.bps()) / self.capacity.bps()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A path: an ordered sequence of fluid links.
+#[derive(Clone, Debug)]
+pub struct FluidPath {
+    links: Vec<FluidLink>,
+}
+
+impl FluidPath {
+    /// Create a path from its links (sender side first).
+    pub fn new(links: Vec<FluidLink>) -> FluidPath {
+        assert!(!links.is_empty(), "a path needs at least one link");
+        FluidPath { links }
+    }
+
+    /// The links of the path.
+    pub fn links(&self) -> &[FluidLink] {
+        &self.links
+    }
+
+    /// End-to-end available bandwidth: the minimum link avail-bw (eq. 3).
+    pub fn avail_bw(&self) -> Rate {
+        self.links
+            .iter()
+            .map(|l| l.avail)
+            .reduce(Rate::min)
+            .expect("non-empty path")
+    }
+
+    /// End-to-end capacity: the minimum link capacity (eq. 1).
+    pub fn capacity(&self) -> Rate {
+        self.links
+            .iter()
+            .map(|l| l.capacity)
+            .reduce(Rate::min)
+            .expect("non-empty path")
+    }
+
+    /// Index of the tight link (first link attaining the minimum avail-bw).
+    pub fn tight_index(&self) -> usize {
+        let a = self.avail_bw();
+        self.links
+            .iter()
+            .position(|l| l.avail.bps() <= a.bps())
+            .expect("non-empty path")
+    }
+
+    /// Index of the narrow link (first link attaining the minimum capacity).
+    pub fn narrow_index(&self) -> usize {
+        let c = self.capacity();
+        self.links
+            .iter()
+            .position(|l| l.capacity.bps() <= c.bps())
+            .expect("non-empty path")
+    }
+
+    /// Stream rate entering each link, plus the final exit rate
+    /// (`len = links + 1`), for input rate `r` (Proposition 2 recursion).
+    pub fn rates_along(&self, r: Rate) -> Vec<Rate> {
+        let mut rates = Vec::with_capacity(self.links.len() + 1);
+        let mut cur = r;
+        rates.push(cur);
+        for link in &self.links {
+            cur = link.exit_rate(cur);
+            rates.push(cur);
+        }
+        rates
+    }
+
+    /// The stream's exit (dispersion) rate at the receiver. For long
+    /// back-to-back trains this is the asymptotic dispersion rate (ADR).
+    pub fn exit_rate(&self, r: Rate) -> Rate {
+        *self.rates_along(r).last().expect("non-empty")
+    }
+
+    /// One-way-delay increase per consecutive packet pair (seconds) for a
+    /// stream of rate `r` and packet size `l` — the sum of eq. 22 across
+    /// links, each evaluated at that link's entry rate.
+    pub fn owd_slope(&self, r: Rate, l: u32) -> f64 {
+        let rates = self.rates_along(r);
+        self.links
+            .iter()
+            .zip(&rates)
+            .map(|(link, r_in)| link.owd_delta(*r_in, l))
+            .sum()
+    }
+
+    /// Relative one-way delays of a K-packet periodic stream (seconds,
+    /// first packet = sum of service times with empty queues). In the
+    /// stationary fluid model the OWDs are an affine ramp: Proposition 1.
+    pub fn owds(&self, r: Rate, l: u32, k: usize) -> Vec<f64> {
+        let base: f64 = self
+            .links
+            .iter()
+            .map(|link| l as f64 * 8.0 / link.capacity.bps())
+            .sum();
+        let slope = self.owd_slope(r, l);
+        (0..k).map(|i| base + slope * i as f64).collect()
+    }
+}
+
+/// The multiple-tight-links underestimation model behind the paper's
+/// Fig. 7 discussion: if a stream picks up a (false) increasing trend at
+/// any single tight link with probability `p`, then over `k` independent
+/// tight links it trends with probability `1 − (1 − p)^k` — which rushes
+/// toward 1 as `k` grows, so pathload's upper bound collapses below the
+/// true avail-bw on paths where β ≈ 1.
+pub fn multi_tight_trend_probability(p_single: f64, tight_links: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p_single));
+    1.0 - (1.0 - p_single).powi(tight_links as i32)
+}
+
+/// The largest per-link false-trend probability that still keeps the
+/// whole-path false-trend probability below `target` over `k` tight links
+/// (the design constraint on the trend thresholds).
+pub fn max_per_link_probability(target: f64, tight_links: u32) -> f64 {
+    assert!((0.0..1.0).contains(&target) && tight_links > 0);
+    1.0 - (1.0 - target).powf(1.0 / tight_links as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(x: f64) -> Rate {
+        Rate::from_mbps(x)
+    }
+
+    #[test]
+    fn multi_tight_probability_compounds() {
+        let p = 0.2;
+        assert!((multi_tight_trend_probability(p, 1) - 0.2).abs() < 1e-12);
+        // 1 - 0.8^5 = 0.67: five tight links nearly triple the error rate.
+        assert!((multi_tight_trend_probability(p, 5) - 0.67232).abs() < 1e-5);
+        assert!(multi_tight_trend_probability(p, 3) > multi_tight_trend_probability(p, 2));
+        assert_eq!(multi_tight_trend_probability(0.0, 10), 0.0);
+        assert_eq!(multi_tight_trend_probability(1.0, 1), 1.0);
+    }
+
+    #[test]
+    fn per_link_budget_inverts_the_compounding() {
+        let target = 0.3;
+        for k in [1u32, 3, 5, 12] {
+            let p = max_per_link_probability(target, k);
+            let back = multi_tight_trend_probability(p, k);
+            assert!((back - target).abs() < 1e-9, "k={k}");
+        }
+        // More links => tighter per-link budget.
+        assert!(max_per_link_probability(0.3, 5) < max_per_link_probability(0.3, 3));
+    }
+
+    /// The paper's default simulation path: 5 hops, tight link in the
+    /// middle with C=10, A=4; nontight links C=40, A=32.
+    fn paper_path() -> FluidPath {
+        FluidPath::new(vec![
+            FluidLink::new(mbps(40.0), mbps(32.0)),
+            FluidLink::new(mbps(40.0), mbps(32.0)),
+            FluidLink::new(mbps(10.0), mbps(4.0)),
+            FluidLink::new(mbps(40.0), mbps(32.0)),
+            FluidLink::new(mbps(40.0), mbps(32.0)),
+        ])
+    }
+
+    #[test]
+    fn path_metrics() {
+        let p = paper_path();
+        assert_eq!(p.avail_bw().mbps(), 4.0);
+        assert_eq!(p.capacity().mbps(), 10.0);
+        assert_eq!(p.tight_index(), 2);
+        assert_eq!(p.narrow_index(), 2);
+    }
+
+    #[test]
+    fn tight_and_narrow_can_differ() {
+        // Fig. 10 path: 155 Mb/s POS tight link, 100 Mb/s FE narrow link.
+        let p = FluidPath::new(vec![
+            FluidLink::new(mbps(155.0), mbps(74.0)),
+            FluidLink::new(mbps(100.0), mbps(95.0)),
+        ]);
+        assert_eq!(p.tight_index(), 0);
+        assert_eq!(p.narrow_index(), 1);
+        assert_eq!(p.avail_bw().mbps(), 74.0);
+        assert_eq!(p.capacity().mbps(), 100.0);
+    }
+
+    #[test]
+    fn exit_rate_below_avail_is_identity() {
+        let l = FluidLink::new(mbps(10.0), mbps(4.0));
+        assert_eq!(l.exit_rate(mbps(3.0)).mbps(), 3.0);
+        assert_eq!(l.exit_rate(mbps(4.0)).mbps(), 4.0);
+    }
+
+    #[test]
+    fn exit_rate_above_avail_compresses_toward_avail() {
+        let l = FluidLink::new(mbps(10.0), mbps(4.0));
+        // R=8 > A=4: out = 8*10/(8+6) = 5.714...
+        let out = l.exit_rate(mbps(8.0));
+        assert!((out.mbps() - 8.0 * 10.0 / 14.0).abs() < 1e-9);
+        assert!(out.mbps() < 8.0 && out.mbps() > 4.0);
+        // At R = C the output equals C*C/(C + C - A)
+        let out_c = l.exit_rate(mbps(10.0));
+        assert!(out_c.mbps() < 10.0 && out_c.mbps() >= 4.0);
+    }
+
+    #[test]
+    fn proposition_1_dichotomy() {
+        let p = paper_path();
+        let a = p.avail_bw();
+        // R below A: flat OWDs.
+        assert_eq!(p.owd_slope(mbps(3.9), 300), 0.0);
+        let owds = p.owds(mbps(3.9), 300, 10);
+        assert!(owds.windows(2).all(|w| w[1] == w[0]));
+        // R above A: strictly increasing OWDs.
+        assert!(p.owd_slope(a + mbps(0.1), 300) > 0.0);
+        let owds = p.owds(mbps(6.0), 300, 10);
+        assert!(owds.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn owd_slope_matches_hand_computation_single_link() {
+        let p = FluidPath::new(vec![FluidLink::new(mbps(10.0), mbps(4.0))]);
+        // L=500 B, R=8: slope = 4000 bits * (1 - 4/8) / 10e6 = 0.0002 s
+        let s = p.owd_slope(mbps(8.0), 500);
+        assert!((s - 0.0002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition_2_exit_rate_depends_on_upstream_links() {
+        // Same tight link, different upstream link => different exit rate,
+        // demonstrating that dispersion is not a function of A alone.
+        let tight = FluidLink::new(mbps(10.0), mbps(4.0));
+        let p1 = FluidPath::new(vec![FluidLink::new(mbps(12.0), mbps(5.0)), tight]);
+        let p2 = FluidPath::new(vec![FluidLink::new(mbps(50.0), mbps(5.0)), tight]);
+        assert_eq!(p1.avail_bw().mbps(), 4.0);
+        assert_eq!(p2.avail_bw().mbps(), 4.0);
+        let r = mbps(9.0);
+        assert!(
+            (p1.exit_rate(r).bps() - p2.exit_rate(r).bps()).abs() > 1e3,
+            "exit rates should differ"
+        );
+    }
+
+    #[test]
+    fn adr_exceeds_avail_bw() {
+        // The classic cprobe fallacy: a long train's dispersion rate (ADR)
+        // sits between A and C, not at A.
+        let p = paper_path();
+        let adr = p.exit_rate(p.capacity());
+        assert!(adr.mbps() > p.avail_bw().mbps());
+        assert!(adr.mbps() <= p.capacity().mbps());
+    }
+
+    #[test]
+    #[should_panic(expected = "avail-bw cannot exceed capacity")]
+    fn invalid_link_panics() {
+        let _ = FluidLink::new(mbps(5.0), mbps(6.0));
+    }
+}

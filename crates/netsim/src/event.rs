@@ -1,0 +1,152 @@
+//! The event queue: a binary heap ordered by `(time, sequence)`.
+//!
+//! The sequence number breaks ties deterministically in FIFO order of
+//! scheduling, which both makes runs reproducible and matches the intuitive
+//! "things scheduled first happen first" semantics for simultaneous events.
+
+use crate::app::AppId;
+use crate::link::LinkId;
+use crate::packet::Packet;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use units::TimeNs;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet arrives at the tail of a link's queue.
+    ArriveAtLink {
+        /// The link receiving the packet.
+        link: LinkId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A link finishes transmitting the packet in service.
+    TxDone {
+        /// The link whose transmission completes.
+        link: LinkId,
+    },
+    /// A packet is delivered to its destination application.
+    Deliver {
+        /// The receiving application.
+        app: AppId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// An application timer fires.
+    Timer {
+        /// The owning application.
+        app: AppId,
+        /// Opaque token the application passed when arming the timer.
+        token: u64,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: TimeNs,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, with the scheduling sequence as the deterministic tie-break.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of pending events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, time: TimeNs, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<TimeNs> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    #[allow(dead_code)] // used by tests and kept for engine introspection
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(TimeNs::from_nanos(30), EventKind::Timer { app: AppId(0), token: 3 });
+        q.push(TimeNs::from_nanos(10), EventKind::Timer { app: AppId(0), token: 1 });
+        q.push(TimeNs::from_nanos(20), EventKind::Timer { app: AppId(0), token: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut q = EventQueue::default();
+        let t = TimeNs::from_nanos(5);
+        for token in 0..100 {
+            q.push(t, EventKind::Timer { app: AppId(0), token });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.peek_time(), None);
+        q.push(TimeNs::from_nanos(42), EventKind::TxDone { link: LinkId(0) });
+        assert_eq!(q.peek_time(), Some(TimeNs::from_nanos(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Store-and-forward link: one transmission server plus a byte-bounded
+//! drop-tail FIFO, with per-link counters and optional fault injection.
+
+use crate::monitor::UtilMonitor;
+use crate::packet::Packet;
+use crate::red::{RedConfig, RedState};
+use crate::rng::Prng;
+use std::collections::VecDeque;
+use units::{Rate, TimeNs};
+
+/// Index of a link within a [`crate::Simulator`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Static configuration of a unidirectional link.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Transmission capacity.
+    pub capacity: Rate,
+    /// Propagation delay, added after a packet finishes transmission.
+    pub prop_delay: TimeNs,
+    /// Drop-tail queue limit in bytes (the in-service packet not counted).
+    pub queue_limit_bytes: u64,
+    /// Fault injection: probability of dropping an arriving packet.
+    pub drop_prob: f64,
+    /// Optional RED active queue management (default: plain drop-tail,
+    /// the paper's assumption).
+    pub red: Option<RedConfig>,
+    /// Utilization-monitor window (MRTG uses 5 minutes).
+    pub monitor_window: TimeNs,
+    /// Human-readable name for reports.
+    pub name: String,
+}
+
+impl LinkConfig {
+    /// A link with the given capacity and propagation delay, a generous
+    /// 8 MB buffer ("sufficiently buffered to avoid losses", §V-A), no
+    /// fault injection, and a 5-minute monitor window.
+    pub fn new(capacity: Rate, prop_delay: TimeNs) -> LinkConfig {
+        LinkConfig {
+            capacity,
+            prop_delay,
+            queue_limit_bytes: 8 * 1024 * 1024,
+            drop_prob: 0.0,
+            red: None,
+            monitor_window: TimeNs::from_secs(300),
+            name: String::new(),
+        }
+    }
+
+    /// Enable RED AQM with the given parameters.
+    pub fn with_red(mut self, red: RedConfig) -> Self {
+        red.validate().expect("invalid RED parameters");
+        self.red = Some(red);
+        self
+    }
+
+    /// Set the drop-tail buffer size in bytes.
+    pub fn with_queue_limit(mut self, bytes: u64) -> Self {
+        self.queue_limit_bytes = bytes;
+        self
+    }
+
+    /// Enable random-loss fault injection with the given probability.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Set the utilization-monitor window.
+    pub fn with_monitor_window(mut self, w: TimeNs) -> Self {
+        self.monitor_window = w;
+        self
+    }
+
+    /// Name the link (for experiment reports).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// Running counters of a link.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub tx_packets: u64,
+    /// Bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped because the queue was full.
+    pub drops_overflow: u64,
+    /// Packets dropped by fault injection.
+    pub drops_fault: u64,
+    /// Total time the transmission server was busy, in nanoseconds.
+    pub busy_ns: u64,
+    /// High-water mark of queued bytes (excluding the packet in service).
+    pub max_queue_bytes: u64,
+}
+
+impl LinkStats {
+    /// Long-run utilization over `elapsed` (busy time / elapsed).
+    pub fn utilization(&self, elapsed: TimeNs) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy_ns as f64 / elapsed.as_nanos() as f64
+        }
+    }
+}
+
+/// Outcome of a packet arriving at a link (returned to the engine).
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Arrival {
+    /// Link was idle; transmission starts, completing at the given time.
+    StartTx(TimeNs),
+    /// Packet queued behind others.
+    Queued,
+    /// Packet dropped (queue overflow or fault injection).
+    Dropped,
+}
+
+/// A unidirectional store-and-forward link.
+#[derive(Debug)]
+pub struct Link {
+    cfg: LinkConfig,
+    in_service: Option<Packet>,
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    /// Running counters.
+    pub stats: LinkStats,
+    monitor: UtilMonitor,
+    red: Option<RedState>,
+    rng: Prng,
+}
+
+impl Link {
+    pub(crate) fn new(cfg: LinkConfig, rng: Prng) -> Link {
+        let monitor = UtilMonitor::new(cfg.monitor_window);
+        let red = cfg.red.map(RedState::new);
+        Link {
+            cfg,
+            in_service: None,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            stats: LinkStats::default(),
+            monitor,
+            red,
+            rng,
+        }
+    }
+
+    /// RED state, if the link runs RED.
+    pub fn red(&self) -> Option<&RedState> {
+        self.red.as_ref()
+    }
+
+    /// The link's static configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// The link's capacity.
+    pub fn capacity(&self) -> Rate {
+        self.cfg.capacity
+    }
+
+    /// Propagation delay.
+    pub fn prop_delay(&self) -> TimeNs {
+        self.cfg.prop_delay
+    }
+
+    /// Bytes currently waiting (excluding the packet in service).
+    pub fn queue_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Bytes in the system: queued plus the packet in service.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.queued_bytes + self.in_service.as_ref().map_or(0, |p| p.size as u64)
+    }
+
+    /// Packets currently waiting (excluding the packet in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The MRTG-style utilization monitor.
+    pub fn monitor(&self) -> &UtilMonitor {
+        &self.monitor
+    }
+
+    pub(crate) fn on_arrival(&mut self, pkt: Packet, now: TimeNs) -> Arrival {
+        if self.cfg.drop_prob > 0.0 && self.rng.chance(self.cfg.drop_prob) {
+            self.stats.drops_fault += 1;
+            return Arrival::Dropped;
+        }
+        if let Some(red) = &mut self.red {
+            if red.should_drop(self.queued_bytes, &mut self.rng) {
+                self.stats.drops_overflow += 1;
+                return Arrival::Dropped;
+            }
+        }
+        if self.in_service.is_none() {
+            debug_assert!(self.queue.is_empty());
+            let done = now + self.cfg.capacity.tx_time(pkt.size);
+            self.in_service = Some(pkt);
+            return Arrival::StartTx(done);
+        }
+        if self.queued_bytes + pkt.size as u64 > self.cfg.queue_limit_bytes {
+            self.stats.drops_overflow += 1;
+            return Arrival::Dropped;
+        }
+        self.queued_bytes += pkt.size as u64;
+        self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queued_bytes);
+        self.queue.push_back(pkt);
+        Arrival::Queued
+    }
+
+    /// Complete the in-service transmission. Returns the transmitted packet
+    /// and, if another packet was waiting, the completion time of its
+    /// transmission (which the engine must schedule).
+    pub(crate) fn on_tx_done(&mut self, now: TimeNs) -> (Packet, Option<TimeNs>) {
+        let pkt = self
+            .in_service
+            .take()
+            .expect("TxDone on an idle link: engine bug");
+        let tx_ns = self.cfg.capacity.tx_time_ns(pkt.size);
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += pkt.size as u64;
+        self.stats.busy_ns += tx_ns;
+        self.monitor.record(now, pkt.size as u64);
+        let next = self.queue.pop_front().map(|next_pkt| {
+            self.queued_bytes -= next_pkt.size as u64;
+            let done = now + self.cfg.capacity.tx_time(next_pkt.size);
+            self.in_service = Some(next_pkt);
+            done
+        });
+        (pkt, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppId;
+    use crate::packet::{FlowId, RouteSpec};
+    use std::sync::Arc;
+
+    fn pkt(size: u32, seq: u64) -> Packet {
+        Packet::new(
+            size,
+            FlowId(1),
+            seq,
+            Arc::new(RouteSpec {
+                links: vec![LinkId(0)],
+                dst: AppId(0),
+            }),
+        )
+    }
+
+    fn link(limit: u64) -> Link {
+        Link::new(
+            LinkConfig::new(Rate::from_mbps(8.0), TimeNs::from_millis(1))
+                .with_queue_limit(limit),
+            Prng::new(0),
+        )
+    }
+
+    #[test]
+    fn idle_link_starts_transmission_immediately() {
+        let mut l = link(10_000);
+        let now = TimeNs::from_millis(10);
+        match l.on_arrival(pkt(1000, 0), now) {
+            Arrival::StartTx(done) => {
+                // 1000 B at 8 Mb/s = 1 ms
+                assert_eq!(done, now + TimeNs::from_millis(1));
+            }
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert_eq!(l.queue_len(), 0);
+        assert_eq!(l.backlog_bytes(), 1000);
+    }
+
+    #[test]
+    fn busy_link_queues_fifo_and_chains_transmissions() {
+        let mut l = link(10_000);
+        let t0 = TimeNs::ZERO;
+        assert!(matches!(l.on_arrival(pkt(1000, 0), t0), Arrival::StartTx(_)));
+        assert_eq!(l.on_arrival(pkt(500, 1), t0), Arrival::Queued);
+        assert_eq!(l.on_arrival(pkt(500, 2), t0), Arrival::Queued);
+        assert_eq!(l.queue_bytes(), 1000);
+
+        let t1 = TimeNs::from_millis(1);
+        let (done, next) = l.on_tx_done(t1);
+        assert_eq!(done.seq, 0);
+        // 500 B at 8 Mb/s = 0.5 ms
+        assert_eq!(next, Some(t1 + TimeNs::from_micros(500)));
+        let (done, next) = l.on_tx_done(t1 + TimeNs::from_micros(500));
+        assert_eq!(done.seq, 1);
+        assert!(next.is_some());
+        let (done, next) = l.on_tx_done(t1 + TimeNs::from_millis(1));
+        assert_eq!(done.seq, 2);
+        assert_eq!(next, None);
+        assert_eq!(l.stats.tx_packets, 3);
+        assert_eq!(l.stats.tx_bytes, 2000);
+        // busy: 1ms + 0.5ms + 0.5ms
+        assert_eq!(l.stats.busy_ns, 2_000_000);
+    }
+
+    #[test]
+    fn queue_overflow_drops_tail() {
+        let mut l = link(1000);
+        assert!(matches!(l.on_arrival(pkt(1000, 0), TimeNs::ZERO), Arrival::StartTx(_)));
+        assert_eq!(l.on_arrival(pkt(600, 1), TimeNs::ZERO), Arrival::Queued);
+        // 600 + 600 > 1000: dropped
+        assert_eq!(l.on_arrival(pkt(600, 2), TimeNs::ZERO), Arrival::Dropped);
+        assert_eq!(l.stats.drops_overflow, 1);
+        assert_eq!(l.stats.max_queue_bytes, 600);
+    }
+
+    #[test]
+    fn fault_injection_drops_all_at_probability_one() {
+        let mut l = Link::new(
+            LinkConfig::new(Rate::from_mbps(8.0), TimeNs::ZERO).with_drop_prob(1.0),
+            Prng::new(1),
+        );
+        for i in 0..10 {
+            assert_eq!(l.on_arrival(pkt(100, i), TimeNs::ZERO), Arrival::Dropped);
+        }
+        assert_eq!(l.stats.drops_fault, 10);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut l = link(100_000);
+        assert!(matches!(l.on_arrival(pkt(1000, 0), TimeNs::ZERO), Arrival::StartTx(_)));
+        l.on_tx_done(TimeNs::from_millis(1));
+        // Busy 1 ms out of 4 ms elapsed => 25%.
+        assert!((l.stats.utilization(TimeNs::from_millis(4)) - 0.25).abs() < 1e-9);
+        assert_eq!(l.stats.utilization(TimeNs::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Packets, flows, routes, and the closed set of payload headers.
+
+use crate::app::AppId;
+use crate::link::LinkId;
+use std::sync::Arc;
+use units::TimeNs;
+
+/// Identifies a traffic flow. Flow ids are assigned by the experiment code;
+/// the simulator only uses them for accounting and FIFO-invariant checks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+/// A source route: the ordered links a packet traverses, then the
+/// application that receives it.
+#[derive(Clone, Debug)]
+pub struct RouteSpec {
+    /// Links in traversal order. May be empty (direct local delivery).
+    pub links: Vec<LinkId>,
+    /// Destination application.
+    pub dst: AppId,
+}
+
+/// TCP header flags (only the ones the Reno model needs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TcpFlags {
+    /// Connection-establishment flag.
+    pub syn: bool,
+    /// Acknowledgment field is valid (always true after handshake).
+    pub ack: bool,
+    /// Sender is done (not used by the greedy experiments but supported).
+    pub fin: bool,
+}
+
+/// A minimal TCP header carried by [`Payload::Tcp`] packets.
+///
+/// netsim defines the header (like a real network defines the wire format);
+/// the `tcpsim` crate implements the endpoint state machines.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpHeader {
+    /// Connection id, used to demultiplex at the endpoints.
+    pub conn: u32,
+    /// First sequence byte carried by this segment.
+    pub seq: u64,
+    /// Cumulative acknowledgment (next byte expected).
+    pub ack: u64,
+    /// Payload bytes carried (0 for pure ACKs).
+    pub len: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Echo of the sender timestamp, for RTT sampling (like RFC 7323 TSopt).
+    pub ts_echo: TimeNs,
+}
+
+/// The closed set of payloads the simulator transports.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Plain cross traffic; no header beyond the packet itself.
+    None,
+    /// A packet of a SLoPS periodic probe stream.
+    Probe {
+        /// Stream number within a fleet (or a global stream counter).
+        stream: u32,
+        /// Packet index within the stream, `0..K`.
+        idx: u32,
+        /// Sender timestamp for this packet (sender clock).
+        sender_ts: TimeNs,
+    },
+    /// A packet of a back-to-back packet train (cprobe/ADR baseline).
+    Train {
+        /// Train number.
+        train: u32,
+        /// Packet index within the train.
+        idx: u32,
+    },
+    /// ICMP-echo-like probe.
+    Ping {
+        /// True for the reply direction.
+        reply: bool,
+        /// Probe sequence number.
+        seq: u64,
+        /// Original transmit timestamp (echoed back in replies).
+        sent_at: TimeNs,
+    },
+    /// TCP segment.
+    Tcp(TcpHeader),
+}
+
+/// A simulated packet.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Globally unique id (assigned by [`crate::Simulator`] at injection).
+    pub id: u64,
+    /// Size on the wire, in bytes.
+    pub size: u32,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Per-flow sequence number (assigned by the sender).
+    pub seq: u64,
+    /// Time the packet entered the network (stamped at injection).
+    pub sent_at: TimeNs,
+    /// Source route.
+    pub route: Arc<RouteSpec>,
+    /// Index of the next link in `route.links` to traverse.
+    pub hop: u16,
+    /// Payload header.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Create a packet with [`Payload::None`] (cross traffic).
+    pub fn new(size: u32, flow: FlowId, seq: u64, route: Arc<RouteSpec>) -> Packet {
+        Packet {
+            id: 0,
+            size,
+            flow,
+            seq,
+            sent_at: TimeNs::ZERO,
+            route,
+            hop: 0,
+            payload: Payload::None,
+        }
+    }
+
+    /// Create a packet with an explicit payload.
+    pub fn with_payload(
+        size: u32,
+        flow: FlowId,
+        seq: u64,
+        route: Arc<RouteSpec>,
+        payload: Payload,
+    ) -> Packet {
+        Packet {
+            payload,
+            ..Packet::new(size, flow, seq, route)
+        }
+    }
+
+    /// The next link this packet must traverse, or `None` if it has arrived.
+    #[inline]
+    pub fn next_link(&self) -> Option<LinkId> {
+        self.route.links.get(self.hop as usize).copied()
+    }
+
+    /// True once the packet has traversed every link on its route.
+    #[inline]
+    pub fn at_destination(&self) -> bool {
+        self.hop as usize >= self.route.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(links: Vec<LinkId>) -> Arc<RouteSpec> {
+        Arc::new(RouteSpec {
+            links,
+            dst: AppId(0),
+        })
+    }
+
+    #[test]
+    fn hop_progression() {
+        let r = route(vec![LinkId(0), LinkId(1)]);
+        let mut p = Packet::new(100, FlowId(1), 0, r);
+        assert_eq!(p.next_link(), Some(LinkId(0)));
+        assert!(!p.at_destination());
+        p.hop = 1;
+        assert_eq!(p.next_link(), Some(LinkId(1)));
+        p.hop = 2;
+        assert_eq!(p.next_link(), None);
+        assert!(p.at_destination());
+    }
+
+    #[test]
+    fn empty_route_is_immediately_at_destination() {
+        let p = Packet::new(100, FlowId(1), 0, route(vec![]));
+        assert!(p.at_destination());
+    }
+}

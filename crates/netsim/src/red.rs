@@ -1,0 +1,175 @@
+//! Random Early Detection (RED) active queue management.
+//!
+//! The paper's experiments assume drop-tail ("the common practice today",
+//! §VII footnote 6). RED is provided as an extension: it keeps the
+//! *average* queue between two thresholds by dropping arrivals with a
+//! probability that rises linearly with the EWMA queue size
+//! (Floyd & Jacobson 1993, simplified: no gentle mode, no idle-time
+//! compensation — both documented simplifications).
+//!
+//! Relevance to avail-bw measurement: RED bounds queueing delay, so the
+//! OWD ramps SLoPS relies on are shallower but still present — the
+//! methodology needs *growth*, not deep buffers.
+
+use crate::rng::Prng;
+
+/// RED parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RedConfig {
+    /// Minimum average-queue threshold in bytes (below: never drop).
+    pub min_th_bytes: u64,
+    /// Maximum average-queue threshold in bytes (above: always drop).
+    pub max_th_bytes: u64,
+    /// Drop probability as the average reaches `max_th_bytes`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue estimate (classic 0.002).
+    pub wq: f64,
+}
+
+impl RedConfig {
+    /// Classic rule of thumb: `min = limit/4`, `max = 3·limit/4`,
+    /// `max_p = 0.1`, `wq = 0.002`.
+    pub fn for_queue_limit(limit_bytes: u64) -> RedConfig {
+        RedConfig {
+            min_th_bytes: limit_bytes / 4,
+            max_th_bytes: limit_bytes * 3 / 4,
+            max_p: 0.1,
+            wq: 0.002,
+        }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_th_bytes >= self.max_th_bytes {
+            return Err("RED needs min_th < max_th".into());
+        }
+        if !(0.0..=1.0).contains(&self.max_p) {
+            return Err("max_p must be a probability".into());
+        }
+        if !(0.0..=1.0).contains(&self.wq) || self.wq == 0.0 {
+            return Err("wq must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-link RED state.
+#[derive(Clone, Debug)]
+pub struct RedState {
+    cfg: RedConfig,
+    avg: f64,
+    /// Arrivals dropped early by RED (before the hard limit).
+    pub early_drops: u64,
+}
+
+impl RedState {
+    pub(crate) fn new(cfg: RedConfig) -> RedState {
+        RedState {
+            cfg,
+            avg: 0.0,
+            early_drops: 0,
+        }
+    }
+
+    /// Current EWMA queue estimate in bytes.
+    pub fn avg_queue_bytes(&self) -> f64 {
+        self.avg
+    }
+
+    /// Update the average with the instantaneous queue and decide whether
+    /// to early-drop this arrival.
+    pub(crate) fn should_drop(&mut self, queued_bytes: u64, rng: &mut Prng) -> bool {
+        self.avg = (1.0 - self.cfg.wq) * self.avg + self.cfg.wq * queued_bytes as f64;
+        if self.avg < self.cfg.min_th_bytes as f64 {
+            return false;
+        }
+        if self.avg >= self.cfg.max_th_bytes as f64 {
+            self.early_drops += 1;
+            return true;
+        }
+        let span = (self.cfg.max_th_bytes - self.cfg.min_th_bytes) as f64;
+        let p = self.cfg.max_p * (self.avg - self.cfg.min_th_bytes as f64) / span;
+        if rng.chance(p) {
+            self.early_drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(RedConfig::for_queue_limit(100_000).validate().is_ok());
+        let bad = RedConfig {
+            min_th_bytes: 10,
+            max_th_bytes: 10,
+            max_p: 0.1,
+            wq: 0.002,
+        };
+        assert!(bad.validate().is_err());
+        let bad = RedConfig {
+            min_th_bytes: 1,
+            max_th_bytes: 10,
+            max_p: 1.5,
+            wq: 0.002,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn no_drops_below_min_threshold() {
+        let mut s = RedState::new(RedConfig::for_queue_limit(100_000));
+        let mut rng = Prng::new(1);
+        for _ in 0..1000 {
+            assert!(!s.should_drop(10_000, &mut rng)); // well below min 25k
+        }
+        assert_eq!(s.early_drops, 0);
+    }
+
+    #[test]
+    fn always_drops_above_max_threshold() {
+        let cfg = RedConfig::for_queue_limit(100_000);
+        let mut s = RedState::new(cfg);
+        let mut rng = Prng::new(2);
+        // Saturate the EWMA at a huge queue.
+        for _ in 0..10_000 {
+            s.should_drop(100_000, &mut rng);
+        }
+        assert!(s.avg_queue_bytes() > cfg.max_th_bytes as f64);
+        let drops = (0..100)
+            .filter(|_| s.should_drop(100_000, &mut rng))
+            .count();
+        assert_eq!(drops, 100);
+    }
+
+    #[test]
+    fn drop_rate_scales_between_thresholds() {
+        let cfg = RedConfig {
+            min_th_bytes: 10_000,
+            max_th_bytes: 90_000,
+            max_p: 0.2,
+            wq: 1.0, // instant averaging for the test
+        };
+        let mut rng = Prng::new(3);
+        // Mid-way: expect ~ max_p/2 = 10% drops.
+        let mut s = RedState::new(cfg);
+        let n = 20_000;
+        let drops = (0..n).filter(|_| s.should_drop(50_000, &mut rng)).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "mid-threshold drop rate {rate}");
+    }
+
+    #[test]
+    fn ewma_tracks_slowly() {
+        let mut s = RedState::new(RedConfig::for_queue_limit(100_000));
+        let mut rng = Prng::new(4);
+        s.should_drop(80_000, &mut rng);
+        // One sample at wq=0.002 moves the average only a little.
+        assert!(s.avg_queue_bytes() < 200.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! The simulation engine: event loop, link forwarding, app dispatch.
+
+use crate::app::{App, AppId, Ctx};
+use crate::event::{Event, EventKind, EventQueue};
+use crate::link::{Arrival, Link, LinkConfig, LinkId};
+use crate::packet::{Packet, RouteSpec};
+use crate::rng::Prng;
+use std::any::Any;
+use std::sync::Arc;
+use units::TimeNs;
+
+/// Engine state shared with applications through [`Ctx`]: clock, event
+/// queue, and links. Kept separate from the app table so apps can be
+/// dispatched with `&mut SimCore` without aliasing themselves.
+#[derive(Debug)]
+pub struct SimCore {
+    pub(crate) now: TimeNs,
+    pub(crate) queue: EventQueue,
+    pub(crate) links: Vec<Link>,
+    next_pkt_id: u64,
+    events_processed: u64,
+}
+
+impl SimCore {
+    /// Inject a packet at `at` (≥ now): stamps id and `sent_at`, then
+    /// schedules its arrival at the first link of its route (or direct
+    /// delivery for an empty route).
+    pub(crate) fn inject(&mut self, mut pkt: Packet, at: TimeNs) {
+        assert!(at >= self.now, "cannot inject into the past");
+        pkt.id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        pkt.sent_at = at;
+        pkt.hop = 0;
+        match pkt.next_link() {
+            Some(link) => self.queue.push(at, EventKind::ArriveAtLink { link, pkt }),
+            None => {
+                let app = pkt.route.dst;
+                self.queue.push(at, EventKind::Deliver { app, pkt });
+            }
+        }
+    }
+
+    pub(crate) fn schedule_timer(&mut self, app: AppId, at: TimeNs, token: u64) {
+        assert!(at >= self.now, "cannot arm a timer in the past");
+        self.queue.push(at, EventKind::Timer { app, token });
+    }
+}
+
+/// The discrete-event simulator. See the crate docs for an overview.
+pub struct Simulator {
+    core: SimCore,
+    apps: Vec<Option<Box<dyn App>>>,
+    master_rng: Prng,
+    rng_streams_taken: u64,
+}
+
+impl Simulator {
+    /// Create a simulator; `seed` roots all randomness (links, and any
+    /// [`Prng`] handed out by [`Simulator::rng`]).
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            core: SimCore {
+                now: TimeNs::ZERO,
+                queue: EventQueue::default(),
+                links: Vec::new(),
+                next_pkt_id: 0,
+                events_processed: 0,
+            },
+            apps: Vec::new(),
+            master_rng: Prng::new(seed),
+            rng_streams_taken: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> TimeNs {
+        self.core.now
+    }
+
+    /// Total events processed so far (engine throughput metric).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Derive a fresh deterministic RNG (for traffic sources etc.).
+    pub fn rng(&mut self) -> Prng {
+        self.rng_streams_taken += 1;
+        self.master_rng.derive(0xABCD_0000 + self.rng_streams_taken)
+    }
+
+    /// Add a link; returns its id.
+    pub fn add_link(&mut self, cfg: LinkConfig) -> LinkId {
+        let id = LinkId(self.core.links.len() as u32);
+        let rng = self.master_rng.derive(0x11_0000 + id.0 as u64);
+        self.core.links.push(Link::new(cfg, rng));
+        id
+    }
+
+    /// Access a link (stats, monitor, queue state).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.core.links[id.0 as usize]
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.core.links.len()
+    }
+
+    /// Add an application; returns its id.
+    pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
+        let id = AppId(self.apps.len() as u32);
+        self.apps.push(Some(app));
+        id
+    }
+
+    /// Downcast an application to its concrete type (panics on mismatch —
+    /// that is always an experiment-code bug).
+    pub fn app<T: App>(&self, id: AppId) -> &T {
+        let app = self.apps[id.0 as usize]
+            .as_ref()
+            .expect("app is being dispatched");
+        let any: &dyn Any = app.as_ref();
+        any.downcast_ref::<T>().expect("app type mismatch")
+    }
+
+    /// Mutable variant of [`Simulator::app`].
+    pub fn app_mut<T: App>(&mut self, id: AppId) -> &mut T {
+        let app = self.apps[id.0 as usize]
+            .as_mut()
+            .expect("app is being dispatched");
+        let any: &mut dyn Any = app.as_mut();
+        any.downcast_mut::<T>().expect("app type mismatch")
+    }
+
+    /// Build a route over the given links ending at `dst`.
+    pub fn route(&self, links: &[LinkId], dst: AppId) -> Arc<RouteSpec> {
+        for l in links {
+            assert!(
+                (l.0 as usize) < self.core.links.len(),
+                "route references unknown link {l:?}"
+            );
+        }
+        Arc::new(RouteSpec {
+            links: links.to_vec(),
+            dst,
+        })
+    }
+
+    /// Inject a packet from outside the simulation at an absolute time
+    /// (≥ now). Used by probe transports to realize perfectly periodic
+    /// streams.
+    pub fn inject(&mut self, pkt: Packet, at: TimeNs) {
+        self.core.inject(pkt, at);
+    }
+
+    /// Arm an application timer at an absolute time. Used to kick off apps.
+    pub fn schedule_timer(&mut self, app: AppId, at: TimeNs, token: u64) {
+        self.core.schedule_timer(app, at, token);
+    }
+
+    /// Process a single event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.core.now, "event queue went backwards");
+        self.core.now = ev.time;
+        self.core.events_processed += 1;
+        self.dispatch(ev);
+        true
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::ArriveAtLink { link, pkt } => {
+                let l = &mut self.core.links[link.0 as usize];
+                if let Arrival::StartTx(done) = l.on_arrival(pkt, ev.time) {
+                    self.core.queue.push(done, EventKind::TxDone { link });
+                }
+            }
+            EventKind::TxDone { link } => {
+                let l = &mut self.core.links[link.0 as usize];
+                let prop = l.prop_delay();
+                let (mut pkt, next_tx) = l.on_tx_done(ev.time);
+                if let Some(done) = next_tx {
+                    self.core.queue.push(done, EventKind::TxDone { link });
+                }
+                pkt.hop += 1;
+                let arrive = ev.time + prop;
+                match pkt.next_link() {
+                    Some(next) => self
+                        .core
+                        .queue
+                        .push(arrive, EventKind::ArriveAtLink { link: next, pkt }),
+                    None => {
+                        let app = pkt.route.dst;
+                        self.core.queue.push(arrive, EventKind::Deliver { app, pkt });
+                    }
+                }
+            }
+            EventKind::Deliver { app, pkt } => {
+                self.with_app(app, |a, ctx| a.on_packet(ctx, pkt));
+            }
+            EventKind::Timer { app, token } => {
+                self.with_app(app, |a, ctx| a.on_timer(ctx, token));
+            }
+        }
+    }
+
+    fn with_app<F: FnOnce(&mut Box<dyn App>, &mut Ctx<'_>)>(&mut self, id: AppId, f: F) {
+        let slot = &mut self.apps[id.0 as usize];
+        let mut app = slot.take().expect("re-entrant dispatch of the same app");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            id,
+        };
+        f(&mut app, &mut ctx);
+        self.apps[id.0 as usize] = Some(app);
+    }
+
+    /// Run until the clock reaches `t` (processing every event at ≤ t),
+    /// then set the clock to exactly `t`.
+    pub fn run_until(&mut self, t: TimeNs) {
+        while let Some(next) = self.core.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        debug_assert!(self.core.now <= t);
+        self.core.now = t;
+    }
+
+    /// Run until the event queue drains or the clock would pass `limit`;
+    /// returns true if the queue drained.
+    pub fn run_until_idle(&mut self, limit: TimeNs) -> bool {
+        while let Some(next) = self.core.queue.peek_time() {
+            if next > limit {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{CountingSink, RecordingSink};
+    use crate::packet::FlowId;
+    use units::Rate;
+
+    fn two_link_sim() -> (Simulator, LinkId, LinkId, AppId) {
+        let mut sim = Simulator::new(7);
+        let l0 = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(8.0),
+            TimeNs::from_millis(1),
+        ));
+        let l1 = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(4.0),
+            TimeNs::from_millis(2),
+        ));
+        let sink = sim.add_app(Box::new(RecordingSink::default()));
+        (sim, l0, l1, sink)
+    }
+
+    #[test]
+    fn single_packet_end_to_end_latency() {
+        let (mut sim, l0, l1, sink) = two_link_sim();
+        let route = sim.route(&[l0, l1], sink);
+        // 1000 B: tx l0 = 1 ms, prop 1 ms, tx l1 = 2 ms, prop 2 ms => 6 ms
+        sim.inject(Packet::new(1000, FlowId(1), 0, route), TimeNs::ZERO);
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        let rec = &sim.app::<RecordingSink>(sink).records;
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].recv_at, TimeNs::from_millis(6));
+        assert_eq!(rec[0].sent_at, TimeNs::ZERO);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_within_a_flow() {
+        let (mut sim, l0, l1, sink) = two_link_sim();
+        let route = sim.route(&[l0, l1], sink);
+        for i in 0..50 {
+            sim.inject(
+                Packet::new(500, FlowId(1), i, route.clone()),
+                TimeNs::from_micros(10 * i),
+            );
+        }
+        assert!(sim.run_until_idle(TimeNs::from_secs(10)));
+        let rec = &sim.app::<RecordingSink>(sink).records;
+        assert_eq!(rec.len(), 50);
+        for (i, r) in rec.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "reordering detected");
+        }
+        // Back-to-back arrivals at the second (slower) link are spaced by
+        // its transmission time (4 Mb/s, 500 B => 1 ms).
+        for w in rec.windows(2) {
+            assert!(w[1].recv_at - w[0].recv_at >= TimeNs::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn queueing_delay_builds_under_burst() {
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(LinkConfig::new(Rate::from_mbps(8.0), TimeNs::ZERO));
+        let sink = sim.add_app(Box::new(RecordingSink::default()));
+        let route = sim.route(&[l], sink);
+        // 10 packets of 1000 B injected simultaneously: tx time 1 ms each.
+        for i in 0..10 {
+            sim.inject(Packet::new(1000, FlowId(1), i, route.clone()), TimeNs::ZERO);
+        }
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        let rec = &sim.app::<RecordingSink>(sink).records;
+        for (i, r) in rec.iter().enumerate() {
+            assert_eq!(r.recv_at, TimeNs::from_millis(i as u64 + 1));
+        }
+        let stats = &sim.link(l).stats;
+        assert_eq!(stats.tx_packets, 10);
+        assert_eq!(stats.max_queue_bytes, 9000);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(TimeNs::from_secs(5));
+        assert_eq!(sim.now(), TimeNs::from_secs(5));
+    }
+
+    #[test]
+    fn empty_route_delivers_locally() {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let route = sim.route(&[], sink);
+        sim.inject(Packet::new(100, FlowId(1), 0, route), TimeNs::from_millis(3));
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        let s = sim.app::<CountingSink>(sink);
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.last_arrival, TimeNs::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject into the past")]
+    fn injecting_into_the_past_panics() {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let route = sim.route(&[], sink);
+        sim.run_until(TimeNs::from_secs(1));
+        sim.inject(Packet::new(100, FlowId(1), 0, route), TimeNs::ZERO);
+    }
+
+    struct PingPong {
+        peer_route: Option<Arc<RouteSpec>>,
+        bounces_left: u32,
+        pub received: u32,
+    }
+
+    impl App for PingPong {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.received += 1;
+            if self.bounces_left > 0 {
+                self.bounces_left -= 1;
+                let route = self.peer_route.clone().unwrap();
+                ctx.send(Packet::new(pkt.size, pkt.flow, pkt.seq + 1, route));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            let route = self.peer_route.clone().unwrap();
+            ctx.send(Packet::new(100, FlowId(9), 0, route));
+        }
+    }
+
+    #[test]
+    fn apps_can_send_re_entrantly() {
+        let mut sim = Simulator::new(1);
+        let l_ab = sim.add_link(LinkConfig::new(Rate::from_mbps(8.0), TimeNs::ZERO));
+        let l_ba = sim.add_link(LinkConfig::new(Rate::from_mbps(8.0), TimeNs::ZERO));
+        let a = sim.add_app(Box::new(PingPong {
+            peer_route: None,
+            bounces_left: 5,
+            received: 0,
+        }));
+        let b = sim.add_app(Box::new(PingPong {
+            peer_route: None,
+            bounces_left: 5,
+            received: 0,
+        }));
+        let to_b = sim.route(&[l_ab], b);
+        let to_a = sim.route(&[l_ba], a);
+        sim.app_mut::<PingPong>(a).peer_route = Some(to_b);
+        sim.app_mut::<PingPong>(b).peer_route = Some(to_a);
+        sim.schedule_timer(a, TimeNs::ZERO, 0);
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        let ra = sim.app::<PingPong>(a).received;
+        let rb = sim.app::<PingPong>(b).received;
+        // a sends 1; total bounces: b replies 5, a replies 5 => a gets 5, b gets 6.
+        assert_eq!(rb, 6);
+        assert_eq!(ra, 5);
+    }
+}

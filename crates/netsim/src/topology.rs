@@ -1,0 +1,167 @@
+//! Chain topologies: the H-hop path of the paper's Fig. 4 plus a mirrored
+//! reverse chain for acknowledgments and echo replies.
+
+use crate::app::AppId;
+use crate::link::{LinkConfig, LinkId};
+use crate::packet::RouteSpec;
+use crate::sim::Simulator;
+use std::sync::Arc;
+use units::TimeNs;
+
+/// Configuration of a bidirectional chain path.
+#[derive(Clone, Debug)]
+pub struct ChainConfig {
+    /// Forward-direction links, sender to receiver, hop 0 first.
+    pub forward: Vec<LinkConfig>,
+    /// Reverse-direction links, receiver to sender, hop 0 first.
+    /// If `None`, the forward configs are mirrored (same capacities and
+    /// delays, no fault injection changes).
+    pub reverse: Option<Vec<LinkConfig>>,
+}
+
+impl ChainConfig {
+    /// A chain with the given forward links and a mirrored reverse path.
+    pub fn symmetric(forward: Vec<LinkConfig>) -> ChainConfig {
+        ChainConfig {
+            forward,
+            reverse: None,
+        }
+    }
+}
+
+/// A built chain: link ids in both directions.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    /// Forward links, hop 0 first.
+    pub forward: Vec<LinkId>,
+    /// Reverse links, first entry leaves the receiver.
+    pub reverse: Vec<LinkId>,
+}
+
+impl Chain {
+    /// Instantiate the chain's links in `sim`.
+    pub fn build(sim: &mut Simulator, cfg: &ChainConfig) -> Chain {
+        assert!(!cfg.forward.is_empty(), "a chain needs at least one link");
+        let forward: Vec<LinkId> = cfg
+            .forward
+            .iter()
+            .enumerate()
+            .map(|(i, lc)| {
+                let mut lc = lc.clone();
+                if lc.name.is_empty() {
+                    lc.name = format!("fwd{i}");
+                }
+                sim.add_link(lc)
+            })
+            .collect();
+        let rev_cfgs: Vec<LinkConfig> = match &cfg.reverse {
+            Some(r) => r.clone(),
+            None => cfg.forward.iter().rev().cloned().collect(),
+        };
+        let reverse: Vec<LinkId> = rev_cfgs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut lc)| {
+                if lc.name.is_empty() || cfg.reverse.is_none() {
+                    lc.name = format!("rev{i}");
+                }
+                sim.add_link(lc)
+            })
+            .collect();
+        Chain { forward, reverse }
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Route traversing the whole forward path to `dst`.
+    pub fn forward_route(&self, sim: &Simulator, dst: AppId) -> Arc<RouteSpec> {
+        sim.route(&self.forward, dst)
+    }
+
+    /// Route traversing the whole reverse path to `dst`.
+    pub fn reverse_route(&self, sim: &Simulator, dst: AppId) -> Arc<RouteSpec> {
+        sim.route(&self.reverse, dst)
+    }
+
+    /// Single-hop route across forward link `hop` only — the paper's
+    /// cross-traffic enters and exits at each hop (Fig. 4).
+    pub fn hop_route(&self, sim: &Simulator, hop: usize, dst: AppId) -> Arc<RouteSpec> {
+        sim.route(&[self.forward[hop]], dst)
+    }
+
+    /// Base round-trip time for a packet of `fwd_size` bytes forward and
+    /// `rev_size` bytes back, on an otherwise empty path: transmission plus
+    /// propagation on every hop, no queueing.
+    pub fn base_rtt(&self, sim: &Simulator, fwd_size: u32, rev_size: u32) -> TimeNs {
+        let mut t = TimeNs::ZERO;
+        for l in &self.forward {
+            let link = sim.link(*l);
+            t += link.capacity().tx_time(fwd_size) + link.prop_delay();
+        }
+        for l in &self.reverse {
+            let link = sim.link(*l);
+            t += link.capacity().tx_time(rev_size) + link.prop_delay();
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RecordingSink;
+    use crate::packet::{FlowId, Packet};
+    use units::Rate;
+
+    fn cfg(n: usize) -> ChainConfig {
+        ChainConfig::symmetric(
+            (0..n)
+                .map(|_| LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(5)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn builds_forward_and_mirrored_reverse() {
+        let mut sim = Simulator::new(3);
+        let chain = Chain::build(&mut sim, &cfg(4));
+        assert_eq!(chain.hops(), 4);
+        assert_eq!(chain.forward.len(), 4);
+        assert_eq!(chain.reverse.len(), 4);
+        assert_eq!(sim.num_links(), 8);
+        for (f, r) in chain.forward.iter().zip(&chain.reverse) {
+            assert_eq!(sim.link(*f).capacity().bps(), sim.link(*r).capacity().bps());
+        }
+    }
+
+    #[test]
+    fn base_rtt_accounts_for_every_hop() {
+        let mut sim = Simulator::new(3);
+        let chain = Chain::build(&mut sim, &cfg(2));
+        // fwd: 2 * (1.2ms tx + 5ms prop); rev with 40 B: 2 * (0.032ms + 5ms)
+        let rtt = chain.base_rtt(&sim, 1500, 40);
+        let expect = TimeNs::from_micros(2 * (1200 + 5000) + 2 * (32 + 5000));
+        assert_eq!(rtt, expect);
+    }
+
+    #[test]
+    fn forward_route_reaches_destination() {
+        let mut sim = Simulator::new(3);
+        let chain = Chain::build(&mut sim, &cfg(3));
+        let sink = sim.add_app(Box::new(RecordingSink::default()));
+        let route = chain.forward_route(&sim, sink);
+        sim.inject(Packet::new(1000, FlowId(5), 0, route), TimeNs::ZERO);
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        assert_eq!(sim.app::<RecordingSink>(sink).records.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_chain_panics() {
+        let mut sim = Simulator::new(3);
+        let _ = Chain::build(&mut sim, &ChainConfig::symmetric(vec![]));
+    }
+}

@@ -1,0 +1,33 @@
+//! # simprobe — SLoPS probing over the packet-level simulator
+//!
+//! Implements [`slops::ProbeTransport`] on top of a [`netsim::Simulator`]
+//! (periodic UDP-like streams, back-to-back trains, pacing idles), together
+//! with builders for every topology in the paper's evaluation:
+//!
+//! * [`scenarios::PaperPath`] — the H-hop chain of Fig. 4 with a tight link
+//!   in the middle and per-hop cross traffic (Figs. 5–9, 11, 13, 14).
+//! * [`scenarios::verification_path`] — the Univ-Oregon → Univ-Delaware
+//!   style path where the tight link (155 Mb/s POS) differs from the narrow
+//!   link (100 Mb/s FE) (Figs. 1–3, 10).
+//! * [`scenarios::multiplexing_path`] — a bottleneck fed by a configurable
+//!   number of Pareto ON/OFF sources (Fig. 12).
+//!
+//! Timestamping model: the simulated receiver reads its own clock, which is
+//! offset from the sender's by a configurable constant and quantized to a
+//! configurable resolution (1 µs default, like `gettimeofday`). SLoPS only
+//! uses OWD *differences*, so the offset cancels — the transport exists to
+//! prove exactly that on a packet-accurate path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod receiver;
+pub mod scenarios;
+pub mod transport;
+
+pub use receiver::ProbeReceiver;
+pub use scenarios::{
+    multiplexing_path, reverse_loaded_path, verification_path, verification_path_with_window,
+    PaperPath, PaperPathConfig,
+};
+pub use transport::SimTransport;

@@ -1,0 +1,445 @@
+//! Builders for every topology in the paper's evaluation.
+//!
+//! All scenarios are chains (paper Fig. 4): probe traffic traverses every
+//! hop; cross traffic enters and exits at each hop. The tight link sits in
+//! the middle. Ground-truth avail-bw is `min_i C_i (1 − u_i)` by
+//! construction (eq. 3).
+
+use crate::receiver::ProbeReceiver;
+use crate::transport::SimTransport;
+use netsim::app::CountingSink;
+use netsim::{Chain, ChainConfig, LinkConfig, LinkId, Simulator};
+use traffic::{attach_onoff_sources, attach_sources, SourceConfig};
+use units::{Rate, TimeNs};
+
+/// How a link's cross traffic is generated.
+#[derive(Clone, Debug)]
+pub enum TrafficModel {
+    /// Independent renewal sources (Poisson / Pareto / CBR interarrivals).
+    Renewal(SourceConfig),
+    /// Pareto ON/OFF sources (statistical-multiplexing experiments).
+    ParetoOnOff,
+}
+
+/// Load specification of one hop.
+#[derive(Clone, Debug)]
+pub struct LinkLoad {
+    /// Link capacity.
+    pub capacity: Rate,
+    /// Target long-run utilization from cross traffic, in `[0, 1)`.
+    pub util: f64,
+    /// Number of independent cross-traffic sources (paper: 10 per hop).
+    pub n_sources: usize,
+    /// Traffic model.
+    pub model: TrafficModel,
+}
+
+impl LinkLoad {
+    /// Renewal-model load with the paper's Pareto cross traffic.
+    pub fn pareto(capacity: Rate, util: f64, n_sources: usize) -> LinkLoad {
+        LinkLoad {
+            capacity,
+            util,
+            n_sources,
+            model: TrafficModel::Renewal(SourceConfig::paper_pareto()),
+        }
+    }
+
+    /// This link's average available bandwidth `C(1 − u)`.
+    pub fn avail(&self) -> Rate {
+        self.capacity * (1.0 - self.util)
+    }
+}
+
+/// Non-load options of a scenario.
+#[derive(Clone, Debug)]
+pub struct PathOpts {
+    /// Propagation delay per hop (paper: 50 ms end-to-end over H hops).
+    pub prop_per_hop: TimeNs,
+    /// Utilization-monitor window for every link.
+    pub monitor_window: TimeNs,
+    /// Cross-traffic warm-up simulated before the transport is handed out.
+    pub warmup: TimeNs,
+    /// Drop-tail queue limit per link, bytes.
+    pub queue_limit: u64,
+}
+
+impl Default for PathOpts {
+    fn default() -> Self {
+        PathOpts {
+            prop_per_hop: TimeNs::from_millis(10),
+            monitor_window: TimeNs::from_secs(300),
+            warmup: TimeNs::from_secs(2),
+            queue_limit: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// The end-to-end average avail-bw implied by a load vector (eq. 3).
+pub fn path_avail_bw(loads: &[LinkLoad]) -> Rate {
+    loads
+        .iter()
+        .map(LinkLoad::avail)
+        .reduce(Rate::min)
+        .expect("non-empty path")
+}
+
+/// Build a loaded chain and return its probe transport.
+///
+/// The reverse path mirrors the forward capacities but carries no cross
+/// traffic (the paper's experiments only load the forward direction).
+pub fn build_loaded_path(loads: &[LinkLoad], opts: &PathOpts, seed: u64) -> SimTransport {
+    assert!(!loads.is_empty());
+    let mut sim = Simulator::new(seed);
+    let forward: Vec<LinkConfig> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            LinkConfig::new(l.capacity, opts.prop_per_hop)
+                .with_queue_limit(opts.queue_limit)
+                .with_monitor_window(opts.monitor_window)
+                .with_name(format!("hop{i}"))
+        })
+        .collect();
+    let chain = Chain::build(&mut sim, &ChainConfig::symmetric(forward));
+    let cross_sink = sim.add_app(Box::new(CountingSink::default()));
+    for (hop, load) in loads.iter().enumerate() {
+        if load.util <= 0.0 {
+            continue;
+        }
+        let rate = load.capacity * load.util;
+        let route = chain.hop_route(&sim, hop, cross_sink);
+        match &load.model {
+            TrafficModel::Renewal(cfg) => {
+                attach_sources(&mut sim, route, rate, load.n_sources, cfg);
+            }
+            TrafficModel::ParetoOnOff => {
+                attach_onoff_sources(&mut sim, route, rate, load.n_sources);
+            }
+        }
+    }
+    let receiver = sim.add_app(Box::new(ProbeReceiver::default()));
+    sim.run_until(opts.warmup);
+    SimTransport::new(sim, chain, receiver)
+}
+
+/// Configuration of the paper's default simulation topology (Fig. 4):
+/// H hops, tight link in the middle, identical nontight links elsewhere.
+///
+/// Defaults (§V-A, OCR-damaged values reconstructed — see DESIGN.md):
+/// H = 5, C_t = 10 Mb/s, u_t = 60 %, C_nt = 40 Mb/s, u_nt = 20 %,
+/// 10 Pareto (α = 1.9) sources per hop with the 40/550/1500 B size mix.
+#[derive(Clone, Debug)]
+pub struct PaperPathConfig {
+    /// Number of hops H.
+    pub hops: usize,
+    /// Tight-link capacity C_t.
+    pub tight_capacity: Rate,
+    /// Tight-link utilization u_t.
+    pub tight_util: f64,
+    /// Nontight-link capacity C_nt.
+    pub nontight_capacity: Rate,
+    /// Nontight-link utilization u_nt.
+    pub nontight_util: f64,
+    /// Cross-traffic sources per hop.
+    pub sources_per_link: usize,
+    /// Cross-traffic model for every hop.
+    pub source_cfg: SourceConfig,
+    /// Non-load options.
+    pub opts: PathOpts,
+}
+
+impl Default for PaperPathConfig {
+    fn default() -> Self {
+        PaperPathConfig {
+            hops: 5,
+            tight_capacity: Rate::from_mbps(10.0),
+            tight_util: 0.60,
+            nontight_capacity: Rate::from_mbps(40.0),
+            nontight_util: 0.20,
+            sources_per_link: 10,
+            source_cfg: SourceConfig::paper_pareto(),
+            opts: PathOpts::default(),
+        }
+    }
+}
+
+impl PaperPathConfig {
+    /// The end-to-end average avail-bw (the tight link's, by construction
+    /// as long as the tightness factor β < 1).
+    pub fn avail_bw(&self) -> Rate {
+        self.tight_avail().min(self.nontight_avail())
+    }
+
+    /// Tight-link avail-bw `A_t = C_t (1 − u_t)`.
+    pub fn tight_avail(&self) -> Rate {
+        self.tight_capacity * (1.0 - self.tight_util)
+    }
+
+    /// Nontight-link avail-bw `A_nt = C_nt (1 − u_nt)`.
+    pub fn nontight_avail(&self) -> Rate {
+        self.nontight_capacity * (1.0 - self.nontight_util)
+    }
+
+    /// The path tightness factor β = A_t / A_nt (eq. 10).
+    pub fn tightness(&self) -> f64 {
+        self.tight_avail().bps() / self.nontight_avail().bps()
+    }
+
+    /// Set the nontight capacity so the tightness factor becomes β while
+    /// keeping `nontight_util` fixed: `C_nt = A_t / (β (1 − u_nt))`.
+    /// β = 1 makes every link a tight link (Fig. 7).
+    pub fn set_tightness(&mut self, beta: f64) {
+        assert!(beta > 0.0 && beta <= 1.0);
+        let a_nt = self.tight_avail().bps() / beta;
+        self.nontight_capacity = Rate::from_bps(a_nt / (1.0 - self.nontight_util));
+    }
+
+    /// The per-hop load vector this configuration describes.
+    pub fn loads(&self) -> Vec<LinkLoad> {
+        let tight_hop = self.hops / 2;
+        (0..self.hops)
+            .map(|h| {
+                let (cap, util) = if h == tight_hop {
+                    (self.tight_capacity, self.tight_util)
+                } else {
+                    (self.nontight_capacity, self.nontight_util)
+                };
+                LinkLoad {
+                    capacity: cap,
+                    util,
+                    n_sources: self.sources_per_link,
+                    model: TrafficModel::Renewal(self.source_cfg.clone()),
+                }
+            })
+            .collect()
+    }
+}
+
+/// The paper's Fig. 4 topology, built and warmed up.
+pub struct PaperPath {
+    transport: SimTransport,
+    /// The tight link's id (for MRTG-style monitoring).
+    pub tight_link: LinkId,
+}
+
+impl PaperPath {
+    /// Build the topology with the given seed.
+    pub fn build(cfg: &PaperPathConfig, seed: u64) -> PaperPath {
+        let mut opts = cfg.opts.clone();
+        // 50 ms end-to-end propagation split across hops (paper §V-A).
+        opts.prop_per_hop = TimeNs::from_nanos(
+            TimeNs::from_millis(50).as_nanos() / cfg.hops as u64,
+        );
+        let transport = build_loaded_path(&cfg.loads(), &opts, seed);
+        let tight_link = transport.chain().forward[cfg.hops / 2];
+        PaperPath {
+            transport,
+            tight_link,
+        }
+    }
+
+    /// Consume, returning the probe transport.
+    pub fn into_transport(self) -> SimTransport {
+        self.transport
+    }
+
+    /// Borrow the probe transport.
+    pub fn transport_mut(&mut self) -> &mut SimTransport {
+        &mut self.transport
+    }
+}
+
+/// The Fig. 10 verification path: a lightly loaded access link, a 155 Mb/s
+/// POS backbone link carrying the interesting load (the **tight** link),
+/// and a 100 Mb/s Fast-Ethernet egress (the **narrow** link).
+///
+/// Returns the transport and the tight link's id.
+pub fn verification_path(tight_util: f64, seed: u64) -> (SimTransport, LinkId) {
+    verification_path_with_window(tight_util, seed, TimeNs::from_secs(300))
+}
+
+/// [`verification_path`] with an explicit MRTG monitor window (the Fig. 10
+/// harness shortens it in quick mode so one window fits the run).
+pub fn verification_path_with_window(
+    tight_util: f64,
+    seed: u64,
+    monitor_window: TimeNs,
+) -> (SimTransport, LinkId) {
+    // Backbone-grade statistical multiplexing: a real OC-3 aggregates
+    // thousands of flows and is close to Poisson at the 10 ms timescale of
+    // one probe stream. With heavy-tailed (alpha = 1.9) renewal sources the
+    // short-timescale utilization stays right-skewed, and SLoPS — which
+    // converges to the *median* of the short-timescale avail-bw — then
+    // sits systematically above the MRTG *mean* (see EXPERIMENTS.md,
+    // Fig. 10 notes; this is the paper's tau-averaging discussion in
+    // action).
+    let poisson = |c: f64, u: f64, n: usize| LinkLoad {
+        capacity: Rate::from_mbps(c),
+        util: u,
+        n_sources: n,
+        model: TrafficModel::Renewal(SourceConfig::paper_poisson()),
+    };
+    let loads = vec![
+        poisson(622.0, 0.05, 100),
+        poisson(155.0, tight_util, 180),
+        poisson(100.0, 0.05, 30),
+    ];
+    let opts = PathOpts {
+        prop_per_hop: TimeNs::from_millis(12), // ~70 ms RTT, a wide-area path
+        monitor_window,
+        ..PathOpts::default()
+    };
+    let t = build_loaded_path(&loads, &opts, seed);
+    let tight = t.chain().forward[1];
+    (t, tight)
+}
+
+/// A path whose **reverse** direction is congested while the forward
+/// direction is lightly loaded. SLoPS measures one-way delays, so its
+/// estimate must track the forward avail-bw and ignore the reverse
+/// congestion entirely — where any RTT-based method would collapse.
+/// Returns the transport; the forward avail-bw is
+/// `fwd_capacity·(1 − fwd_util)`.
+pub fn reverse_loaded_path(
+    fwd_capacity: Rate,
+    fwd_util: f64,
+    rev_util: f64,
+    seed: u64,
+) -> SimTransport {
+    let mut sim = Simulator::new(seed);
+    let mk = |name: &str| {
+        LinkConfig::new(fwd_capacity, TimeNs::from_millis(10)).with_name(name.to_string())
+    };
+    let chain = Chain::build(
+        &mut sim,
+        &ChainConfig {
+            forward: vec![mk("fwd0"), mk("fwd1")],
+            reverse: Some(vec![mk("rev0"), mk("rev1")]),
+        },
+    );
+    let sink = sim.add_app(Box::new(CountingSink::default()));
+    // Forward load on hop 1.
+    if fwd_util > 0.0 {
+        let route = chain.hop_route(&sim, 1, sink);
+        attach_sources(
+            &mut sim,
+            route,
+            fwd_capacity * fwd_util,
+            10,
+            &SourceConfig::paper_pareto(),
+        );
+    }
+    // Heavy load on the reverse hop 0 (the ACK/control direction).
+    if rev_util > 0.0 {
+        let route = sim.route(&[chain.reverse[0]], sink);
+        attach_sources(
+            &mut sim,
+            route,
+            fwd_capacity * rev_util,
+            10,
+            &SourceConfig::paper_pareto(),
+        );
+    }
+    let receiver = sim.add_app(Box::new(ProbeReceiver::default()));
+    sim.run_until(TimeNs::from_secs(2));
+    SimTransport::new(sim, chain, receiver)
+}
+
+/// The Fig. 12 statistical-multiplexing paths: one bottleneck at the given
+/// capacity and utilization, fed by `n_sources` Pareto ON/OFF sources, with
+/// a fast, lightly loaded link on either side.
+pub fn multiplexing_path(
+    capacity: Rate,
+    util: f64,
+    n_sources: usize,
+    seed: u64,
+) -> SimTransport {
+    let loads = vec![
+        LinkLoad::pareto(Rate::from_mbps(622.0), 0.05, 40),
+        LinkLoad {
+            capacity,
+            util,
+            n_sources,
+            model: TrafficModel::ParetoOnOff,
+        },
+        LinkLoad::pareto(Rate::from_mbps(622.0), 0.05, 40),
+    ];
+    let opts = PathOpts {
+        warmup: TimeNs::from_secs(5), // ON/OFF aggregates converge slower
+        ..PathOpts::default()
+    };
+    build_loaded_path(&loads, &opts, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = PaperPathConfig::default();
+        assert_eq!(cfg.hops, 5);
+        assert!((cfg.avail_bw().mbps() - 4.0).abs() < 1e-9);
+        assert!((cfg.nontight_avail().mbps() - 32.0).abs() < 1e-9);
+        assert!((cfg.tightness() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_tightness_solves_for_nontight_capacity() {
+        let mut cfg = PaperPathConfig::default();
+        cfg.set_tightness(0.5);
+        assert!((cfg.nontight_avail().mbps() - 8.0).abs() < 1e-9);
+        assert!((cfg.tightness() - 0.5).abs() < 1e-9);
+        cfg.set_tightness(1.0);
+        // All links now have A = 4 Mb/s.
+        assert!((cfg.nontight_avail().mbps() - 4.0).abs() < 1e-9);
+        assert!((path_avail_bw(&cfg.loads()).mbps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loads_place_tight_link_in_the_middle() {
+        let cfg = PaperPathConfig::default();
+        let loads = cfg.loads();
+        assert_eq!(loads.len(), 5);
+        assert_eq!(loads[2].capacity.mbps(), 10.0);
+        for (i, l) in loads.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(l.capacity.mbps(), 40.0);
+            }
+        }
+        assert!((path_avail_bw(&loads).mbps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn built_path_carries_configured_load() {
+        use slops::ProbeTransport;
+        let cfg = PaperPathConfig::default();
+        let path = PaperPath::build(&cfg, 99);
+        let mut t = path.into_transport();
+        // Run 20 s and check the tight link's utilization.
+        t.idle(TimeNs::from_secs(20));
+        let sim = t.sim();
+        let tight = sim.link(t.chain().forward[2]);
+        let util = tight.stats.utilization(t.elapsed());
+        assert!(
+            (util - 0.60).abs() < 0.05,
+            "tight-link utilization {util}, want ~0.60"
+        );
+    }
+
+    #[test]
+    fn verification_path_has_distinct_tight_and_narrow() {
+        let (t, tight) = verification_path(0.52, 1);
+        let sim = t.sim();
+        assert_eq!(sim.link(tight).capacity().mbps(), 155.0);
+        // Narrow link is the 100 Mb/s one.
+        let narrowest = t
+            .chain()
+            .forward
+            .iter()
+            .map(|l| sim.link(*l).capacity().mbps())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(narrowest, 100.0);
+    }
+}

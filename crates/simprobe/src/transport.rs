@@ -1,0 +1,352 @@
+//! [`slops::ProbeTransport`] implementation over [`netsim::Simulator`].
+
+use crate::receiver::ProbeReceiver;
+use netsim::{AppId, Chain, FlowId, Packet, Payload, Simulator};
+use slops::{PacketSample, ProbeTransport, StreamRecord, StreamRequest, TrainRecord, TransportError};
+use units::{Rate, TimeNs};
+
+/// Flow id used for probe traffic.
+const PROBE_FLOW: FlowId = FlowId(0x504C_0001); // 'PL'
+
+/// How long past the nominal stream end the transport waits for stragglers
+/// before declaring the remaining packets lost.
+const STREAM_GRACE: TimeNs = TimeNs::from_millis(500);
+
+/// SLoPS probing over a simulated path.
+///
+/// Owns the simulator; between probes, [`SimTransport::idle`] advances
+/// simulated time so cross traffic (and any other application in the
+/// simulation, e.g. TCP flows or pingers) keeps running. The simulator can
+/// be borrowed back at any time through [`SimTransport::sim`] /
+/// [`SimTransport::sim_mut`] for inspection or for driving other apps.
+pub struct SimTransport {
+    sim: Simulator,
+    chain: Chain,
+    receiver: AppId,
+    /// Receiver clock = global clock + `clock_offset_ns` (may be negative).
+    pub clock_offset_ns: i64,
+    /// Timestamp quantization of both endpoint clocks (default 1 µs).
+    pub clock_resolution_ns: u64,
+    next_stream_tag: u32,
+    next_train_tag: u32,
+    lead_in: TimeNs,
+    /// Total probe bytes injected (streams + trains); lets experiments
+    /// discount the tool's own footprint from link counters.
+    pub probe_bytes_sent: u64,
+}
+
+impl SimTransport {
+    /// Wrap a simulator whose probe path is `chain`, delivering to a
+    /// [`ProbeReceiver`] app with id `receiver`.
+    pub fn new(sim: Simulator, chain: Chain, receiver: AppId) -> SimTransport {
+        SimTransport {
+            sim,
+            chain,
+            receiver,
+            clock_offset_ns: -7_777_777_777, // clocks are not synchronized
+            clock_resolution_ns: 1_000,
+            next_stream_tag: 0,
+            next_train_tag: 0,
+            lead_in: TimeNs::from_millis(1),
+            probe_bytes_sent: 0,
+        }
+    }
+
+    /// Borrow the underlying simulator.
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutably borrow the underlying simulator (to read link stats, drive
+    /// other applications, ...).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The probe path.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// Consume the transport, returning the simulator.
+    pub fn into_sim(self) -> Simulator {
+        self.sim
+    }
+
+    fn quantize(&self, ns: i64) -> i64 {
+        let res = self.clock_resolution_ns as i64;
+        if res > 1 {
+            ns.div_euclid(res) * res
+        } else {
+            ns
+        }
+    }
+
+    /// Sender-clock reading of a global instant.
+    fn sender_reading(&self, t: TimeNs) -> i64 {
+        self.quantize(t.as_nanos() as i64)
+    }
+
+    /// Receiver-clock reading of a global instant.
+    fn receiver_reading(&self, t: TimeNs) -> i64 {
+        self.quantize(t.as_nanos() as i64 + self.clock_offset_ns)
+    }
+
+    /// Run the simulation in slices until `receiver` holds `want` packets
+    /// of stream/train `tag`, or until `deadline`.
+    fn run_until_collected(&mut self, tag: u32, want: u32, deadline: TimeNs, train: bool) {
+        let slice = TimeNs::from_millis(5);
+        loop {
+            let now = self.sim.now();
+            if now >= deadline {
+                break;
+            }
+            let target = (now + slice).min(deadline);
+            self.sim.run_until(target);
+            let rx = self.sim.app::<ProbeReceiver>(self.receiver);
+            let have = if train {
+                rx.train(tag).count
+            } else {
+                rx.stream_count(tag)
+            };
+            if have >= want {
+                break;
+            }
+        }
+    }
+}
+
+impl ProbeTransport for SimTransport {
+    fn send_stream(&mut self, req: &StreamRequest) -> Result<StreamRecord, TransportError> {
+        let tag = self.next_stream_tag;
+        self.next_stream_tag += 1;
+        let t0 = self.sim.now() + self.lead_in;
+        let route = self.chain.forward_route(&self.sim, self.receiver);
+        for i in 0..req.count {
+            let at = t0 + req.period * i as u64;
+            let pkt = Packet::with_payload(
+                req.packet_size,
+                PROBE_FLOW,
+                i as u64,
+                route.clone(),
+                Payload::Probe {
+                    stream: tag,
+                    idx: i,
+                    sender_ts: at,
+                },
+            );
+            self.sim.inject(pkt, at);
+            self.probe_bytes_sent += req.packet_size as u64;
+        }
+        let deadline = t0 + req.period * req.count as u64 + STREAM_GRACE;
+        self.run_until_collected(tag, req.count, deadline, false);
+
+        let arrivals = self
+            .sim
+            .app_mut::<ProbeReceiver>(self.receiver)
+            .take_stream(tag);
+        let first_send = self.sender_reading(t0);
+        let samples = arrivals
+            .iter()
+            .map(|a| PacketSample {
+                idx: a.idx,
+                send_offset: TimeNs::from_nanos(
+                    (self.sender_reading(a.sender_ts) - first_send).max(0) as u64,
+                ),
+                owd_ns: self.receiver_reading(a.recv_at) - self.sender_reading(a.sender_ts),
+            })
+            .collect();
+        Ok(StreamRecord {
+            sent: req.count,
+            samples,
+        })
+    }
+
+    fn send_train(&mut self, len: u32, size: u32) -> Result<TrainRecord, TransportError> {
+        let tag = self.next_train_tag;
+        self.next_train_tag += 1;
+        let t0 = self.sim.now() + self.lead_in;
+        let route = self.chain.forward_route(&self.sim, self.receiver);
+        for i in 0..len {
+            // Injected simultaneously: the first link's FIFO serializes them
+            // back to back, exactly like a sender NIC at line rate.
+            let pkt = Packet::with_payload(
+                size,
+                PROBE_FLOW,
+                i as u64,
+                route.clone(),
+                Payload::Train { train: tag, idx: i },
+            );
+            self.sim.inject(pkt, t0);
+            self.probe_bytes_sent += size as u64;
+        }
+        // Worst-case drain time: the whole train at the narrowest capacity,
+        // plus queueing grace.
+        let narrowest = self
+            .chain
+            .forward
+            .iter()
+            .map(|l| self.sim.link(*l).capacity())
+            .reduce(Rate::min)
+            .expect("non-empty chain");
+        let drain = TimeNs::from_secs_f64(
+            (len as u64 * size as u64 * 8) as f64 / narrowest.bps(),
+        );
+        let deadline = t0 + drain * 2 + TimeNs::from_secs(1);
+        self.run_until_collected(tag, len, deadline, true);
+
+        let obs = self
+            .sim
+            .app_mut::<ProbeReceiver>(self.receiver)
+            .take_train(tag);
+        // Dispersion is a timestamp difference, so the clock offset cancels;
+        // report quantized receiver timestamps on the global clock to keep
+        // the u64 fields meaningful.
+        Ok(TrainRecord {
+            sent: len,
+            received: obs.count,
+            size,
+            first_recv: TimeNs::from_nanos(self.sender_reading(obs.first).max(0) as u64),
+            last_recv: TimeNs::from_nanos(self.sender_reading(obs.last).max(0) as u64),
+        })
+    }
+
+    fn rtt(&mut self) -> TimeNs {
+        // Control messages are small; base RTT of the (possibly loaded)
+        // path is what the real tool's control channel would measure.
+        self.chain.base_rtt(&self.sim, 100, 100)
+    }
+
+    fn idle(&mut self, dur: TimeNs) {
+        let target = self.sim.now() + dur;
+        self.sim.run_until(target);
+    }
+
+    fn max_rate(&self) -> Option<Rate> {
+        None // the simulator can inject at any rate; slops caps at MTU/T_min
+    }
+
+    fn elapsed(&self) -> TimeNs {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{ChainConfig, LinkConfig};
+    use slops::stream_params;
+    use slops::SlopsConfig;
+
+    /// Empty 2-hop path: 10 Mb/s then 8 Mb/s links.
+    fn empty_path() -> SimTransport {
+        let mut sim = Simulator::new(5);
+        let chain = Chain::build(
+            &mut sim,
+            &ChainConfig::symmetric(vec![
+                LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(5)),
+                LinkConfig::new(Rate::from_mbps(8.0), TimeNs::from_millis(5)),
+            ]),
+        );
+        let rx = sim.add_app(Box::new(ProbeReceiver::default()));
+        SimTransport::new(sim, chain, rx)
+    }
+
+    #[test]
+    fn stream_on_empty_path_is_flat_below_capacity() {
+        let mut t = empty_path();
+        let cfg = SlopsConfig::default();
+        let req = stream_params(Rate::from_mbps(4.0), 0, &cfg);
+        let rec = t.send_stream(&req).unwrap();
+        assert_eq!(rec.samples.len(), 100);
+        assert_eq!(rec.loss_fraction(), 0.0);
+        let owds = rec.owds();
+        // No cross traffic, rate below capacity: OWDs constant within
+        // clock quantization.
+        let min = *owds.iter().min().unwrap();
+        let max = *owds.iter().max().unwrap();
+        assert!(
+            max - min <= 2 * t.clock_resolution_ns as i64,
+            "OWD spread {} on an empty path",
+            max - min
+        );
+    }
+
+    #[test]
+    fn stream_above_path_capacity_ramps() {
+        let mut t = empty_path();
+        let cfg = SlopsConfig::default();
+        // 9 Mb/s > 8 Mb/s second-link capacity: self-loading.
+        let req = stream_params(Rate::from_mbps(9.0), 1, &cfg);
+        let rec = t.send_stream(&req).unwrap();
+        let owds = rec.owds();
+        assert!(owds.last().unwrap() > owds.first().unwrap());
+        // Fluid prediction: slope = L·8(1 − 8/9)/8e6 per packet.
+        let l_bits = req.packet_size as f64 * 8.0;
+        let slope = l_bits * (1.0 - 8.0 / 9.0) / 8e6 * 1e9; // ns per packet
+        let total_pred = slope * 99.0;
+        let total_obs = (owds[99] - owds[0]) as f64;
+        assert!(
+            (total_obs - total_pred).abs() / total_pred < 0.05,
+            "observed ramp {total_obs} vs fluid {total_pred}"
+        );
+    }
+
+    #[test]
+    fn clock_offset_cancels_in_owd_differences() {
+        let cfg = SlopsConfig::default();
+        let run = |offset: i64| {
+            let mut t = empty_path();
+            t.clock_offset_ns = offset;
+            let req = stream_params(Rate::from_mbps(9.0), 0, &cfg);
+            let rec = t.send_stream(&req).unwrap();
+            let owds = rec.owds();
+            owds[99] - owds[0]
+        };
+        let ramp_no_offset = run(0);
+        let ramp_offset = run(123_456_789_012);
+        assert!((ramp_no_offset - ramp_offset).abs() <= 2_000);
+    }
+
+    #[test]
+    fn train_dispersion_on_empty_path_equals_narrow_capacity() {
+        let mut t = empty_path();
+        let rec = t.send_train(48, 1500).unwrap();
+        assert_eq!(rec.received, 48);
+        let adr = rec.dispersion_rate().unwrap();
+        // Empty path: dispersion = narrow link capacity = 8 Mb/s.
+        assert!((adr.mbps() - 8.0).abs() < 0.1, "adr = {adr}");
+    }
+
+    #[test]
+    fn rtt_matches_chain_base_rtt() {
+        let mut t = empty_path();
+        let rtt = t.rtt();
+        // 2*(tx100B + 5ms) per direction, four links total: > 20 ms.
+        assert!(rtt > TimeNs::from_millis(20));
+        assert!(rtt < TimeNs::from_millis(21));
+    }
+
+    #[test]
+    fn idle_advances_simulated_time() {
+        let mut t = empty_path();
+        let before = t.elapsed();
+        t.idle(TimeNs::from_millis(123));
+        assert_eq!(t.elapsed() - before, TimeNs::from_millis(123));
+    }
+
+    #[test]
+    fn session_measures_empty_path_capacity() {
+        // On an empty path the avail-bw equals the narrow capacity (8 Mb/s).
+        let mut t = empty_path();
+        let est = slops::Session::new(SlopsConfig::default())
+            .run(&mut t)
+            .unwrap();
+        assert!(
+            est.low.mbps() <= 8.0 && 8.0 <= est.high.mbps() + 0.5,
+            "reported [{}, {}]",
+            est.low,
+            est.high
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! `pathload_rcv <listen-addr>` — the pathload receiver daemon.
+//!
+//! Example: `pathload_rcv 0.0.0.0:9100`
+
+use pathload_net::Receiver;
+use std::net::SocketAddr;
+use std::process::exit;
+
+fn main() {
+    let addr = match std::env::args().nth(1) {
+        Some(a) => a,
+        None => {
+            eprintln!("usage: pathload_rcv <listen-addr>   (e.g. 0.0.0.0:9100)");
+            exit(2);
+        }
+    };
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad listen address {addr:?}: {e}");
+            exit(2);
+        }
+    };
+    let rx = match Receiver::bind(addr) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!("pathload_rcv: control on {}", rx.ctrl_addr());
+    if let Err(e) = rx.serve_forever() {
+        eprintln!("fatal: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,76 @@
+//! `pathload_snd <receiver-addr> [resolution-mbps]` — run one avail-bw
+//! measurement against a running `pathload_rcv` and print the range.
+//!
+//! Example: `pathload_snd 192.0.2.7:9100 1.0`
+
+use pathload_net::SocketTransport;
+use slops::{Session, SlopsConfig};
+use std::net::SocketAddr;
+use std::process::exit;
+use units::Rate;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = match args.next() {
+        Some(a) => a,
+        None => {
+            eprintln!("usage: pathload_snd <receiver-addr> [resolution-mbps]");
+            exit(2);
+        }
+    };
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad receiver address {addr:?}: {e}");
+            exit(2);
+        }
+    };
+    let mut cfg = SlopsConfig::default();
+    if let Some(res) = args.next() {
+        match res.parse::<f64>() {
+            Ok(mbps) if mbps > 0.0 => {
+                cfg.resolution = Rate::from_mbps(mbps);
+                cfg.grey_resolution = Rate::from_mbps(2.0 * mbps);
+            }
+            _ => {
+                eprintln!("bad resolution {res:?} (want Mb/s as a positive number)");
+                exit(2);
+            }
+        }
+    }
+    let mut transport = match SocketTransport::connect(addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!("pathload_snd: measuring toward {addr} ...");
+    match Session::new(cfg).run(&mut transport) {
+        Ok(est) => {
+            println!(
+                "avail-bw range: [{:.2}, {:.2}] Mb/s  (midpoint {:.2} Mb/s)",
+                est.low.mbps(),
+                est.high.mbps(),
+                est.midpoint().mbps()
+            );
+            if let Some((glo, ghi)) = est.grey {
+                println!(
+                    "grey region:    [{:.2}, {:.2}] Mb/s",
+                    glo.mbps(),
+                    ghi.mbps()
+                );
+            }
+            println!(
+                "fleets: {}   termination: {:?}   elapsed: {}",
+                est.fleets.len(),
+                est.termination,
+                est.elapsed
+            );
+        }
+        Err(e) => {
+            eprintln!("measurement failed: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Monotonic nanosecond clocks with a process-local epoch.
+
+use std::time::Instant;
+
+/// A monotonic clock reporting nanoseconds since its own creation.
+///
+/// Each endpoint creates its own — the epochs differ, so one-way delays
+/// computed across endpoints carry an arbitrary constant offset, exactly
+/// the situation SLoPS is designed for (§IV "Clock and Timing Issues").
+#[derive(Clone, Debug)]
+pub struct MonoClock {
+    epoch: Instant,
+}
+
+impl MonoClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> MonoClock {
+        MonoClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for MonoClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_advancing() {
+        let c = MonoClock::new();
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = c.now_ns();
+        assert!(b > a);
+        assert!(b - a >= 4_000_000, "slept 5ms but clock moved {}ns", b - a);
+    }
+
+    #[test]
+    fn distinct_clocks_have_distinct_epochs() {
+        let c1 = MonoClock::new();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let c2 = MonoClock::new();
+        // c2's epoch is later, so its readings are smaller.
+        assert!(c1.now_ns() > c2.now_ns());
+    }
+}

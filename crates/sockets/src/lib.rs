@@ -1,0 +1,42 @@
+//! # pathload-net — SLoPS over real sockets
+//!
+//! A faithful implementation of the pathload tool's transport (§IV):
+//! UDP periodic probe streams timestamped at both ends, with a TCP control
+//! channel that announces streams, acknowledges them, and carries the
+//! receiver's per-packet records back to the sender. The sender side
+//! implements [`slops::ProbeTransport`], so the *same* estimation code that
+//! runs over the simulator runs over a real network.
+//!
+//! Layout:
+//!
+//! * [`proto`] — wire formats: UDP probe packets and framed control
+//!   messages (hand-rolled, dependency-free encoding).
+//! * [`clock`] — monotonic nanosecond clocks. Sender and receiver use
+//!   *different epochs* on purpose: SLoPS needs only relative OWDs.
+//! * [`pacing`] — absolute-deadline packet pacing (sleep-then-spin), the
+//!   part of a measurement tool a general-purpose runtime cannot do; this
+//!   is why the crate uses plain threads instead of an async executor.
+//! * [`receiver`] — the `pathload_rcv` side: collects probe packets,
+//!   timestamps arrivals, ships records back.
+//! * [`sender`] — the `pathload_snd` side: [`SocketTransport`].
+//!
+//! Binaries `pathload_snd` / `pathload_rcv` wrap these (see `src/bin`).
+//!
+//! Localhost quick start (two terminals):
+//!
+//! ```text
+//! pathload_rcv 127.0.0.1:9100
+//! pathload_snd 127.0.0.1:9100
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod pacing;
+pub mod proto;
+pub mod receiver;
+pub mod sender;
+
+pub use receiver::Receiver;
+pub use sender::SocketTransport;

@@ -1,0 +1,199 @@
+//! The receiver side (`pathload_rcv`): timestamps probe arrivals and ships
+//! records back over the control channel.
+
+use crate::clock::MonoClock;
+use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::time::Duration;
+
+/// The pathload receiver: one TCP control listener plus one UDP probe
+/// socket.
+pub struct Receiver {
+    listener: TcpListener,
+    udp: UdpSocket,
+    clock: MonoClock,
+}
+
+impl Receiver {
+    /// Bind to `addr` (use port 0 for an ephemeral port). The UDP socket
+    /// binds to the same IP with its own (ephemeral) port, which is
+    /// advertised to each sender in the `Hello`.
+    pub fn bind(addr: SocketAddr) -> io::Result<Receiver> {
+        let listener = TcpListener::bind(addr)?;
+        let mut udp_addr = listener.local_addr()?;
+        udp_addr.set_port(0);
+        let udp = UdpSocket::bind(udp_addr)?;
+        udp.set_read_timeout(Some(Duration::from_millis(50)))?;
+        Ok(Receiver {
+            listener,
+            udp,
+            clock: MonoClock::new(),
+        })
+    }
+
+    /// The control-channel address senders should connect to.
+    pub fn ctrl_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Serve exactly one sender session (blocking), then return.
+    pub fn serve_one(&self) -> io::Result<()> {
+        let (mut ctrl, _peer) = self.listener.accept()?;
+        ctrl.set_nodelay(true)?;
+        let udp_port = self.udp.local_addr()?.port();
+        CtrlMsg::Hello { udp_port }.write_to(&mut ctrl)?;
+        loop {
+            let msg = match CtrlMsg::read_from(&mut ctrl) {
+                Ok(m) => m,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            match msg {
+                CtrlMsg::StreamAnnounce {
+                    id,
+                    count,
+                    period_ns,
+                    size: _,
+                } => {
+                    self.drain_udp();
+                    CtrlMsg::Ready { id }.write_to(&mut ctrl)?;
+                    let samples = self.collect_stream(id, count, period_ns);
+                    CtrlMsg::StreamReport { id, samples }.write_to(&mut ctrl)?;
+                }
+                CtrlMsg::TrainAnnounce { id, count, size: _ } => {
+                    self.drain_udp();
+                    CtrlMsg::Ready { id }.write_to(&mut ctrl)?;
+                    let (received, first_ns, last_ns) = self.collect_train(id, count);
+                    CtrlMsg::TrainReport {
+                        id,
+                        received,
+                        first_ns,
+                        last_ns,
+                    }
+                    .write_to(&mut ctrl)?;
+                }
+                CtrlMsg::Echo { token } => {
+                    CtrlMsg::Echo { token }.write_to(&mut ctrl)?;
+                }
+                CtrlMsg::Bye => return Ok(()),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected control message {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Discard any stale datagrams from previous streams.
+    fn drain_udp(&self) {
+        let mut buf = [0u8; 2048];
+        let _ = self.udp.set_read_timeout(Some(Duration::from_micros(1)));
+        while self.udp.recv_from(&mut buf).is_ok() {}
+        let _ = self.udp.set_read_timeout(Some(Duration::from_millis(50)));
+    }
+
+    /// Collect packets of stream `id` until all `count` arrived or the
+    /// stream has clearly ended (nominal duration plus a grace period).
+    fn collect_stream(&self, id: u32, count: u32, period_ns: u64) -> Vec<SampleWire> {
+        let mut samples = Vec::with_capacity(count as usize);
+        let mut buf = [0u8; 2048];
+        let start = self.clock.now_ns();
+        // Arm-to-end budget: 2 s to start + nominal duration + 1 s grace.
+        let deadline = start + 2_000_000_000 + count as u64 * period_ns + 1_000_000_000;
+        while (samples.len() as u32) < count && self.clock.now_ns() < deadline {
+            match self.udp.recv_from(&mut buf) {
+                Ok((n, _from)) => {
+                    let recv_ns = self.clock.now_ns();
+                    if let Some(p) = ProbePacket::decode(&buf[..n]) {
+                        if p.kind == ProbeKind::Stream && p.id == id {
+                            samples.push(SampleWire {
+                                idx: p.idx,
+                                send_ns: p.send_ns,
+                                recv_ns,
+                            });
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // If we have seen the last index already, or nothing new
+                    // arrives after the stream should be over, stop early.
+                    if samples
+                        .last()
+                        .is_some_and(|s: &SampleWire| s.idx + 1 == count)
+                    {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        samples
+    }
+
+    fn collect_train(&self, id: u32, count: u32) -> (u32, u64, u64) {
+        let mut received = 0u32;
+        let mut first_ns = 0u64;
+        let mut last_ns = 0u64;
+        let mut buf = [0u8; 2048];
+        let start = self.clock.now_ns();
+        let deadline = start + 5_000_000_000;
+        while received < count && self.clock.now_ns() < deadline {
+            match self.udp.recv_from(&mut buf) {
+                Ok((n, _)) => {
+                    let recv_ns = self.clock.now_ns();
+                    if let Some(p) = ProbePacket::decode(&buf[..n]) {
+                        if p.kind == ProbeKind::Train && p.id == id {
+                            if received == 0 {
+                                first_ns = recv_ns;
+                            }
+                            last_ns = recv_ns;
+                            received += 1;
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if received > 0 {
+                        // Back-to-back train: 50 ms of silence means it ended
+                        // (possibly with losses).
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        (received, first_ns, last_ns)
+    }
+
+    /// Serve sessions forever (for the `pathload_rcv` binary).
+    pub fn serve_forever(&self) -> io::Result<()> {
+        loop {
+            if let Err(e) = self.serve_one() {
+                eprintln!("session error: {e}");
+            }
+        }
+    }
+}
+
+/// Connect a control channel to a receiver and perform the hello exchange.
+/// Returns the stream and the receiver's UDP port.
+pub(crate) fn connect_ctrl(addr: SocketAddr) -> io::Result<(TcpStream, u16)> {
+    let mut ctrl = TcpStream::connect(addr)?;
+    ctrl.set_nodelay(true)?;
+    ctrl.set_read_timeout(Some(Duration::from_secs(30)))?;
+    match CtrlMsg::read_from(&mut ctrl)? {
+        CtrlMsg::Hello { udp_port } => Ok((ctrl, udp_port)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Hello, got {other:?}"),
+        )),
+    }
+}

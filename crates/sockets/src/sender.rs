@@ -1,0 +1,272 @@
+//! The sender side (`pathload_snd`): [`SocketTransport`], a real-network
+//! [`slops::ProbeTransport`].
+
+use crate::clock::MonoClock;
+use crate::pacing::pace_until;
+use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, PROBE_HEADER_LEN};
+use crate::receiver::connect_ctrl;
+use slops::{PacketSample, ProbeTransport, StreamRecord, StreamRequest, TrainRecord, TransportError};
+use std::io;
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use units::{Rate, TimeNs};
+
+/// SLoPS probing over real UDP/TCP sockets.
+pub struct SocketTransport {
+    ctrl: TcpStream,
+    udp: UdpSocket,
+    clock: MonoClock,
+    next_id: u32,
+    /// Cap on the stream rates this host can pace reliably. Defaults to
+    /// 80 Mb/s (MTU-sized packets every ~150 µs), which a commodity Linux
+    /// box sustains with the sleep-spin pacer; raise it on fast dedicated
+    /// hardware.
+    pub rate_cap: Rate,
+}
+
+impl SocketTransport {
+    /// Connect to a receiver's control address.
+    pub fn connect(addr: SocketAddr) -> io::Result<SocketTransport> {
+        let (ctrl, udp_port) = connect_ctrl(addr)?;
+        let mut peer = addr;
+        peer.set_port(udp_port);
+        let local: SocketAddr = match addr {
+            SocketAddr::V4(_) => "0.0.0.0:0".parse().unwrap(),
+            SocketAddr::V6(_) => "[::]:0".parse().unwrap(),
+        };
+        let udp = UdpSocket::bind(local)?;
+        udp.connect(peer)?;
+        Ok(SocketTransport {
+            ctrl,
+            udp,
+            clock: MonoClock::new(),
+            next_id: 0,
+            rate_cap: Rate::from_mbps(80.0),
+        })
+    }
+
+    fn io_err(e: io::Error) -> TransportError {
+        TransportError::Io(e.to_string())
+    }
+
+    fn expect_ready(&mut self, id: u32) -> Result<(), TransportError> {
+        match CtrlMsg::read_from(&mut self.ctrl).map_err(Self::io_err)? {
+            CtrlMsg::Ready { id: got } if got == id => Ok(()),
+            other => Err(TransportError::Io(format!(
+                "expected Ready({id}), got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl ProbeTransport for SocketTransport {
+    fn send_stream(&mut self, req: &StreamRequest) -> Result<StreamRecord, TransportError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let size = (req.packet_size as usize).max(PROBE_HEADER_LEN);
+        CtrlMsg::StreamAnnounce {
+            id,
+            count: req.count,
+            period_ns: req.period.as_nanos(),
+            size: size as u32,
+        }
+        .write_to(&mut self.ctrl)
+        .map_err(Self::io_err)?;
+        self.expect_ready(id)?;
+
+        // Pace the stream on absolute deadlines, recording actual send
+        // times for the receiver-side spacing validation.
+        let mut buf = vec![0u8; size];
+        let t0 = self.clock.now_ns() + 1_000_000; // 1 ms lead-in
+        let mut actual_send = Vec::with_capacity(req.count as usize);
+        for i in 0..req.count {
+            let deadline = t0 + i as u64 * req.period.as_nanos();
+            pace_until(&self.clock, deadline);
+            let send_ns = self.clock.now_ns();
+            ProbePacket {
+                kind: ProbeKind::Stream,
+                id,
+                idx: i,
+                send_ns,
+            }
+            .encode(&mut buf);
+            self.udp.send(&buf).map_err(Self::io_err)?;
+            actual_send.push(send_ns);
+        }
+
+        match CtrlMsg::read_from(&mut self.ctrl).map_err(Self::io_err)? {
+            CtrlMsg::StreamReport { id: got, samples } if got == id => {
+                let first_send = actual_send.first().copied().unwrap_or(0);
+                let records = samples
+                    .iter()
+                    .map(|s| PacketSample {
+                        idx: s.idx,
+                        send_offset: TimeNs::from_nanos(
+                            actual_send
+                                .get(s.idx as usize)
+                                .map_or(0, |t| t.saturating_sub(first_send)),
+                        ),
+                        owd_ns: s.recv_ns as i64 - s.send_ns as i64,
+                    })
+                    .collect();
+                Ok(StreamRecord {
+                    sent: req.count,
+                    samples: records,
+                })
+            }
+            other => Err(TransportError::Io(format!(
+                "expected StreamReport({id}), got {other:?}"
+            ))),
+        }
+    }
+
+    fn send_train(&mut self, len: u32, size: u32) -> Result<TrainRecord, TransportError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let size = (size as usize).max(PROBE_HEADER_LEN);
+        CtrlMsg::TrainAnnounce {
+            id,
+            count: len,
+            size: size as u32,
+        }
+        .write_to(&mut self.ctrl)
+        .map_err(Self::io_err)?;
+        self.expect_ready(id)?;
+        let mut buf = vec![0u8; size];
+        for i in 0..len {
+            ProbePacket {
+                kind: ProbeKind::Train,
+                id,
+                idx: i,
+                send_ns: self.clock.now_ns(),
+            }
+            .encode(&mut buf);
+            self.udp.send(&buf).map_err(Self::io_err)?;
+        }
+        match CtrlMsg::read_from(&mut self.ctrl).map_err(Self::io_err)? {
+            CtrlMsg::TrainReport {
+                id: got,
+                received,
+                first_ns,
+                last_ns,
+            } if got == id => Ok(TrainRecord {
+                sent: len,
+                received,
+                size: size as u32,
+                first_recv: TimeNs::from_nanos(first_ns),
+                last_recv: TimeNs::from_nanos(last_ns),
+            }),
+            other => Err(TransportError::Io(format!(
+                "expected TrainReport({id}), got {other:?}"
+            ))),
+        }
+    }
+
+    fn rtt(&mut self) -> TimeNs {
+        // Median of three control-channel echoes.
+        let mut rtts = Vec::with_capacity(3);
+        for token in 0..3u64 {
+            let t0 = self.clock.now_ns();
+            let echo = CtrlMsg::Echo { token };
+            if echo.write_to(&mut self.ctrl).is_err() {
+                break;
+            }
+            match CtrlMsg::read_from(&mut self.ctrl) {
+                Ok(CtrlMsg::Echo { token: got }) if got == token => {
+                    rtts.push(self.clock.now_ns() - t0);
+                }
+                _ => break,
+            }
+        }
+        rtts.sort_unstable();
+        match rtts.len() {
+            0 => TimeNs::from_millis(100), // conservative fallback
+            n => TimeNs::from_nanos(rtts[n / 2]),
+        }
+    }
+
+    fn idle(&mut self, dur: TimeNs) {
+        std::thread::sleep(dur.to_std());
+    }
+
+    fn max_rate(&self) -> Option<Rate> {
+        Some(self.rate_cap)
+    }
+
+    fn elapsed(&self) -> TimeNs {
+        TimeNs::from_nanos(self.clock.now_ns())
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        let _ = CtrlMsg::Bye.write_to(&mut self.ctrl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::Receiver;
+    use slops::stream_params;
+    use slops::SlopsConfig;
+    use std::thread;
+
+    fn loopback_pair() -> (SocketTransport, thread::JoinHandle<()>) {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        let handle = thread::spawn(move || {
+            rx.serve_one().unwrap();
+        });
+        let tx = SocketTransport::connect(addr).unwrap();
+        (tx, handle)
+    }
+
+    fn loopback_cfg() -> SlopsConfig {
+        // Gentle pacing for shared CI machines: 1 ms period floor, short
+        // streams.
+        let mut cfg = SlopsConfig::default();
+        cfg.min_period = TimeNs::from_millis(1);
+        cfg.stream_len = 50;
+        cfg
+    }
+
+    #[test]
+    fn stream_round_trip_over_loopback() {
+        let (mut tx, handle) = loopback_pair();
+        let cfg = loopback_cfg();
+        let req = stream_params(Rate::from_mbps(1.6), 0, &cfg); // 200B @ 1ms
+        let rec = tx.send_stream(&req).unwrap();
+        assert!(
+            rec.samples.len() as u32 >= req.count - 2,
+            "lost too much on loopback: {}/{}",
+            rec.samples.len(),
+            req.count
+        );
+        // Relative OWDs on loopback are small but never absurd (> 1 s).
+        for s in &rec.samples {
+            assert!(s.owd_ns.abs() < 1_000_000_000);
+        }
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn train_round_trip_over_loopback() {
+        let (mut tx, handle) = loopback_pair();
+        let rec = tx.send_train(20, 1500).unwrap();
+        assert!(rec.received >= 18, "train lost packets: {}", rec.received);
+        let rate = rec.dispersion_rate().unwrap();
+        assert!(rate.mbps() > 10.0, "loopback dispersion {rate} is absurd");
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn rtt_over_loopback_is_sub_millisecond() {
+        let (mut tx, handle) = loopback_pair();
+        let rtt = tx.rtt();
+        assert!(rtt < TimeNs::from_millis(50), "loopback rtt {rtt}");
+        drop(tx);
+        handle.join().unwrap();
+    }
+}

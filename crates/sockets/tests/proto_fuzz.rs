@@ -1,0 +1,73 @@
+//! Fuzz-style property tests of the wire formats: arbitrary bytes must
+//! never panic the decoders, and encode/decode must round-trip.
+
+use pathload_net::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary datagrams never panic the probe decoder.
+    #[test]
+    fn probe_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = ProbePacket::decode(&bytes);
+    }
+
+    /// Arbitrary control frames never panic the frame reader (errors are
+    /// fine; panics and unbounded allocations are not).
+    #[test]
+    fn ctrl_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let mut cursor = bytes.as_slice();
+        let _ = CtrlMsg::read_from(&mut cursor);
+    }
+
+    /// Probe header round-trips through any buffer size >= header length.
+    #[test]
+    fn probe_round_trip(
+        kind_train in any::<bool>(),
+        id in any::<u32>(),
+        idx in any::<u32>(),
+        send_ns in any::<u64>(),
+        pad in 24usize..1500,
+    ) {
+        let p = ProbePacket {
+            kind: if kind_train { ProbeKind::Train } else { ProbeKind::Stream },
+            id,
+            idx,
+            send_ns,
+        };
+        let mut buf = vec![0u8; pad];
+        p.encode(&mut buf);
+        prop_assert_eq!(ProbePacket::decode(&buf), Some(p));
+    }
+
+    /// Stream reports with arbitrary sample contents round-trip exactly.
+    #[test]
+    fn stream_report_round_trip(
+        id in any::<u32>(),
+        samples in prop::collection::vec((any::<u32>(), any::<u64>(), any::<u64>()), 0..200),
+    ) {
+        let msg = CtrlMsg::StreamReport {
+            id,
+            samples: samples
+                .iter()
+                .map(|(idx, s, r)| SampleWire { idx: *idx, send_ns: *s, recv_ns: *r })
+                .collect(),
+        };
+        let mut buf = Vec::new();
+        msg.write_to(&mut buf).unwrap();
+        let got = CtrlMsg::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(got, msg);
+    }
+
+    /// Concatenated frames decode in order (stream framing is
+    /// self-delimiting).
+    #[test]
+    fn frames_are_self_delimiting(port1 in any::<u16>(), port2 in any::<u16>()) {
+        let mut buf = Vec::new();
+        CtrlMsg::Hello { udp_port: port1 }.write_to(&mut buf).unwrap();
+        CtrlMsg::Hello { udp_port: port2 }.write_to(&mut buf).unwrap();
+        let mut cursor = buf.as_slice();
+        prop_assert_eq!(CtrlMsg::read_from(&mut cursor).unwrap(), CtrlMsg::Hello { udp_port: port1 });
+        prop_assert_eq!(CtrlMsg::read_from(&mut cursor).unwrap(), CtrlMsg::Hello { udp_port: port2 });
+        prop_assert!(cursor.is_empty());
+    }
+}

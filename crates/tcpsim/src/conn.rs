@@ -1,0 +1,195 @@
+//! Convenience wiring of a sender/receiver pair across a chain.
+
+use crate::receiver::TcpReceiver;
+use crate::sender::{TcpSender, TcpSenderConfig};
+use netsim::{AppId, Chain, Simulator};
+use units::{Rate, TimeNs};
+
+/// A wired TCP connection: sender at the chain head, receiver at the tail,
+/// ACKs on the reverse path.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConnection {
+    /// Connection id.
+    pub conn: u32,
+    /// Sender app id.
+    pub sender: AppId,
+    /// Receiver app id.
+    pub receiver: AppId,
+}
+
+impl TcpConnection {
+    /// Create a greedy (BTC) connection over `chain`, starting immediately.
+    pub fn greedy(sim: &mut Simulator, chain: &Chain, conn: u32) -> TcpConnection {
+        Self::start_at(sim, chain, TcpSenderConfig::greedy(conn), sim.now())
+    }
+
+    /// Create a connection with explicit sender configuration, whose first
+    /// segment leaves at `start`.
+    pub fn start_at(
+        sim: &mut Simulator,
+        chain: &Chain,
+        cfg: TcpSenderConfig,
+        start: TimeNs,
+    ) -> TcpConnection {
+        let conn = cfg.conn;
+        // Allocate the sender first so the receiver's ACK route can point
+        // at it; patch the sender's data route afterwards.
+        let placeholder = sim.route(&[], AppId(0));
+        let sender = sim.add_app(Box::new(TcpSender::new(cfg, placeholder)));
+        let ack_route = chain.reverse_route(sim, sender);
+        let receiver = sim.add_app(Box::new(TcpReceiver::new(
+            conn,
+            ack_route,
+            TimeNs::from_secs(1),
+        )));
+        let data_route = chain.forward_route(sim, receiver);
+        sim.app_mut::<TcpSender>(sender).set_route(data_route);
+        sim.schedule_timer(sender, start, 0);
+        TcpConnection {
+            conn,
+            sender,
+            receiver,
+        }
+    }
+
+    /// Average goodput of the connection between two times.
+    pub fn throughput(&self, sim: &Simulator, from: TimeNs, to: TimeNs) -> Rate {
+        sim.app::<TcpReceiver>(self.receiver)
+            .goodput_between(from, to)
+    }
+
+    /// Per-second goodput series between two times.
+    pub fn throughput_series(&self, sim: &Simulator, from: TimeNs, to: TimeNs) -> Vec<Rate> {
+        sim.app::<TcpReceiver>(self.receiver)
+            .goodput_series(from, to)
+    }
+
+    /// Total payload bytes delivered in order.
+    pub fn delivered(&self, sim: &Simulator) -> u64 {
+        sim.app::<TcpReceiver>(self.receiver).delivered
+    }
+
+    /// Sender-side statistics `(retransmits, timeouts)`.
+    pub fn loss_events(&self, sim: &Simulator) -> (u64, u64) {
+        let s = sim.app::<TcpSender>(self.sender);
+        (s.retransmits, s.timeouts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HEADER, MSS};
+    use netsim::{ChainConfig, LinkConfig};
+    use units::Rate;
+
+    fn chain_with(
+        sim: &mut Simulator,
+        mbps: f64,
+        delay_ms: u64,
+        queue_bytes: u64,
+    ) -> Chain {
+        Chain::build(
+            sim,
+            &ChainConfig::symmetric(vec![LinkConfig::new(
+                Rate::from_mbps(mbps),
+                TimeNs::from_millis(delay_ms),
+            )
+            .with_queue_limit(queue_bytes)]),
+        )
+    }
+
+    #[test]
+    fn lone_connection_saturates_the_link() {
+        let mut sim = Simulator::new(3);
+        let chain = chain_with(&mut sim, 8.0, 20, 64 * 1024);
+        let conn = TcpConnection::greedy(&mut sim, &chain, 1);
+        sim.run_until(TimeNs::from_secs(30));
+        let tput = conn.throughput(&sim, TimeNs::from_secs(5), TimeNs::from_secs(30));
+        // Goodput ≥ ~90% of capacity (header overhead is 1460/1500).
+        assert!(tput.mbps() > 7.0, "throughput {tput}");
+        let (retx, _) = conn.loss_events(&sim);
+        assert!(retx > 0, "a greedy flow over a finite buffer must see loss");
+    }
+
+    #[test]
+    fn slow_start_doubles_every_rtt() {
+        let mut sim = Simulator::new(4);
+        // Huge buffer and short run: no loss, pure slow start.
+        let chain = chain_with(&mut sim, 100.0, 50, 64 * 1024 * 1024);
+        let conn = TcpConnection::greedy(&mut sim, &chain, 1);
+        // RTT ~ 100 ms. After ~5 RTTs cwnd ~ 2 * 2^5 = 64 segments.
+        sim.run_until(TimeNs::from_millis(520));
+        let cwnd = sim.app::<TcpSender>(conn.sender).cwnd();
+        let segs = cwnd / MSS as u64;
+        assert!(
+            (32..=128).contains(&segs),
+            "cwnd after 5 RTTs: {segs} segments"
+        );
+    }
+
+    #[test]
+    fn fixed_transfer_stops_at_limit() {
+        let mut sim = Simulator::new(5);
+        let chain = chain_with(&mut sim, 10.0, 10, 1024 * 1024);
+        let mut cfg = TcpSenderConfig::greedy(2);
+        cfg.limit = Some(1_000_000);
+        let conn = TcpConnection::start_at(&mut sim, &chain, cfg, TimeNs::ZERO);
+        sim.run_until(TimeNs::from_secs(60));
+        assert_eq!(conn.delivered(&sim), 1_000_000);
+    }
+
+    #[test]
+    fn two_connections_share_fairly() {
+        let mut sim = Simulator::new(6);
+        let chain = chain_with(&mut sim, 8.0, 20, 64 * 1024);
+        let c1 = TcpConnection::greedy(&mut sim, &chain, 1);
+        let c2 = TcpConnection::greedy(&mut sim, &chain, 2);
+        sim.run_until(TimeNs::from_secs(60));
+        let t1 = c1.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(60));
+        let t2 = c2.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(60));
+        let total = t1.mbps() + t2.mbps();
+        assert!(total > 6.5, "combined {total} Mb/s");
+        let ratio = t1.mbps().max(t2.mbps()) / t1.mbps().min(t2.mbps());
+        assert!(ratio < 2.5, "unfair split: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn rto_recovers_from_total_blackout() {
+        // Fault injection: 30% random loss makes fast retransmit
+        // insufficient; the connection must survive on RTOs.
+        let mut sim = Simulator::new(7);
+        let fwd = LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(10))
+            .with_drop_prob(0.3);
+        let rev = LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(10));
+        let chain = Chain::build(
+            &mut sim,
+            &ChainConfig {
+                forward: vec![fwd],
+                reverse: Some(vec![rev]),
+            },
+        );
+        let conn = TcpConnection::greedy(&mut sim, &chain, 1);
+        sim.run_until(TimeNs::from_secs(120));
+        let (_, timeouts) = conn.loss_events(&sim);
+        assert!(timeouts > 0, "expected RTO events at 30% loss");
+        assert!(
+            conn.delivered(&sim) > 500_000,
+            "connection starved: {} bytes",
+            conn.delivered(&sim)
+        );
+    }
+
+    #[test]
+    fn goodput_excludes_headers() {
+        let mut sim = Simulator::new(8);
+        let chain = chain_with(&mut sim, 8.0, 20, 64 * 1024);
+        let conn = TcpConnection::greedy(&mut sim, &chain, 1);
+        sim.run_until(TimeNs::from_secs(20));
+        let goodput = conn.throughput(&sim, TimeNs::from_secs(5), TimeNs::from_secs(20));
+        // Wire rate can be at most capacity; goodput at most
+        // capacity * MSS/(MSS+HEADER).
+        let cap = 8.0 * MSS as f64 / (MSS + HEADER) as f64;
+        assert!(goodput.mbps() <= cap + 0.1, "goodput {goodput} > payload cap");
+    }
+}

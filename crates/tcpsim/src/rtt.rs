@@ -1,0 +1,112 @@
+//! RTT estimation and retransmission timeout (Jacobson/Karn, RFC 6298).
+
+use units::TimeNs;
+
+/// Smoothed RTT estimator with Jacobson's variance term.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<f64>, // seconds
+    rttvar: f64,
+    rto: TimeNs,
+    min_rto: TimeNs,
+    max_rto: TimeNs,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            rto: TimeNs::from_secs(1), // RFC 6298 initial RTO
+            min_rto: TimeNs::from_millis(200),
+            max_rto: TimeNs::from_secs(60),
+        }
+    }
+}
+
+impl RttEstimator {
+    /// Record an RTT sample (must come from a non-retransmitted segment or
+    /// a timestamp echo — Karn's rule is the caller's responsibility).
+    pub fn sample(&mut self, rtt: TimeNs) {
+        let r = rtt.secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                const ALPHA: f64 = 1.0 / 8.0;
+                const BETA: f64 = 1.0 / 4.0;
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (srtt - r).abs();
+                self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        let rto = TimeNs::from_secs_f64(self.srtt.unwrap() + 4.0 * self.rttvar);
+        self.rto = rto.max(self.min_rto).min(self.max_rto);
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> TimeNs {
+        self.rto
+    }
+
+    /// Exponential backoff after a timeout (doubles the RTO).
+    pub fn backoff(&mut self) {
+        self.rto = (self.rto * 2).min(self.max_rto);
+    }
+
+    /// Smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<TimeNs> {
+        self.srtt.map(TimeNs::from_secs_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(), TimeNs::from_secs(1));
+        e.sample(TimeNs::from_millis(100));
+        assert_eq!(e.srtt(), Some(TimeNs::from_millis(100)));
+        // RTO = srtt + 4 * (srtt/2) = 300 ms
+        assert_eq!(e.rto(), TimeNs::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_tighten_rto_to_min() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.sample(TimeNs::from_millis(50));
+        }
+        // Constant RTT: variance decays, RTO floors at min_rto.
+        assert_eq!(e.rto(), TimeNs::from_millis(200));
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.millis_f64() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = RttEstimator::default();
+        for i in 0..100 {
+            let ms = if i % 2 == 0 { 50 } else { 250 };
+            e.sample(TimeNs::from_millis(ms));
+        }
+        assert!(e.rto() > TimeNs::from_millis(400), "rto = {}", e.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let mut e = RttEstimator::default();
+        e.sample(TimeNs::from_millis(100));
+        let r0 = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), r0 * 2);
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), TimeNs::from_secs(60));
+    }
+}

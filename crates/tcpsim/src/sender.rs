@@ -1,0 +1,303 @@
+//! The TCP Reno sender state machine.
+
+use crate::rtt::RttEstimator;
+use crate::{HEADER, MSS};
+use netsim::{App, Ctx, FlowId, Packet, Payload, RouteSpec, TcpFlags, TcpHeader};
+use std::sync::Arc;
+use units::TimeNs;
+
+/// Congestion-control phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    SlowStart,
+    CongestionAvoidance,
+    FastRecovery,
+}
+
+/// Sender configuration.
+#[derive(Clone, Debug)]
+pub struct TcpSenderConfig {
+    /// Connection id (must match the receiver's).
+    pub conn: u32,
+    /// Flow id for the data direction.
+    pub flow: FlowId,
+    /// Total payload bytes to send; `None` = greedy (unbounded).
+    pub limit: Option<u64>,
+    /// Receiver advertised window in bytes; `None` = unbounded (the BTC
+    /// definition). A small window models flows whose throughput is
+    /// window·RTT-limited — they lose throughput when the path RTT
+    /// inflates, which is how a greedy connection "steals" bandwidth
+    /// (paper §VII).
+    pub rwnd: Option<u64>,
+    /// Initial slow-start threshold in bytes; `None` = effectively
+    /// unbounded (slow start until the first loss). Setting it from an
+    /// avail-bw estimate is the §I application suggested by Allman &
+    /// Paxson: slow start hands off to congestion avoidance at the
+    /// estimated bandwidth-delay product instead of overshooting the
+    /// queue.
+    pub initial_ssthresh: Option<u64>,
+    /// Initial congestion window in segments (RFC 5681 allows up to 4).
+    pub initial_cwnd_segments: u32,
+}
+
+impl TcpSenderConfig {
+    /// A greedy (BTC) sender for connection `conn`.
+    pub fn greedy(conn: u32) -> TcpSenderConfig {
+        TcpSenderConfig {
+            conn,
+            flow: FlowId(0x5443_0000 + conn), // 'TC'
+            limit: None,
+            rwnd: None,
+            initial_ssthresh: None,
+            initial_cwnd_segments: 2,
+        }
+    }
+}
+
+/// TCP Reno sender application.
+///
+/// Drive it by scheduling one timer (token 0) at the connection start time;
+/// it then self-clocks off ACKs and its retransmission timer.
+pub struct TcpSender {
+    cfg: TcpSenderConfig,
+    route: Arc<RouteSpec>,
+    // --- sequence state (bytes) ---
+    snd_una: u64,
+    snd_nxt: u64,
+    // --- congestion control ---
+    cwnd: f64,
+    ssthresh: f64,
+    phase: Phase,
+    dupacks: u32,
+    recover: u64,
+    // --- timers ---
+    rtt: RttEstimator,
+    timer_gen: u64,
+    // --- stats ---
+    /// Cumulatively acknowledged payload bytes.
+    pub acked_bytes: u64,
+    /// Segments retransmitted (RTO + fast retransmit).
+    pub retransmits: u64,
+    /// RTO events.
+    pub timeouts: u64,
+}
+
+const TOKEN_START: u64 = 0;
+
+impl TcpSender {
+    /// Create a sender that sends data along `route` (which must end at the
+    /// matching [`crate::TcpReceiver`]).
+    pub fn new(cfg: TcpSenderConfig, route: Arc<RouteSpec>) -> TcpSender {
+        let cwnd = (cfg.initial_cwnd_segments * MSS) as f64;
+        let ssthresh = cfg
+            .initial_ssthresh
+            .map_or(f64::MAX / 4.0, |s| (s as f64).max((2 * MSS) as f64));
+        TcpSender {
+            cfg,
+            route,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd,
+            ssthresh,
+            phase: Phase::SlowStart,
+            dupacks: 0,
+            recover: 0,
+            rtt: RttEstimator::default(),
+            timer_gen: 0,
+            acked_bytes: 0,
+            retransmits: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Replace the data route (used by the connection wiring helper, which
+    /// must allocate the sender before the receiver exists).
+    pub fn set_route(&mut self, route: Arc<RouteSpec>) {
+        self.route = route;
+    }
+
+    /// Stop offering new data: the connection drains its flight and goes
+    /// quiet. Used to end a BTC interval (paper §VII phases B and D).
+    pub fn stop(&mut self) {
+        self.cfg.limit = Some(self.snd_nxt);
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Smoothed RTT estimate, once available.
+    pub fn srtt(&self) -> Option<TimeNs> {
+        self.rtt.srtt()
+    }
+
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn segment_len(&self, seq: u64) -> u32 {
+        match self.cfg.limit {
+            Some(limit) => {
+                let remaining = limit.saturating_sub(seq);
+                remaining.min(MSS as u64) as u32
+            }
+            None => MSS,
+        }
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.cfg.limit, Some(limit) if self.snd_una >= limit)
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>, seq: u64, is_retransmit: bool) {
+        let len = self.segment_len(seq);
+        if len == 0 {
+            return;
+        }
+        let hdr = TcpHeader {
+            conn: self.cfg.conn,
+            seq,
+            ack: 0,
+            len,
+            flags: TcpFlags {
+                syn: false,
+                ack: false,
+                fin: false,
+            },
+            ts_echo: ctx.now(),
+        };
+        let pkt = Packet::with_payload(
+            len + HEADER,
+            self.cfg.flow,
+            seq,
+            self.route.clone(),
+            Payload::Tcp(hdr),
+        );
+        ctx.send(pkt);
+        if is_retransmit {
+            self.retransmits += 1;
+        }
+    }
+
+    /// Send as much new data as the window allows.
+    fn fill_window(&mut self, ctx: &mut Ctx<'_>) {
+        let mut window = self.cwnd as u64;
+        if let Some(rwnd) = self.cfg.rwnd {
+            window = window.min(rwnd);
+        }
+        while self.flight() + (MSS as u64) <= window {
+            let len = self.segment_len(self.snd_nxt) as u64;
+            if len == 0 {
+                break;
+            }
+            self.emit(ctx, self.snd_nxt, false);
+            self.snd_nxt += len;
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        self.timer_gen += 1;
+        ctx.timer_in(self.rtt.rto(), self.timer_gen);
+    }
+
+    fn on_rto(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done() || self.flight() == 0 {
+            return;
+        }
+        self.timeouts += 1;
+        // Classic Reno timeout: collapse to one segment, halve ssthresh,
+        // back off the timer, and go back to the last cumulative ACK.
+        self.ssthresh = (self.flight() as f64 / 2.0).max((2 * MSS) as f64);
+        self.cwnd = MSS as f64;
+        self.phase = Phase::SlowStart;
+        self.dupacks = 0;
+        self.rtt.backoff();
+        self.snd_nxt = self.snd_una;
+        self.emit(ctx, self.snd_una, true);
+        self.snd_nxt += self.segment_len(self.snd_una) as u64;
+        self.arm_rto(ctx);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Ctx<'_>, ack: u64, ts_echo: TimeNs) {
+        // Timestamp echo gives an unambiguous RTT sample (Karn-safe).
+        let now = ctx.now();
+        if now > ts_echo {
+            self.rtt.sample(now - ts_echo);
+        }
+        if ack > self.snd_una {
+            let newly = ack - self.snd_una;
+            self.snd_una = ack;
+            // A late ACK can cover data sent before an RTO rewound snd_nxt.
+            self.snd_nxt = self.snd_nxt.max(ack);
+            self.acked_bytes += newly;
+            self.dupacks = 0;
+            match self.phase {
+                Phase::FastRecovery => {
+                    if ack >= self.recover {
+                        // Full recovery: deflate to ssthresh.
+                        self.cwnd = self.ssthresh;
+                        self.phase = Phase::CongestionAvoidance;
+                    } else {
+                        // Partial ACK (NewReno-style minimal handling):
+                        // retransmit the next hole, stay in recovery.
+                        self.emit(ctx, self.snd_una, true);
+                        self.cwnd = (self.cwnd - newly as f64).max(MSS as f64);
+                    }
+                }
+                Phase::SlowStart => {
+                    self.cwnd += newly.min(MSS as u64) as f64;
+                    if self.cwnd >= self.ssthresh {
+                        self.phase = Phase::CongestionAvoidance;
+                    }
+                }
+                Phase::CongestionAvoidance => {
+                    self.cwnd += (MSS as f64) * (MSS as f64) / self.cwnd;
+                }
+            }
+            if !self.done() {
+                self.arm_rto(ctx);
+            }
+        } else if ack == self.snd_una && self.flight() > 0 {
+            self.dupacks += 1;
+            match self.phase {
+                Phase::FastRecovery => {
+                    // Window inflation keeps the ACK clock running.
+                    self.cwnd += MSS as f64;
+                }
+                _ if self.dupacks == 3 => {
+                    // Fast retransmit.
+                    self.ssthresh = (self.flight() as f64 / 2.0).max((2 * MSS) as f64);
+                    self.cwnd = self.ssthresh + (3 * MSS) as f64;
+                    self.recover = self.snd_nxt;
+                    self.phase = Phase::FastRecovery;
+                    self.emit(ctx, self.snd_una, true);
+                    self.arm_rto(ctx);
+                }
+                _ => {}
+            }
+        }
+        self.fill_window(ctx);
+    }
+}
+
+impl App for TcpSender {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_START {
+            self.fill_window(ctx);
+            self.arm_rto(ctx);
+        } else if token == self.timer_gen {
+            // Only the most recently armed RTO counts; stale timers are
+            // cancelled generations.
+            self.on_rto(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if let Payload::Tcp(hdr) = pkt.payload {
+            if hdr.conn == self.cfg.conn && hdr.flags.ack {
+                self.on_ack(ctx, hdr.ack, hdr.ts_echo);
+            }
+        }
+    }
+}

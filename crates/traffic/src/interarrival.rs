@@ -1,0 +1,71 @@
+//! Packet interarrival-time models.
+
+use netsim::Prng;
+
+/// Renewal interarrival-time models used in the paper's simulations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Interarrival {
+    /// Exponential interarrivals (Poisson arrivals) — the "smooth" model.
+    Exponential,
+    /// Pareto interarrivals with the given shape α. The paper uses α = 1.9:
+    /// finite mean, infinite variance.
+    Pareto {
+        /// Shape parameter.
+        alpha: f64,
+    },
+    /// Deterministic (CBR) interarrivals — fluid-like traffic, used to
+    /// validate the simulator against the analytic fluid model.
+    Constant,
+}
+
+impl Interarrival {
+    /// The paper's heavy-tailed default: Pareto with α = 1.9.
+    pub const PARETO_PAPER: Interarrival = Interarrival::Pareto { alpha: 1.9 };
+
+    /// Draw one interarrival time with the given mean (seconds).
+    #[inline]
+    pub fn sample(&self, rng: &mut Prng, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        match *self {
+            Interarrival::Exponential => rng.exponential(mean),
+            Interarrival::Pareto { alpha } => rng.pareto_mean(alpha, mean),
+            Interarrival::Constant => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(model: Interarrival, mean: f64, n: usize) -> f64 {
+        let mut rng = Prng::new(99);
+        (0..n).map(|_| model.sample(&mut rng, mean)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_models_hit_requested_mean() {
+        assert!((sample_mean(Interarrival::Exponential, 0.01, 200_000) - 0.01).abs() < 2e-4);
+        assert!(
+            (sample_mean(Interarrival::PARETO_PAPER, 0.01, 400_000) - 0.01).abs() / 0.01 < 0.1
+        );
+        assert!((sample_mean(Interarrival::Constant, 0.01, 10) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_is_burstier_than_exponential() {
+        let mut rng = Prng::new(7);
+        let n = 100_000;
+        let var = |model: Interarrival, rng: &mut Prng| {
+            let xs: Vec<f64> = (0..n).map(|_| model.sample(rng, 1.0)).collect();
+            let m = xs.iter().sum::<f64>() / n as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64
+        };
+        let v_exp = var(Interarrival::Exponential, &mut rng);
+        let v_par = var(Interarrival::PARETO_PAPER, &mut rng);
+        assert!(
+            v_par > 2.0 * v_exp,
+            "pareto variance {v_par} not >> exponential {v_exp}"
+        );
+    }
+}

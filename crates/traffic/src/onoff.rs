@@ -1,0 +1,206 @@
+//! Pareto ON/OFF sources.
+//!
+//! Aggregating many Pareto ON/OFF sources yields long-range-dependent
+//! (self-similar-like) traffic (Willinger et al.). The statistical-
+//! multiplexing experiment (§VI-B, Fig. 12) models paths whose tight links
+//! carry different numbers of simultaneous flows: more sources at the same
+//! total utilization produce a smoother aggregate, hence less variable
+//! avail-bw.
+
+use netsim::{App, Ctx, FlowId, Packet, Prng, RouteSpec, Simulator};
+use std::sync::Arc;
+use units::{Rate, TimeNs};
+
+/// Configuration of one Pareto ON/OFF source.
+#[derive(Clone, Debug)]
+pub struct OnOffConfig {
+    /// Mean ON-period duration (seconds).
+    pub mean_on_secs: f64,
+    /// Mean OFF-period duration (seconds).
+    pub mean_off_secs: f64,
+    /// Pareto shape for both period distributions (1 < α < 2 for LRD).
+    pub alpha: f64,
+    /// Transmission rate while ON (packets evenly spaced).
+    pub peak_rate: Rate,
+    /// Packet size while ON.
+    pub packet_size: u32,
+}
+
+impl OnOffConfig {
+    /// Long-run average rate: `peak * on / (on + off)`.
+    pub fn avg_rate(&self) -> Rate {
+        self.peak_rate * (self.mean_on_secs / (self.mean_on_secs + self.mean_off_secs))
+    }
+
+    /// A source with the given average rate using a 1:3 ON:OFF duty cycle,
+    /// 500 ms mean ON period, α = 1.5, 1000-byte packets — a burst profile
+    /// that produces visibly bursty aggregates at low multiplexing.
+    pub fn with_avg_rate(avg: Rate) -> OnOffConfig {
+        let mean_on_secs = 0.5;
+        let mean_off_secs = 1.5;
+        let duty = mean_on_secs / (mean_on_secs + mean_off_secs);
+        OnOffConfig {
+            mean_on_secs,
+            mean_off_secs,
+            alpha: 1.5,
+            peak_rate: avg / duty,
+            packet_size: 1000,
+        }
+    }
+}
+
+const TOKEN_PACKET: u64 = 0;
+const TOKEN_START_ON: u64 = 1;
+
+/// A Pareto ON/OFF source. Kick off with one timer (token 1).
+pub struct OnOffSource {
+    cfg: OnOffConfig,
+    route: Arc<RouteSpec>,
+    flow: FlowId,
+    rng: Prng,
+    on_until: TimeNs,
+    next_seq: u64,
+    /// Total bytes emitted.
+    pub bytes_sent: u64,
+}
+
+impl OnOffSource {
+    /// Create a source; schedule timer token 1 to start it.
+    pub fn new(cfg: OnOffConfig, route: Arc<RouteSpec>, flow: FlowId, rng: Prng) -> OnOffSource {
+        assert!(cfg.peak_rate.bps() > 0.0 && cfg.alpha > 1.0);
+        OnOffSource {
+            cfg,
+            route,
+            flow,
+            rng,
+            on_until: TimeNs::ZERO,
+            next_seq: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    fn packet_gap(&self) -> TimeNs {
+        self.cfg.peak_rate.tx_time(self.cfg.packet_size)
+    }
+}
+
+impl App for OnOffSource {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_START_ON => {
+                let on = self
+                    .rng
+                    .pareto_mean(self.cfg.alpha, self.cfg.mean_on_secs);
+                self.on_until = ctx.now() + TimeNs::from_secs_f64(on);
+                ctx.timer_in(TimeNs::ZERO, TOKEN_PACKET);
+            }
+            TOKEN_PACKET => {
+                if ctx.now() < self.on_until {
+                    let pkt = Packet::new(
+                        self.cfg.packet_size,
+                        self.flow,
+                        self.next_seq,
+                        self.route.clone(),
+                    );
+                    self.next_seq += 1;
+                    self.bytes_sent += self.cfg.packet_size as u64;
+                    ctx.send(pkt);
+                    ctx.timer_in(self.packet_gap(), TOKEN_PACKET);
+                } else {
+                    let off = self
+                        .rng
+                        .pareto_mean(self.cfg.alpha, self.cfg.mean_off_secs);
+                    ctx.timer_in(TimeNs::from_secs_f64(off), TOKEN_START_ON);
+                }
+            }
+            _ => unreachable!("unknown timer token"),
+        }
+    }
+}
+
+/// Attach `n` ON/OFF sources with the given aggregate average rate.
+/// Start times are staggered uniformly over one mean ON+OFF cycle.
+pub fn attach_onoff_sources(
+    sim: &mut Simulator,
+    route: Arc<RouteSpec>,
+    aggregate: Rate,
+    n: usize,
+) -> Vec<netsim::AppId> {
+    assert!(n > 0);
+    let per_source = aggregate / n as f64;
+    let cfg = OnOffConfig::with_avg_rate(per_source);
+    let cycle = TimeNs::from_secs_f64(cfg.mean_on_secs + cfg.mean_off_secs);
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut rng = sim.rng();
+        let start = TimeNs::from_nanos(rng.below(cycle.as_nanos().max(1)));
+        let src = OnOffSource::new(cfg.clone(), route.clone(), FlowId(0x4F4E_0000 + i as u32), rng);
+        let id = sim.add_app(Box::new(src));
+        let now = sim.now();
+        sim.schedule_timer(id, now + start, TOKEN_START_ON);
+        ids.push(id);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::app::CountingSink;
+    use netsim::LinkConfig;
+
+    #[test]
+    fn avg_rate_formula() {
+        let cfg = OnOffConfig::with_avg_rate(Rate::from_mbps(2.0));
+        assert!((cfg.avg_rate().mbps() - 2.0).abs() < 1e-9);
+        assert!((cfg.peak_rate.mbps() - 8.0).abs() < 1e-9); // 25% duty cycle
+    }
+
+    fn run_onoff(n: usize, secs: u64, seed: u64) -> f64 {
+        let mut sim = Simulator::new(seed);
+        let link = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(100.0),
+            TimeNs::from_millis(1),
+        ));
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let route = sim.route(&[link], sink);
+        attach_onoff_sources(&mut sim, route, Rate::from_mbps(6.0), n);
+        sim.run_until(TimeNs::from_secs(secs));
+        sim.link(link).stats.utilization(TimeNs::from_secs(secs)) * 100.0
+    }
+
+    #[test]
+    fn aggregate_hits_target_rate() {
+        let got = run_onoff(20, 120, 5);
+        assert!((got - 6.0).abs() < 0.9, "got {got} Mb/s, want ~6");
+    }
+
+    #[test]
+    fn fewer_sources_make_burstier_aggregate() {
+        // Compare the variance of per-100ms delivered bytes for 2 vs 50
+        // sources at the same aggregate rate.
+        let variance = |n: usize| {
+            let mut sim = Simulator::new(77);
+            let link = sim.add_link(
+                LinkConfig::new(Rate::from_mbps(100.0), TimeNs::from_millis(1))
+                    .with_monitor_window(TimeNs::from_millis(100)),
+            );
+            let sink = sim.add_app(Box::new(CountingSink::default()));
+            let route = sim.route(&[link], sink);
+            attach_onoff_sources(&mut sim, route, Rate::from_mbps(6.0), n);
+            sim.run_until(TimeNs::from_secs(60));
+            let mon = sim.link(link).monitor();
+            let xs: Vec<f64> = (0..mon.num_windows())
+                .map(|i| mon.bytes_in_window(i) as f64)
+                .collect();
+            let m = units::mean(&xs);
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        let v_few = variance(2);
+        let v_many = variance(50);
+        assert!(
+            v_few > 3.0 * v_many,
+            "expected burstier with 2 sources: {v_few} vs {v_many}"
+        );
+    }
+}

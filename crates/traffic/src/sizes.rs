@@ -1,0 +1,103 @@
+//! Packet-size distributions.
+
+use netsim::Prng;
+
+/// A discrete packet-size distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SizeDist {
+    /// All packets have the same size.
+    Fixed(u32),
+    /// Sizes drawn from `(size, weight)` pairs.
+    Discrete(Vec<(u32, f64)>),
+}
+
+impl SizeDist {
+    /// The paper's cross-traffic mix (§V-A): 40% 40 B, 50% 550 B, 10% 1500 B.
+    pub fn paper_mix() -> SizeDist {
+        SizeDist::Discrete(vec![(40, 0.4), (550, 0.5), (1500, 0.1)])
+    }
+
+    /// Draw one packet size.
+    #[inline]
+    pub fn sample(&self, rng: &mut Prng) -> u32 {
+        match self {
+            SizeDist::Fixed(s) => *s,
+            SizeDist::Discrete(items) => {
+                // Small vectors; weighted_choice over a stack copy would be
+                // nicer but the allocation-free loop below is just as clear.
+                let total: f64 = items.iter().map(|(_, w)| *w).sum();
+                let mut x = rng.f64() * total;
+                for (s, w) in items {
+                    if x < *w {
+                        return *s;
+                    }
+                    x -= *w;
+                }
+                items.last().expect("empty size distribution").0
+            }
+        }
+    }
+
+    /// Expected packet size in bytes.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDist::Fixed(s) => *s as f64,
+            SizeDist::Discrete(items) => {
+                let total: f64 = items.iter().map(|(_, w)| *w).sum();
+                items
+                    .iter()
+                    .map(|(s, w)| *s as f64 * *w)
+                    .sum::<f64>()
+                    / total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_mean() {
+        // 0.4*40 + 0.5*550 + 0.1*1500 = 16 + 275 + 150 = 441
+        assert!((SizeDist::paper_mix().mean() - 441.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_always_returns_same() {
+        let mut rng = Prng::new(1);
+        let d = SizeDist::Fixed(777);
+        assert_eq!(d.mean(), 777.0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 777);
+        }
+    }
+
+    #[test]
+    fn discrete_frequencies_match_weights() {
+        let mut rng = Prng::new(2);
+        let d = SizeDist::paper_mix();
+        let n = 200_000;
+        let mut c40 = 0;
+        let mut c550 = 0;
+        let mut c1500 = 0;
+        for _ in 0..n {
+            match d.sample(&mut rng) {
+                40 => c40 += 1,
+                550 => c550 += 1,
+                1500 => c1500 += 1,
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        assert!((c40 as f64 / n as f64 - 0.4).abs() < 0.01);
+        assert!((c550 as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((c1500 as f64 / n as f64 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn unnormalized_weights_are_fine() {
+        let d = SizeDist::Discrete(vec![(100, 2.0), (200, 2.0)]);
+        assert_eq!(d.mean(), 150.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Renewal cross-traffic sources.
+
+use crate::interarrival::Interarrival;
+use crate::sizes::SizeDist;
+use netsim::{App, Ctx, FlowId, Packet, Prng, RouteSpec, Simulator};
+use std::sync::Arc;
+use units::{Rate, TimeNs};
+
+/// Configuration shared by a group of renewal sources.
+#[derive(Clone, Debug)]
+pub struct SourceConfig {
+    /// Interarrival model.
+    pub interarrival: Interarrival,
+    /// Packet-size distribution.
+    pub sizes: SizeDist,
+    /// Sources start at a random offset in `[0, start_jitter)` to avoid
+    /// phase synchronization between sources.
+    pub start_jitter: TimeNs,
+}
+
+impl SourceConfig {
+    /// Paper default: Pareto α = 1.9 interarrivals, paper size mix.
+    pub fn paper_pareto() -> SourceConfig {
+        SourceConfig {
+            interarrival: Interarrival::PARETO_PAPER,
+            sizes: SizeDist::paper_mix(),
+            start_jitter: TimeNs::from_millis(100),
+        }
+    }
+
+    /// Poisson arrivals with the paper size mix.
+    pub fn paper_poisson() -> SourceConfig {
+        SourceConfig {
+            interarrival: Interarrival::Exponential,
+            sizes: SizeDist::paper_mix(),
+            start_jitter: TimeNs::from_millis(100),
+        }
+    }
+
+    /// Constant-spacing, fixed-size traffic (fluid-like).
+    pub fn cbr(packet_size: u32) -> SourceConfig {
+        SourceConfig {
+            interarrival: Interarrival::Constant,
+            sizes: SizeDist::Fixed(packet_size),
+            start_jitter: TimeNs::from_millis(100),
+        }
+    }
+}
+
+/// A renewal packet source: draws a packet size and an interarrival time
+/// per packet so its long-run average rate equals `rate`.
+pub struct CrossTrafficSource {
+    cfg: SourceConfig,
+    rate: Rate,
+    route: Arc<RouteSpec>,
+    flow: FlowId,
+    rng: Prng,
+    mean_gap_secs: f64,
+    next_seq: u64,
+    /// Total bytes emitted (for rate verification in tests).
+    pub bytes_sent: u64,
+}
+
+impl CrossTrafficSource {
+    /// Create a source; drive it by scheduling its timer once (or use
+    /// [`attach_sources`], which does this for you).
+    pub fn new(
+        cfg: SourceConfig,
+        rate: Rate,
+        route: Arc<RouteSpec>,
+        flow: FlowId,
+        rng: Prng,
+    ) -> CrossTrafficSource {
+        assert!(rate.bps() > 0.0, "source rate must be positive");
+        let mean_gap_secs = cfg.sizes.mean() * 8.0 / rate.bps();
+        CrossTrafficSource {
+            cfg,
+            rate,
+            route,
+            flow,
+            rng,
+            mean_gap_secs,
+            next_seq: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// The configured average rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+}
+
+impl App for CrossTrafficSource {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let size = self.cfg.sizes.sample(&mut self.rng);
+        let pkt = Packet::new(size, self.flow, self.next_seq, self.route.clone());
+        self.next_seq += 1;
+        self.bytes_sent += size as u64;
+        ctx.send(pkt);
+        let gap = self
+            .cfg
+            .interarrival
+            .sample(&mut self.rng, self.mean_gap_secs);
+        ctx.timer_in(TimeNs::from_secs_f64(gap), 0);
+    }
+}
+
+/// Attach `n` sources with aggregate average rate `aggregate` to `route`,
+/// splitting the rate evenly. Each source gets its own RNG stream and a
+/// random start offset. Returns the source app ids.
+pub fn attach_sources(
+    sim: &mut Simulator,
+    route: Arc<RouteSpec>,
+    aggregate: Rate,
+    n: usize,
+    cfg: &SourceConfig,
+) -> Vec<netsim::AppId> {
+    assert!(n > 0, "need at least one source");
+    let per_source = aggregate / n as f64;
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut rng = sim.rng();
+        let start = if cfg.start_jitter.is_zero() {
+            TimeNs::ZERO
+        } else {
+            TimeNs::from_nanos(rng.below(cfg.start_jitter.as_nanos()))
+        };
+        let src = CrossTrafficSource::new(
+            cfg.clone(),
+            per_source,
+            route.clone(),
+            FlowId(0x4352_0000 + i as u32), // 'CR' prefix for cross traffic
+            rng,
+        );
+        let id = sim.add_app(Box::new(src));
+        let now = sim.now();
+        sim.schedule_timer(id, now + start, 0);
+        ids.push(id);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::app::CountingSink;
+    use netsim::LinkConfig;
+
+    fn run_sources(
+        cfg: SourceConfig,
+        aggregate_mbps: f64,
+        n: usize,
+        secs: u64,
+    ) -> (f64, u64) {
+        let mut sim = Simulator::new(1234);
+        let link = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(100.0),
+            TimeNs::from_millis(1),
+        ));
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let route = sim.route(&[link], sink);
+        attach_sources(
+            &mut sim,
+            route,
+            Rate::from_mbps(aggregate_mbps),
+            n,
+            &cfg,
+        );
+        sim.run_until(TimeNs::from_secs(secs));
+        let elapsed = TimeNs::from_secs(secs);
+        let util = sim.link(link).stats.utilization(elapsed);
+        (util * 100.0, sim.app::<CountingSink>(sink).packets)
+    }
+
+    #[test]
+    fn poisson_sources_hit_target_rate() {
+        let (util_mbps, pkts) = run_sources(SourceConfig::paper_poisson(), 6.0, 10, 30);
+        assert!((util_mbps - 6.0).abs() < 0.3, "got {util_mbps} Mb/s");
+        assert!(pkts > 10_000);
+    }
+
+    #[test]
+    fn pareto_sources_hit_target_rate() {
+        let (util_mbps, _) = run_sources(SourceConfig::paper_pareto(), 6.0, 10, 60);
+        assert!((util_mbps - 6.0).abs() < 0.6, "got {util_mbps} Mb/s");
+    }
+
+    #[test]
+    fn cbr_source_is_exact() {
+        let mut cfg = SourceConfig::cbr(1000);
+        cfg.start_jitter = TimeNs::ZERO; // no ramp-in bias
+        let (util_mbps, _) = run_sources(cfg, 8.0, 1, 10);
+        assert!((util_mbps - 8.0).abs() < 0.05, "got {util_mbps} Mb/s");
+    }
+
+    #[test]
+    fn sources_are_reproducible() {
+        let a = run_sources(SourceConfig::paper_pareto(), 4.0, 5, 10);
+        let b = run_sources(SourceConfig::paper_pareto(), 4.0, 5, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let route = sim.route(&[], sink);
+        let rng = sim.rng();
+        let _ = CrossTrafficSource::new(
+            SourceConfig::paper_poisson(),
+            Rate::ZERO,
+            route,
+            FlowId(1),
+            rng,
+        );
+    }
+}

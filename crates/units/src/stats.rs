@@ -1,0 +1,180 @@
+//! Small, allocation-light statistics helpers used by the trend tests,
+//! the dynamics experiments, and the reporting code.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator); 0.0 for fewer than 2 samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Median of a slice (averaging the two central elements for even lengths).
+///
+/// Sorts a copy; intended for the short series used by the trend tests.
+/// Returns 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) * 0.5
+    }
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation between order
+/// statistics. Returns 0.0 for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// The {5, 15, 25, ..., 95} percentiles of `xs`, as `(percentile, value)`
+/// pairs — the CDF sampling used by the paper's Figs. 11–14.
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    (0..10)
+        .map(|i| {
+            let p = 5.0 + 10.0 * i as f64;
+            (p, percentile(xs, p))
+        })
+        .collect()
+}
+
+/// A five-number-plus summary of a sample, for experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns an all-zero summary for an empty slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p75: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            p50: percentile(xs, 50.0),
+            p75: percentile(xs, 75.0),
+            p95: percentile(xs, 95.0),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation (σ/μ); 0.0 when the mean is 0.
+    pub fn cov(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.13808993).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        assert!((percentile(&xs, 75.0) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_points_has_ten_entries_and_is_monotone() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cdf = cdf_points(&xs);
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(cdf[0].0, 5.0);
+        assert_eq!(cdf[9].0, 95.0);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!(s.cov() > 0.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Continuous avail-bw monitoring and SLA checking — the §I applications
+//! (SLA verification, server selection) driven by repeated pathload runs.
+//!
+//! ```text
+//! cargo run --release --example monitoring
+//! ```
+
+use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
+use availbw::slops::{monitor_until, sla_compliance, Session, SlopsConfig};
+use availbw::units::{Rate, TimeNs};
+
+fn main() {
+    // A path whose tight link is 10 Mb/s at 60% load: A = 4 Mb/s.
+    let cfg = PaperPathConfig::default();
+    let mut transport = PaperPath::build(&cfg, 2024).into_transport();
+    let session = Session::new(SlopsConfig::default());
+
+    // Monitor for 5 simulated minutes, 2 s between measurements.
+    let deadline = TimeNs::from_secs(300);
+    let (series, err) = monitor_until(&session, &mut transport, deadline, TimeNs::from_secs(2));
+    if let Some(e) = err {
+        eprintln!("monitoring aborted: {e}");
+    }
+    println!(
+        "collected {} measurements over {}:",
+        series.samples.len(),
+        deadline
+    );
+    for s in &series.samples {
+        println!(
+            "  t={:>8}  [{:5.2}, {:5.2}] Mb/s  ({} fleets, {})",
+            s.started,
+            s.estimate.low.mbps(),
+            s.estimate.high.mbps(),
+            s.estimate.fleets.len(),
+            s.duration,
+        );
+    }
+    let avg = series.window_average(TimeNs::ZERO, deadline);
+    let (lo, hi) = series.envelope().expect("non-empty series");
+    println!("\nwindow average (eq. 11): {avg}   envelope: [{lo}, {hi}]");
+    for floor in [2.0, 4.0, 6.0] {
+        println!(
+            "SLA 'avail-bw >= {floor} Mb/s' compliance: {:.0}%",
+            sla_compliance(&series, Rate::from_mbps(floor)) * 100.0
+        );
+    }
+}

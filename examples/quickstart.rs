@@ -1,0 +1,48 @@
+//! Quickstart: measure the available bandwidth of a simulated 5-hop path.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
+use availbw::slops::{Session, SlopsConfig};
+
+fn main() {
+    // The paper's default simulation topology (Fig. 4): five hops, a
+    // 10 Mb/s tight link in the middle at 60% utilization from heavy-tailed
+    // cross traffic => true avail-bw A = 4 Mb/s.
+    let path_cfg = PaperPathConfig::default();
+    println!(
+        "building a {}-hop path, tight link {} at {:.0}% load (true A = {})",
+        path_cfg.hops,
+        path_cfg.tight_capacity,
+        path_cfg.tight_util * 100.0,
+        path_cfg.avail_bw(),
+    );
+    let mut transport = PaperPath::build(&path_cfg, 42).into_transport();
+
+    // Run one pathload measurement session with the tool defaults
+    // (K = 100 packets, N = 12 streams, omega = 1 Mb/s, chi = 2 Mb/s).
+    let est = Session::new(SlopsConfig::default())
+        .run(&mut transport)
+        .expect("measurement failed");
+
+    println!(
+        "pathload reports [{:.2}, {:.2}] Mb/s (midpoint {:.2} Mb/s)",
+        est.low.mbps(),
+        est.high.mbps(),
+        est.midpoint().mbps()
+    );
+    if let Some((lo, hi)) = est.grey {
+        println!("grey region: [{:.2}, {:.2}] Mb/s", lo.mbps(), hi.mbps());
+    }
+    println!(
+        "fleets used: {}, measurement took {} of simulated time, stopped by {:?}",
+        est.fleets.len(),
+        est.elapsed,
+        est.termination
+    );
+    for f in &est.fleets {
+        println!("  fleet at {:>9}: {:?}", f.rate, f.outcome);
+    }
+}

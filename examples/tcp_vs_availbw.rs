@@ -1,0 +1,71 @@
+//! TCP and available bandwidth (paper §VII, condensed): a greedy TCP
+//! connection roughly measures the avail-bw — but saturates the path,
+//! inflates RTT, and steals bandwidth from other TCP flows.
+//!
+//! ```text
+//! cargo run --release --example tcp_vs_availbw
+//! ```
+
+use availbw::netsim::app::CountingSink;
+use availbw::netsim::{Chain, ChainConfig, LinkConfig, Simulator};
+use availbw::tcpsim::{TcpConnection, TcpSender, TcpSenderConfig};
+use availbw::traffic::{attach_sources, SourceConfig};
+use availbw::units::{Rate, TimeNs};
+
+fn main() {
+    let mut sim = Simulator::new(99);
+    // An 8.2 Mb/s tight link (as in the paper's Univ-Ioannina path) with a
+    // 180 kB drop-tail buffer.
+    let chain = Chain::build(
+        &mut sim,
+        &ChainConfig::symmetric(vec![
+            LinkConfig::new(Rate::from_mbps(100.0), TimeNs::from_millis(5)),
+            LinkConfig::new(Rate::from_mbps(8.2), TimeNs::from_millis(20))
+                .with_queue_limit(180 * 1024),
+            LinkConfig::new(Rate::from_mbps(100.0), TimeNs::from_millis(5)),
+        ]),
+    );
+    let tight = chain.forward[1];
+
+    // Background: 2 long-lived TCP flows plus 1.5 Mb/s of UDP.
+    let bg1 = TcpConnection::greedy(&mut sim, &chain, 1);
+    let bg2 = TcpConnection::greedy(&mut sim, &chain, 2);
+    let sink = sim.add_app(Box::new(CountingSink::default()));
+    let udp_route = chain.hop_route(&sim, 1, sink);
+    attach_sources(
+        &mut sim,
+        udp_route,
+        Rate::from_mbps(1.5),
+        4,
+        &SourceConfig::paper_pareto(),
+    );
+
+    // Phase 1: background only.
+    sim.run_until(TimeNs::from_secs(60));
+    let t0 = TimeNs::from_secs(10);
+    let t1 = TimeNs::from_secs(60);
+    let bg_before = bg1.throughput(&sim, t0, t1).mbps() + bg2.throughput(&sim, t0, t1).mbps();
+
+    // Phase 2: a BTC connection joins for 60 s.
+    let start = sim.now();
+    let btc = TcpConnection::start_at(&mut sim, &chain, TcpSenderConfig::greedy(9), start);
+    sim.run_until(start + TimeNs::from_secs(60));
+    sim.app_mut::<TcpSender>(btc.sender).stop();
+    let btc_tput = btc.throughput(&sim, start, start + TimeNs::from_secs(60));
+    let bg_during = bg1.throughput(&sim, start, start + TimeNs::from_secs(60)).mbps()
+        + bg2.throughput(&sim, start, start + TimeNs::from_secs(60)).mbps();
+
+    let elapsed = sim.now();
+    let util = sim.link(tight).stats.utilization(elapsed);
+    println!("tight link: 8.2 Mb/s, overall utilization {:.0}%", util * 100.0);
+    println!("background TCP before BTC: {bg_before:.2} Mb/s");
+    println!("BTC throughput:            {:.2} Mb/s", btc_tput.mbps());
+    println!("background TCP during BTC: {bg_during:.2} Mb/s");
+    println!(
+        "\nThe BTC connection grabbed {:.0}% of what the background had —",
+        100.0 * (bg_before - bg_during) / bg_before.max(1e-9)
+    );
+    println!("a 'measurement' that costs the competing traffic dearly (paper §VII).");
+    println!("Max tight-link queue: {} kB (RTT inflation while BTC ran)",
+        sim.link(tight).stats.max_queue_bytes / 1024);
+}

@@ -1,0 +1,46 @@
+//! # availbw — end-to-end available bandwidth estimation
+//!
+//! Umbrella crate for the reproduction of *Jain & Dovrolis, "End-to-End
+//! Available Bandwidth: Measurement Methodology, Dynamics, and Relation
+//! With TCP Throughput"* (ACM SIGCOMM 2002 / IEEE/ACM ToN 2003).
+//!
+//! It re-exports every workspace crate under one roof so that examples,
+//! integration tests, and downstream users can depend on a single package:
+//!
+//! * [`slops`] — the paper's contribution: SLoPS trend statistics, fleets,
+//!   grey-region rate search, and the pathload measurement session.
+//! * [`netsim`] — deterministic discrete-event packet network simulator.
+//! * [`traffic`] — stochastic cross-traffic generators.
+//! * [`tcpsim`] — TCP Reno over the simulator (BTC experiments, §VII).
+//! * [`fluid`] — the analytic fluid model from the paper's Appendix.
+//! * [`simprobe`] — `ProbeTransport` over the simulator + paper scenarios.
+//! * [`baselines`] — cprobe/packet-train (ADR) and TOPP baselines.
+//! * [`pathload_net`] — pathload over real UDP/TCP sockets.
+//! * [`units`] — shared time/rate newtypes and statistics helpers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
+//! use availbw::slops::{Session, SlopsConfig};
+//! use availbw::units::Rate;
+//!
+//! // A 5-hop path with a 10 Mb/s tight link at 60% utilization: A = 4 Mb/s.
+//! let cfg = PaperPathConfig::default();
+//! let mut path = PaperPath::build(&cfg, 7).into_transport();
+//! let est = Session::new(SlopsConfig::default())
+//!     .run(&mut path)
+//!     .expect("measurement completed");
+//! let a = cfg.avail_bw();
+//! assert!(est.low.mbps() < a.mbps() + 2.0 && est.high.mbps() > a.mbps() - 2.0);
+//! ```
+
+pub use baselines;
+pub use fluid;
+pub use netsim;
+pub use pathload_net;
+pub use simprobe;
+pub use slops;
+pub use tcpsim;
+pub use traffic;
+pub use units;

@@ -1,0 +1,67 @@
+//! The §II comparison, quantified: on the same loaded path, cprobe reports
+//! the ADR (well above the avail-bw), TOPP and pathload report the
+//! avail-bw.
+
+use availbw::baselines::{cprobe, topp, CprobeConfig, ToppConfig};
+use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
+use availbw::slops::{Session, SlopsConfig};
+use availbw::units::Rate;
+
+fn paper_path(seed: u64) -> availbw::simprobe::SimTransport {
+    PaperPath::build(&PaperPathConfig::default(), seed).into_transport()
+}
+
+#[test]
+fn cprobe_overestimates_avail_bw() {
+    // A = 4 Mb/s, tight capacity 10 Mb/s: the ADR lands in between.
+    let mut t = paper_path(42);
+    let est = cprobe(&mut t, &CprobeConfig::default()).unwrap();
+    assert!(
+        est.reported.mbps() > 5.5,
+        "cprobe should report well above A=4, got {}",
+        est.reported
+    );
+    assert!(
+        est.reported.mbps() <= 10.5,
+        "cprobe cannot exceed the narrow capacity, got {}",
+        est.reported
+    );
+}
+
+#[test]
+fn topp_brackets_avail_bw_and_capacity() {
+    let mut t = paper_path(43);
+    let cfg = ToppConfig {
+        min_rate: Rate::from_mbps(1.0),
+        max_rate: Rate::from_mbps(12.0),
+        steps: 23,
+        stream_len: 100,
+        ..ToppConfig::default()
+    };
+    let est = topp(&mut t, &cfg).unwrap();
+    assert!(
+        (est.avail_bw.mbps() - 4.0).abs() < 2.0,
+        "TOPP avail-bw {} should be near 4 Mb/s",
+        est.avail_bw
+    );
+    assert!(
+        (est.capacity.mbps() - 10.0).abs() < 3.5,
+        "TOPP capacity {} should be near the tight capacity 10 Mb/s",
+        est.capacity
+    );
+}
+
+#[test]
+fn pathload_beats_cprobe_on_the_same_path() {
+    let mut t = paper_path(44);
+    let pathload = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    let cprobe_est = cprobe(&mut t, &CprobeConfig::default()).unwrap();
+    let pathload_err = (pathload.midpoint().mbps() - 4.0).abs();
+    let cprobe_err = (cprobe_est.reported.mbps() - 4.0).abs();
+    assert!(
+        pathload_err < cprobe_err,
+        "pathload midpoint {} should be closer to A=4 than cprobe {}",
+        pathload.midpoint(),
+        cprobe_est.reported
+    );
+}

@@ -1,0 +1,97 @@
+//! End-to-end accuracy: the full pathload session over the packet-level
+//! simulator must bracket the configured avail-bw on the paper's
+//! topologies (the property behind Figs. 5–7).
+
+use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
+use availbw::slops::{Session, SlopsConfig, Termination};
+use availbw::units::stats::mean;
+
+/// Average the reported bounds over a few seeds (the paper always reports
+/// multi-run averages; single runs legitimately straddle A).
+fn avg_range(cfg: &PaperPathConfig, seeds: &[u64]) -> (f64, f64) {
+    let mut lows = Vec::new();
+    let mut highs = Vec::new();
+    for &seed in seeds {
+        let mut t = PaperPath::build(cfg, seed).into_transport();
+        let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+        lows.push(est.low.mbps());
+        highs.push(est.high.mbps());
+    }
+    (mean(&lows), mean(&highs))
+}
+
+#[test]
+fn brackets_avail_bw_at_default_load() {
+    let cfg = PaperPathConfig::default(); // A = 4 Mb/s
+    let (lo, hi) = avg_range(&cfg, &[11, 22, 33, 44, 55]);
+    assert!(
+        lo <= 4.3 && 3.7 <= hi,
+        "average range [{lo:.2}, {hi:.2}] should bracket 4 Mb/s"
+    );
+    assert!(hi - lo < 5.0, "range [{lo:.2}, {hi:.2}] absurdly wide");
+}
+
+#[test]
+fn brackets_avail_bw_at_light_load() {
+    let mut cfg = PaperPathConfig::default();
+    cfg.tight_util = 0.20; // A = 8 Mb/s
+    let (lo, hi) = avg_range(&cfg, &[1, 2, 3]);
+    assert!(
+        lo <= 8.4 && 7.6 <= hi,
+        "average range [{lo:.2}, {hi:.2}] should bracket 8 Mb/s"
+    );
+}
+
+#[test]
+fn brackets_avail_bw_with_poisson_traffic() {
+    let mut cfg = PaperPathConfig::default();
+    cfg.source_cfg = availbw::traffic::SourceConfig::paper_poisson();
+    let (lo, hi) = avg_range(&cfg, &[7, 8, 9]);
+    assert!(
+        lo <= 4.4 && 3.6 <= hi,
+        "average range [{lo:.2}, {hi:.2}] should bracket 4 Mb/s"
+    );
+}
+
+#[test]
+fn three_hop_path_works_too() {
+    let mut cfg = PaperPathConfig::default();
+    cfg.hops = 3;
+    let (lo, hi) = avg_range(&cfg, &[13, 14, 15]);
+    assert!(
+        lo <= 4.4 && 3.6 <= hi,
+        "average range [{lo:.2}, {hi:.2}] should bracket 4 Mb/s"
+    );
+}
+
+#[test]
+fn terminates_within_fleet_budget_and_reports_trace() {
+    let cfg = PaperPathConfig::default();
+    let mut t = PaperPath::build(&cfg, 77).into_transport();
+    let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    assert!(est.fleets.len() >= 2);
+    assert!(est.fleets.len() <= 64);
+    assert!(!matches!(est.termination, Termination::FleetBudget));
+    // Trace invariants: every fleet has as many loss entries as classes,
+    // and the verdict sequence is consistent with the final bounds.
+    for f in &est.fleets {
+        assert_eq!(f.stream_classes.len(), f.losses.len());
+        assert!(f.rate.bps() > 0.0);
+    }
+    assert!(est.low.bps() <= est.high.bps());
+    if let Some((glo, ghi)) = est.grey {
+        assert!(est.low.bps() <= glo.bps() + 1.0);
+        assert!(ghi.bps() <= est.high.bps() + 1.0);
+    }
+}
+
+#[test]
+fn measurement_is_reproducible_given_a_seed() {
+    let cfg = PaperPathConfig::default();
+    let run = |seed| {
+        let mut t = PaperPath::build(&cfg, seed).into_transport();
+        let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+        (est.low.bps(), est.high.bps(), est.fleets.len())
+    };
+    assert_eq!(run(123), run(123));
+}

@@ -1,0 +1,56 @@
+//! SLoPS measures one-way delays, not round-trip times: congestion on the
+//! reverse path must not disturb the forward avail-bw estimate. This is a
+//! defining property of the methodology (§IV "Clock and Timing Issues" —
+//! only OWD *differences* matter) and the reason pathload timestamps at
+//! the receiver instead of echoing packets.
+
+use availbw::simprobe::scenarios::reverse_loaded_path;
+use availbw::slops::{Session, SlopsConfig};
+use availbw::units::Rate;
+
+fn measure(fwd_util: f64, rev_util: f64, seed: u64) -> (f64, f64) {
+    let mut t = reverse_loaded_path(Rate::from_mbps(10.0), fwd_util, rev_util, seed);
+    let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
+    (est.low.mbps(), est.high.mbps())
+}
+
+#[test]
+fn reverse_congestion_does_not_change_the_estimate() {
+    // Forward: 40% load => A = 6 Mb/s. Reverse: idle vs 85% loaded.
+    let mut mids_idle = Vec::new();
+    let mut mids_loaded = Vec::new();
+    for seed in 0..3 {
+        let (lo, hi) = measure(0.4, 0.0, 100 + seed);
+        mids_idle.push((lo + hi) / 2.0);
+        let (lo, hi) = measure(0.4, 0.85, 200 + seed);
+        mids_loaded.push((lo + hi) / 2.0);
+    }
+    let idle = availbw::units::mean(&mids_idle);
+    let loaded = availbw::units::mean(&mids_loaded);
+    assert!(
+        (idle - loaded).abs() < 1.2,
+        "reverse congestion moved the estimate: {idle:.2} vs {loaded:.2} Mb/s"
+    );
+    // And both track the true forward avail-bw of 6 Mb/s.
+    assert!((idle - 6.0).abs() < 1.5, "idle-reverse estimate {idle:.2}");
+    assert!(
+        (loaded - 6.0).abs() < 1.5,
+        "loaded-reverse estimate {loaded:.2}"
+    );
+}
+
+#[test]
+fn forward_congestion_is_what_the_estimate_tracks() {
+    // Sanity inversion: moving the load to the forward path must move the
+    // estimate.
+    let (_, hi_light) = measure(0.2, 0.85, 300);
+    let (lo_heavy, _) = measure(0.8, 0.85, 301);
+    assert!(
+        hi_light > 6.0,
+        "light forward load should leave > 6 Mb/s, got high {hi_light:.2}"
+    );
+    assert!(
+        lo_heavy < 4.0,
+        "heavy forward load should leave < 4 Mb/s, got low {lo_heavy:.2}"
+    );
+}

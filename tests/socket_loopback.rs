@@ -1,0 +1,68 @@
+//! The real-socket pathload, end to end over loopback: the same
+//! `slops::Session` that drives the simulator drives real UDP/TCP sockets.
+
+use availbw::pathload_net::{Receiver, SocketTransport};
+use availbw::slops::{Session, SlopsConfig};
+use availbw::units::{Rate, TimeNs};
+use std::thread;
+
+fn gentle_cfg() -> SlopsConfig {
+    let mut cfg = SlopsConfig::default();
+    cfg.stream_len = 30;
+    cfg.fleet_len = 4;
+    cfg.min_period = TimeNs::from_millis(1);
+    cfg.resolution = Rate::from_mbps(8.0);
+    cfg.grey_resolution = Rate::from_mbps(16.0);
+    cfg.max_fleets = 8;
+    cfg
+}
+
+#[test]
+fn full_session_runs_over_loopback() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_one());
+    let mut t = SocketTransport::connect(addr).unwrap();
+    t.rate_cap = Rate::from_mbps(40.0);
+    let est = Session::new(gentle_cfg()).run(&mut t).expect("session");
+    // Loopback has no bottleneck; the estimate is meaningless but the
+    // protocol must complete with sane outputs.
+    assert!(est.low.bps() <= est.high.bps());
+    assert!(!est.fleets.is_empty());
+    drop(t);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn receiver_serves_two_sessions_sequentially() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || {
+        rx.serve_one().unwrap();
+        rx.serve_one().unwrap();
+    });
+    use availbw::slops::ProbeTransport as _;
+    for _ in 0..2 {
+        let mut t = SocketTransport::connect(addr).unwrap();
+        let rec = t.send_train(10, 600).unwrap();
+        assert!(rec.received >= 8);
+        drop(t);
+    }
+    server.join().unwrap();
+}
+
+#[test]
+fn rtt_and_idle_behave() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_one());
+    let mut t = SocketTransport::connect(addr).unwrap();
+    let rtt = availbw::slops::ProbeTransport::rtt(&mut t);
+    assert!(rtt < TimeNs::from_millis(100), "loopback RTT {rtt}");
+    let before = availbw::slops::ProbeTransport::elapsed(&t);
+    availbw::slops::ProbeTransport::idle(&mut t, TimeNs::from_millis(20));
+    let after = availbw::slops::ProbeTransport::elapsed(&t);
+    assert!(after - before >= TimeNs::from_millis(19));
+    drop(t);
+    server.join().unwrap().unwrap();
+}

@@ -1,0 +1,129 @@
+//! Cross-crate TCP behavior: greedy connections against cross traffic,
+//! bandwidth stealing from window-limited flows, and the §VII regime.
+
+use availbw::netsim::app::CountingSink;
+use availbw::netsim::{Chain, ChainConfig, LinkConfig, Simulator};
+use availbw::tcpsim::{TcpConnection, TcpSender, TcpSenderConfig, MSS};
+use availbw::traffic::{attach_sources, SourceConfig};
+use availbw::units::{Rate, TimeNs};
+
+fn tight_path(sim: &mut Simulator) -> Chain {
+    Chain::build(
+        sim,
+        &ChainConfig::symmetric(vec![
+            LinkConfig::new(Rate::from_mbps(100.0), TimeNs::from_millis(5)),
+            LinkConfig::new(Rate::from_mbps(8.2), TimeNs::from_millis(20))
+                .with_queue_limit(180 * 1024),
+            LinkConfig::new(Rate::from_mbps(100.0), TimeNs::from_millis(5)),
+        ]),
+    )
+}
+
+#[test]
+fn greedy_tcp_fills_leftover_capacity_over_udp() {
+    let mut sim = Simulator::new(21);
+    let chain = tight_path(&mut sim);
+    let sink = sim.add_app(Box::new(CountingSink::default()));
+    let route = chain.hop_route(&sim, 1, sink);
+    // 3 Mb/s of unreactive UDP leaves ~5.2 Mb/s for TCP.
+    attach_sources(
+        &mut sim,
+        route,
+        Rate::from_mbps(3.0),
+        6,
+        &SourceConfig::paper_poisson(),
+    );
+    let conn = TcpConnection::greedy(&mut sim, &chain, 1);
+    sim.run_until(TimeNs::from_secs(60));
+    let tput = conn.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(60));
+    assert!(
+        tput.mbps() > 3.9 && tput.mbps() < 5.3,
+        "greedy TCP over UDP: got {tput}, expected ~4.3-5 Mb/s"
+    );
+}
+
+#[test]
+fn btc_steals_from_window_limited_flows_via_rtt_inflation() {
+    let mut sim = Simulator::new(22);
+    let chain = tight_path(&mut sim);
+    // Four window-limited flows: throughput = rwnd/RTT, RTT-sensitive.
+    let mut limited = Vec::new();
+    for k in 0..4 {
+        let mut cfg = TcpSenderConfig::greedy(10 + k);
+        cfg.rwnd = Some(2 * MSS as u64);
+        limited.push(TcpConnection::start_at(
+            &mut sim,
+            &chain,
+            cfg,
+            TimeNs::from_millis(100 * k as u64),
+        ));
+    }
+    sim.run_until(TimeNs::from_secs(40));
+    let before: f64 = limited
+        .iter()
+        .map(|c| c.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(40)).mbps())
+        .sum();
+
+    // A greedy connection joins and fills the buffer.
+    let start = sim.now();
+    let btc = TcpConnection::start_at(&mut sim, &chain, TcpSenderConfig::greedy(1), start);
+    sim.run_until(start + TimeNs::from_secs(40));
+    let during: f64 = limited
+        .iter()
+        .map(|c| c.throughput(&sim, start, start + TimeNs::from_secs(40)).mbps())
+        .sum();
+    let btc_tput = btc.throughput(&sim, start, start + TimeNs::from_secs(40));
+
+    assert!(
+        during < before * 0.7,
+        "window-limited flows should lose >30% of throughput: {before:.2} -> {during:.2} Mb/s"
+    );
+    assert!(
+        btc_tput.mbps() > 5.0,
+        "the greedy flow should take the majority of the link, got {btc_tput}"
+    );
+}
+
+#[test]
+fn stopped_btc_drains_and_stays_quiet() {
+    let mut sim = Simulator::new(23);
+    let chain = tight_path(&mut sim);
+    let conn = TcpConnection::greedy(&mut sim, &chain, 1);
+    sim.run_until(TimeNs::from_secs(10));
+    sim.app_mut::<TcpSender>(conn.sender).stop();
+    sim.run_until(TimeNs::from_secs(12));
+    let after_stop = conn.delivered(&sim);
+    sim.run_until(TimeNs::from_secs(20));
+    assert_eq!(
+        conn.delivered(&sim),
+        after_stop,
+        "no data may arrive long after stop()"
+    );
+}
+
+#[test]
+fn many_finite_transfers_complete() {
+    let mut sim = Simulator::new(24);
+    let chain = tight_path(&mut sim);
+    let mut conns = Vec::new();
+    let mut rng = sim.rng();
+    let mut t = 0.0;
+    for i in 0..40u32 {
+        t += rng.exponential(0.5);
+        let mut cfg = TcpSenderConfig::greedy(100 + i);
+        cfg.limit = Some(50_000 + rng.below(200_000));
+        conns.push((
+            cfg.limit.unwrap(),
+            TcpConnection::start_at(&mut sim, &chain, cfg, TimeNs::from_secs_f64(t)),
+        ));
+    }
+    sim.run_until(TimeNs::from_secs(120));
+    let done = conns
+        .iter()
+        .filter(|(limit, c)| c.delivered(&sim) == *limit)
+        .count();
+    assert!(
+        done >= 38,
+        "only {done}/40 transfers completed within 120 s"
+    );
+}
