@@ -94,9 +94,8 @@ pub fn topp<T: ProbeTransport + ?Sized>(
     let mut sweep: Vec<(Rate, Rate)> = Vec::with_capacity(cfg.steps as usize);
     for i in 0..cfg.steps {
         let frac = i as f64 / (cfg.steps - 1) as f64;
-        let r_in = Rate::from_bps(
-            cfg.min_rate.bps() + frac * (cfg.max_rate.bps() - cfg.min_rate.bps()),
-        );
+        let r_in =
+            Rate::from_bps(cfg.min_rate.bps() + frac * (cfg.max_rate.bps() - cfg.min_rate.bps()));
         let req = stream_params(r_in, i, &scfg);
         let rec = transport.send_stream(&req)?;
         if let Some(r_out) = delivered_rate(&rec, req.packet_size) {
@@ -127,10 +126,7 @@ pub fn topp<T: ProbeTransport + ?Sized>(
     // Least-squares fit ratio = a + b·R_in on the upper segment.
     let n = upper.len() as f64;
     let xs: Vec<f64> = upper.iter().map(|(i, _)| i.bps()).collect();
-    let ys: Vec<f64> = upper
-        .iter()
-        .map(|(i, o)| i.bps() / o.bps())
-        .collect();
+    let ys: Vec<f64> = upper.iter().map(|(i, o)| i.bps() / o.bps()).collect();
     let sx: f64 = xs.iter().sum();
     let sy: f64 = ys.iter().sum();
     let sxx: f64 = xs.iter().map(|x| x * x).sum();

@@ -11,7 +11,8 @@ fn main() {
     let opts = RunOpts::quick();
     println!("availbw reproduction, quick preset: {opts:?}");
     let t0 = std::time::Instant::now();
-    let figures: &[(&str, fn(&RunOpts) -> String)] = &[
+    type FigureFn = fn(&RunOpts) -> String;
+    let figures: &[(&str, FigureFn)] = &[
         ("fig01_03", figs::fig01_03::run),
         ("fig05", figs::fig05::run),
         ("fig06", figs::fig06::run),

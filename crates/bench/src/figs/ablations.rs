@@ -24,7 +24,13 @@ pub fn run(opts: &RunOpts) -> String {
 }
 
 fn trend_mode_ablation(opts: &RunOpts) -> String {
-    let mut tab = Table::new(&["trend mode", "avg R_lo", "avg R_hi", "center", "|center-A|/A"]);
+    let mut tab = Table::new(&[
+        "trend mode",
+        "avg R_lo",
+        "avg R_hi",
+        "center",
+        "|center-A|/A",
+    ]);
     for (i, (label, mode)) in [
         ("both (tool)", TrendMode::Both),
         ("PCT only", TrendMode::PctOnly),
@@ -45,7 +51,10 @@ fn trend_mode_ablation(opts: &RunOpts) -> String {
             format!("{:.2}", (res.center() - 4.0).abs() / 4.0),
         ]);
     }
-    format!("\n-- trend detection mode (A = 4 Mb/s) --\n{}", tab.render())
+    format!(
+        "\n-- trend detection mode (A = 4 Mb/s) --\n{}",
+        tab.render()
+    )
 }
 
 fn median_robustness_ablation() -> String {
@@ -62,12 +71,13 @@ fn median_robustness_ablation() -> String {
     let raw: Vec<f64> = owds.iter().map(|&x| x as f64).collect();
     let without_groups = classify_medians(&raw, &cfg);
     let mut tab = Table::new(&["preprocessing", "verdict on ramp + 3ms outlier burst"]);
+    tab.row(&["sqrt(K) group medians".into(), format!("{with_groups:?}")]);
     tab.row(&[
-        "sqrt(K) group medians".into(),
-        format!("{with_groups:?}"),
+        "raw OWDs (no grouping)".into(),
+        format!("{without_groups:?}"),
     ]);
-    tab.row(&["raw OWDs (no grouping)".into(), format!("{without_groups:?}")]);
-    let note = if with_groups == StreamClass::Increasing && without_groups != StreamClass::Increasing
+    let note = if with_groups == StreamClass::Increasing
+        && without_groups != StreamClass::Increasing
     {
         "group medians preserve the trend through the outlier burst; raw pairwise stats lose it\n"
     } else {
@@ -90,9 +100,12 @@ fn pacing_ablation(opts: &RunOpts) -> String {
         "range (Mb/s)",
     ]);
     let mut footprints = Vec::new();
-    for (i, (label, factor)) in [("idle >= 9V (paper)", 0.1f64), ("no pacing (idle = RTT)", 0.999)]
-        .into_iter()
-        .enumerate()
+    for (i, (label, factor)) in [
+        ("idle >= 9V (paper)", 0.1f64),
+        ("no pacing (idle = RTT)", 0.999),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let path_cfg = PaperPathConfig::default();
         let mut scfg = SlopsConfig::default();

@@ -10,7 +10,10 @@
 //! effect the paper measures.
 
 use netsim::app::CountingSink;
-use netsim::{AppId, Chain, ChainConfig, EchoReflector, FlowId, LinkConfig, LinkId, Pinger, PingerConfig, Simulator};
+use netsim::{
+    AppId, Chain, ChainConfig, EchoReflector, FlowId, LinkConfig, LinkId, Pinger, PingerConfig,
+    Simulator,
+};
 use simprobe::{ProbeReceiver, SimTransport};
 use tcpsim::{TcpConnection, TcpSenderConfig};
 use traffic::{attach_sources, SourceConfig};

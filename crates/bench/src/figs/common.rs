@@ -2,7 +2,8 @@
 
 use crate::RunOpts;
 use simprobe::scenarios::{PaperPath, PaperPathConfig};
-use slops::{Session, SlopsConfig};
+use slops::runner::{run_sessions, SessionJob};
+use slops::SlopsConfig;
 use units::stats;
 
 /// Result of repeated pathload runs on one configuration point.
@@ -46,25 +47,38 @@ impl RepeatedRuns {
 
 /// Run pathload `opts.runs` times on fresh instances of `path_cfg`
 /// (a new seed per run, as the paper's 50-run averages do).
+///
+/// Runs execute concurrently on the [`slops::runner`] batch layer — one
+/// independent simulator per run, one worker per CPU — and come back in
+/// run order, so the averages are identical to the old serial loop.
 pub fn repeated_runs(
     path_cfg: &PaperPathConfig,
     slops_cfg: &SlopsConfig,
     opts: &RunOpts,
     point: usize,
 ) -> RepeatedRuns {
+    let jobs: Vec<SessionJob> = (0..opts.runs)
+        .map(|run| {
+            let seed = opts.run_seed(point, run);
+            let path_cfg = path_cfg.clone();
+            SessionJob::new(
+                format!("point{point}/run{run}"),
+                slops_cfg.clone(),
+                move || PaperPath::build(&path_cfg, seed).into_transport(),
+            )
+        })
+        .collect();
     let mut lows = Vec::with_capacity(opts.runs);
     let mut highs = Vec::with_capacity(opts.runs);
     let mut rhos = Vec::with_capacity(opts.runs);
-    for run in 0..opts.runs {
-        let seed = opts.run_seed(point, run);
-        let mut t = PaperPath::build(path_cfg, seed).into_transport();
-        match Session::new(slops_cfg.clone()).run(&mut t) {
+    for out in run_sessions(jobs, 0) {
+        match out.estimate {
             Ok(est) => {
                 lows.push(est.low.mbps());
                 highs.push(est.high.mbps());
                 rhos.push(est.relative_variation());
             }
-            Err(e) => eprintln!("run {run} failed: {e}"),
+            Err(e) => eprintln!("{} failed: {e}", out.label),
         }
     }
     RepeatedRuns { lows, highs, rhos }

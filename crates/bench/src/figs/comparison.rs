@@ -17,9 +17,8 @@ const UTILS: [f64; 4] = [0.20, 0.40, 0.60, 0.80];
 
 /// Run the comparison and return the report.
 pub fn run(opts: &RunOpts) -> String {
-    let mut out = section(
-        "Extension: pathload vs TOPP vs cprobe on the same paths (Ct=10 Mb/s, Pareto)",
-    );
+    let mut out =
+        section("Extension: pathload vs TOPP vs cprobe on the same paths (Ct=10 Mb/s, Pareto)");
     let mut tab = Table::new(&[
         "u_t",
         "true A",

@@ -14,9 +14,8 @@ const UTILS: [f64; 4] = [0.20, 0.40, 0.60, 0.90];
 
 /// Run the experiment and return the report.
 pub fn run(opts: &RunOpts) -> String {
-    let mut out = section(
-        "Figure 5: accuracy vs tight-link load (H=5, Ct=10 Mb/s, 50-run averages)",
-    );
+    let mut out =
+        section("Figure 5: accuracy vs tight-link load (H=5, Ct=10 Mb/s, 50-run averages)");
     let mut tab = Table::new(&[
         "traffic",
         "u_t",

@@ -15,9 +15,8 @@ const HOPS: [usize; 2] = [3, 5];
 
 /// Run the experiment and return the report.
 pub fn run(opts: &RunOpts) -> String {
-    let mut out = section(
-        "Figure 6: accuracy vs nontight load (A=4 Mb/s, A_nt=8 Mb/s fixed, beta=0.5)",
-    );
+    let mut out =
+        section("Figure 6: accuracy vs nontight load (A=4 Mb/s, A_nt=8 Mb/s fixed, beta=0.5)");
     let mut tab = Table::new(&[
         "H",
         "u_nt",

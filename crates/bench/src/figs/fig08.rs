@@ -6,7 +6,8 @@ use crate::figs::common::emit;
 use crate::report::{section, Table};
 use crate::RunOpts;
 use simprobe::scenarios::{PaperPath, PaperPathConfig};
-use slops::{Session, SlopsConfig};
+use slops::runner::{run_sessions, SessionJob};
+use slops::SlopsConfig;
 
 const FRACTIONS: [f64; 4] = [0.6, 0.7, 0.8, 0.9];
 
@@ -25,19 +26,32 @@ pub fn run(opts: &RunOpts) -> String {
     // in which fleets land grey; the monotone width-vs-f trend needs a
     // small average to be visible in a table.
     let runs = opts.runs.clamp(4, 10);
-    for (i, f) in FRACTIONS.iter().enumerate() {
-        let path_cfg = PaperPathConfig::default();
-        let mut scfg = SlopsConfig::default();
-        scfg.fleet_fraction = *f;
+    // The whole {f × run} grid goes to the batch runner as one job list,
+    // so every core stays busy across the fraction sweep.
+    let jobs: Vec<SessionJob> = FRACTIONS
+        .iter()
+        .enumerate()
+        .flat_map(|(i, f)| {
+            (0..runs).map(move |run| {
+                let path_cfg = PaperPathConfig::default();
+                let mut scfg = SlopsConfig::default();
+                scfg.fleet_fraction = *f;
+                let seed = opts.run_seed(300 + i, run);
+                SessionJob::new(format!("fig08/f={f:.1}/run{run}"), scfg, move || {
+                    PaperPath::build(&path_cfg, seed).into_transport()
+                })
+            })
+        })
+        .collect();
+    let outcomes = run_sessions(jobs, 0);
+    for (f, group) in FRACTIONS.iter().zip(outcomes.chunks(runs)) {
         let mut lows = Vec::new();
         let mut highs = Vec::new();
         let mut widths = Vec::new();
         let mut grey_widths = Vec::new();
         let mut grey_count = 0;
-        for run in 0..runs {
-            let seed = opts.run_seed(300 + i, run);
-            let mut t = PaperPath::build(&path_cfg, seed).into_transport();
-            match Session::new(scfg.clone()).run(&mut t) {
+        for out in group {
+            match &out.estimate {
                 Ok(est) => {
                     lows.push(est.low.mbps());
                     highs.push(est.high.mbps());
@@ -49,7 +63,7 @@ pub fn run(opts: &RunOpts) -> String {
                         grey_widths.push(0.0);
                     }
                 }
-                Err(e) => eprintln!("f={f}: {e}"),
+                Err(e) => eprintln!("{}: {e}", out.label),
             }
         }
         tab.row(&[

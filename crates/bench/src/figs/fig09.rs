@@ -12,9 +12,7 @@ const THRESHOLDS: [f64; 7] = [0.05, 0.15, 0.30, 0.45, 0.60, 0.80, 0.95];
 
 /// Run the experiment and return the report.
 pub fn run(opts: &RunOpts) -> String {
-    let mut out = section(
-        "Figure 9: effect of the PDT threshold (PDT-only detection, A=4 Mb/s)",
-    );
+    let mut out = section("Figure 9: effect of the PDT threshold (PDT-only detection, A=4 Mb/s)");
     let mut tab = Table::new(&["PDT threshold", "R_lo", "R_hi", "center", "center/A"]);
     for (i, thr) in THRESHOLDS.iter().enumerate() {
         let path_cfg = PaperPathConfig::default();

@@ -13,9 +13,8 @@ const BANDS: [(f64, f64); 3] = [(0.20, 0.30), (0.40, 0.50), (0.75, 0.85)];
 
 /// Run the experiment and return the report.
 pub fn run(opts: &RunOpts) -> String {
-    let mut out = section(
-        "Figure 11: CDF of relative variation rho in three load bands (Ct=10 Mb/s)",
-    );
+    let mut out =
+        section("Figure 11: CDF of relative variation rho in three load bands (Ct=10 Mb/s)");
     let mut series = Vec::new();
     let mut p75s = Vec::new();
     for (bi, (lo, hi)) in BANDS.iter().enumerate() {
@@ -25,10 +24,7 @@ pub fn run(opts: &RunOpts) -> String {
         for run in 0..opts.runs {
             let mut cfg = PaperPathConfig::default();
             cfg.tight_util = lo + (hi - lo) * (run as f64 / opts.runs.max(2) as f64);
-            let one = RunOpts {
-                runs: 1,
-                ..*opts
-            };
+            let one = RunOpts { runs: 1, ..*opts };
             let res = repeated_runs(&cfg, &SlopsConfig::default(), &one, 600 + bi * 200 + run);
             rhos.extend(res.rhos);
         }

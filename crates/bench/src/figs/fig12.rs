@@ -14,14 +14,16 @@ use units::Rate;
 
 /// (label, capacity Mb/s, ON/OFF sources) — sources scale with capacity,
 /// mirroring the backbone/university/department tight links of the paper.
-const PATHS: [(&str, f64, usize); 3] =
-    [("A-155Mbps", 155.0, 200), ("B-12.4Mbps", 12.4, 16), ("C-6.1Mbps", 6.1, 8)];
+const PATHS: [(&str, f64, usize); 3] = [
+    ("A-155Mbps", 155.0, 200),
+    ("B-12.4Mbps", 12.4, 16),
+    ("C-6.1Mbps", 6.1, 8),
+];
 
 /// Run the experiment and return the report.
 pub fn run(opts: &RunOpts) -> String {
-    let mut out = section(
-        "Figure 12: CDF of rho vs statistical multiplexing (all tight links at ~65%)",
-    );
+    let mut out =
+        section("Figure 12: CDF of rho vs statistical multiplexing (all tight links at ~65%)");
     let mut series = Vec::new();
     let mut p75s = Vec::new();
     for (pi, (label, cap, sources)) in PATHS.iter().enumerate() {

@@ -92,7 +92,14 @@ pub fn run(opts: &RunOpts) -> String {
     out.push_str(&tab.render());
 
     // --- Figure 16: RTT per phase ---
-    let mut rtt_tab = Table::new(&["phase", "RTT p5 (ms)", "RTT p50", "RTT p95", "RTT max", "lost"]);
+    let mut rtt_tab = Table::new(&[
+        "phase",
+        "RTT p5 (ms)",
+        "RTT p50",
+        "RTT p95",
+        "RTT max",
+        "lost",
+    ]);
     let pinger = world.sim.app::<netsim::Pinger>(world.pinger);
     let mut quiescent = Vec::new();
     let mut loaded = Vec::new();
@@ -119,7 +126,9 @@ pub fn run(opts: &RunOpts) -> String {
     let btc_avg = (btc_b
         .throughput(&world.sim, b_start, b_start + phase)
         .mbps()
-        + btc_d.throughput(&world.sim, d_start, d_start + phase).mbps())
+        + btc_d
+            .throughput(&world.sim, d_start, d_start + phase)
+            .mbps())
         / 2.0;
     let surrounding = (phase_avail[0] + phase_avail[2] + phase_avail[4]) / 3.0;
     let rtt_quiet = mean(&quiescent);
@@ -140,12 +149,7 @@ pub fn run(opts: &RunOpts) -> String {
     emit(out)
 }
 
-fn percentile_of(
-    pinger: &netsim::Pinger,
-    from: TimeNs,
-    to: TimeNs,
-    p: f64,
-) -> f64 {
+fn percentile_of(pinger: &netsim::Pinger, from: TimeNs, to: TimeNs, p: f64) -> f64 {
     let rtts: Vec<f64> = pinger
         .samples
         .iter()

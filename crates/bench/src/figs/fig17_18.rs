@@ -36,8 +36,7 @@ pub fn run(opts: &RunOpts) -> String {
                     Ok(est) => {
                         for f in &est.fleets {
                             streams_sent += f.losses.len();
-                            stream_losses +=
-                                f.losses.iter().filter(|&&l| l > 0.0).count();
+                            stream_losses += f.losses.iter().filter(|&&l| l > 0.0).count();
                         }
                         estimates.push((i, est));
                     }

@@ -5,7 +5,6 @@ pub mod btc;
 pub mod common;
 pub mod comparison;
 pub mod fig01_03;
-pub mod ssthresh;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;
@@ -18,3 +17,4 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15_16;
 pub mod fig17_18;
+pub mod ssthresh;

@@ -66,9 +66,8 @@ fn transfer_time(seed: u64, size: u64, ssthresh: Option<u64>) -> f64 {
 
 /// Run the experiment and return the report.
 pub fn run(opts: &RunOpts) -> String {
-    let mut out = section(
-        "Extension: ssthresh from an avail-bw estimate (Allman & Paxson, paper SSI/SSII)",
-    );
+    let mut out =
+        section("Extension: ssthresh from an avail-bw estimate (Allman & Paxson, paper SSI/SSII)");
     // First, measure the path once with pathload.
     let (mut sim, chain) = build_path(opts.seed ^ 0x55);
     let rx = sim.add_app(Box::new(ProbeReceiver::default()));

@@ -26,7 +26,7 @@ pub enum FleetOutcome {
 }
 
 /// Per-fleet record kept in the session trace (one per fleet).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FleetTrace {
     /// The actual fleet rate (from the realized stream parameters).
     pub rate: Rate,
@@ -39,11 +39,7 @@ pub struct FleetTrace {
 }
 
 /// Vote on a fleet given its per-stream classes and loss fractions.
-pub fn classify_fleet(
-    classes: &[StreamClass],
-    losses: &[f64],
-    cfg: &SlopsConfig,
-) -> FleetOutcome {
+pub fn classify_fleet(classes: &[StreamClass], losses: &[f64], cfg: &SlopsConfig) -> FleetOutcome {
     debug_assert_eq!(classes.len(), losses.len());
     // Loss rules first.
     if losses.iter().any(|&l| l > cfg.loss_abort_stream) {

@@ -13,17 +13,43 @@
 //!   `R > A`, `R < A`, or the **grey region** `R ≈ A`.
 //! * [`ratesearch`] — the binary-search rate adjustment with grey-region
 //!   bounds and the ω / χ termination rules.
-//! * [`session`] — the full measurement session driving any
-//!   [`transport::ProbeTransport`]: packet-train initialization,
-//!   fleet pacing (idle ≥ max(RTT, 9·V) so the average probing load stays
-//!   below 10 % of the probing rate), loss handling, and the final
+//! * [`machine`] — the **sans-IO session state machine**: the full §IV
+//!   control loop (train initialization, fleets, pacing idles of
+//!   max(RTT, 9·V), loss handling, termination) with all I/O and clock
+//!   access factored out. It emits [`machine::Command`]s and consumes
+//!   [`machine::Event`]s, making every intermediate state deterministic
+//!   and unit-testable.
+//! * [`session`] — the blocking reference **driver**: [`Session::run`]
+//!   executes the machine's commands over any
+//!   [`transport::ProbeTransport`] and returns the final
 //!   `[R_min, R_max]` report.
+//! * [`runner`] — the parallel **batch layer**: scoped worker threads
+//!   executing {scenario × seed × config} grids of sessions, one
+//!   transport per worker, results in job order.
 //! * [`metrics`] — the relative-variation metric ρ (eq. 12) and the
 //!   weighted average used to compare against MRTG (eq. 11).
 //!
-//! The crate is transport-agnostic: the same [`session::Session`] runs over
-//! the packet-level simulator (`simprobe` crate) and over real UDP sockets
-//! (`pathload-net` crate). For algorithm testing without a network there is
+//! ## Machine / driver / runner split
+//!
+//! ```text
+//!             commands (SendTrain | SendStream | Idle | Finish)
+//!   ┌────────────────┐ ──────────────────────────────► ┌──────────────┐
+//!   │ SessionMachine │                                 │    driver    │
+//!   │   (sans-IO)    │ ◄────────────────────────────── │ (owns the IO)│
+//!   └────────────────┘   events (TrainDone | StreamDone└──────────────┘
+//!                         | StreamLost | Tick)            │
+//!                                                         ▼
+//!                        Session::run (blocking, any ProbeTransport)
+//!                        simprobe::SessionApp (event-driven, in-sim)
+//! ```
+//!
+//! The machine is the single source of truth for the estimation logic;
+//! drivers only translate commands into their I/O substrate. The blocking
+//! driver serves the oracle, the simulator shim, and real sockets; the
+//! in-sim driver (`simprobe::SessionApp`) runs a measurement as a native
+//! discrete-event application next to cross traffic and TCP flows; and
+//! [`runner::run_sessions`] fans whole grids of sessions out over every
+//! core. For algorithm testing without a network there is
 //! [`testutil::OracleTransport`], a synthetic path with a known avail-bw.
 //!
 //! ```
@@ -42,10 +68,12 @@
 pub mod config;
 pub mod error;
 pub mod fleet;
+pub mod machine;
 pub mod metrics;
 pub mod monitor;
 pub mod owd;
 pub mod ratesearch;
+pub mod runner;
 pub mod session;
 pub mod stream;
 pub mod testutil;
@@ -56,9 +84,11 @@ pub mod validation;
 pub use config::{InitialRate, SlopsConfig, TrendMode};
 pub use error::{SlopsError, TransportError};
 pub use fleet::{FleetOutcome, FleetTrace};
+pub use machine::{Command, Event, MachineError, SessionMachine};
 pub use metrics::{relative_variation, weighted_average};
 pub use monitor::{monitor_until, sla_compliance, AvailBwSeries, MonitorSample};
 pub use ratesearch::RateSearch;
+pub use runner::{run_parallel, run_sessions, Outcome, SessionJob};
 pub use session::{Estimate, Session, Termination};
 pub use stream::{stream_params, StreamRequest};
 pub use transport::{PacketSample, ProbeTransport, StreamRecord, TrainRecord};

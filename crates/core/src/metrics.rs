@@ -47,8 +47,16 @@ mod tests {
     #[test]
     fn weighted_average_weights_by_duration() {
         let runs = [
-            (TimeNs::from_secs(10), Rate::from_mbps(2.0), Rate::from_mbps(4.0)), // mid 3
-            (TimeNs::from_secs(30), Rate::from_mbps(6.0), Rate::from_mbps(8.0)), // mid 7
+            (
+                TimeNs::from_secs(10),
+                Rate::from_mbps(2.0),
+                Rate::from_mbps(4.0),
+            ), // mid 3
+            (
+                TimeNs::from_secs(30),
+                Rate::from_mbps(6.0),
+                Rate::from_mbps(8.0),
+            ), // mid 7
         ];
         // (10*3 + 30*7)/40 = 6
         let avg = weighted_average(&runs);

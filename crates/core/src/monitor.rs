@@ -138,12 +138,7 @@ mod tests {
     fn sla_compliance_fractions() {
         let mut t = OracleTransport::new(Rate::from_mbps(40.0), 2);
         let session = Session::new(SlopsConfig::default());
-        let (series, _) = monitor_until(
-            &session,
-            &mut t,
-            TimeNs::from_secs(60),
-            TimeNs::ZERO,
-        );
+        let (series, _) = monitor_until(&session, &mut t, TimeNs::from_secs(60), TimeNs::ZERO);
         assert!(sla_compliance(&series, Rate::from_mbps(10.0)) > 0.99);
         assert!(sla_compliance(&series, Rate::from_mbps(100.0)) < 0.01);
         assert_eq!(sla_compliance(&AvailBwSeries::default(), Rate::ZERO), 0.0);
@@ -161,10 +156,7 @@ mod tests {
             streams_left: u32,
         }
         impl ProbeTransport for Fused {
-            fn send_stream(
-                &mut self,
-                req: &StreamRequest,
-            ) -> Result<StreamRecord, TransportError> {
+            fn send_stream(&mut self, req: &StreamRequest) -> Result<StreamRecord, TransportError> {
                 if self.streams_left == 0 {
                     return Err(TransportError::Io("peer vanished".into()));
                 }
@@ -191,12 +183,7 @@ mod tests {
             streams_left: 100,
         };
         let session = Session::new(SlopsConfig::default());
-        let (series, err) = monitor_until(
-            &session,
-            &mut t,
-            TimeNs::from_secs(600),
-            TimeNs::ZERO,
-        );
+        let (series, err) = monitor_until(&session, &mut t, TimeNs::from_secs(600), TimeNs::ZERO);
         assert!(err.is_some(), "the fuse must eventually blow");
         // At least one measurement completed before the failure.
         assert!(!series.samples.is_empty());

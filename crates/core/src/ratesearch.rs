@@ -189,7 +189,10 @@ mod tests {
         for a in [3.3, 10.0, 47.9, 74.0] {
             let (s, fleets) = run_oracle(a, 120.0);
             let (lo, hi) = s.bounds();
-            assert!(lo.mbps() <= a && a <= hi.mbps(), "A={a} not in [{lo}, {hi}]");
+            assert!(
+                lo.mbps() <= a && a <= hi.mbps(),
+                "A={a} not in [{lo}, {hi}]"
+            );
             assert!((hi - lo).mbps() <= 1.0 + 1e-9, "range too wide for A={a}");
             // Binary search over 120 Mb/s to 1 Mb/s resolution: ≈ log2(120) fleets.
             assert!(fleets <= 9, "too many fleets: {fleets}");
@@ -263,10 +266,11 @@ mod tests {
     fn contradicted_grey_region_is_dropped_or_clamped() {
         let mut s = RateSearch::new(mbps(100.0), mbps(1.0), mbps(1.5), None);
         s.record(mbps(50.0), FleetOutcome::Grey);
-        s.record(mbps(40.0), FleetOutcome::AboveAvailBw); // contradicts grey
-        // The degenerate grey region at 50 lies entirely above the new
-        // rmax = 40: it must be dropped (or, if partially overlapping in
-        // other scenarios, clamped inside the bounds).
+        // The Above verdict at 40 contradicts the degenerate grey region
+        // at 50: it lies entirely above the new rmax = 40 and must be
+        // dropped (or, if partially overlapping in other scenarios,
+        // clamped inside the bounds).
+        s.record(mbps(40.0), FleetOutcome::AboveAvailBw);
         match s.grey_bounds() {
             None => {}
             Some((gmin, gmax)) => {

@@ -16,13 +16,11 @@
 //! the configured average-load cap (0.1 ⇒ idle ≥ 9 V ⇒ average probing
 //! load < 10 % of the fleet rate, §IV "Fleets of Streams").
 
-use crate::config::{InitialRate, SlopsConfig};
+use crate::config::SlopsConfig;
 use crate::error::SlopsError;
-use crate::fleet::{classify_fleet, FleetTrace};
-use crate::ratesearch::RateSearch;
-use crate::stream::stream_params;
+use crate::fleet::FleetTrace;
+use crate::machine::{Command, Event, SessionMachine};
 use crate::transport::ProbeTransport;
-use crate::trend::classify_stream;
 use units::{Rate, TimeNs};
 
 /// Why the session stopped.
@@ -39,7 +37,7 @@ pub enum Termination {
 }
 
 /// The result of a measurement session.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Estimate {
     /// Lower end of the avail-bw variation range.
     pub low: Rate,
@@ -85,113 +83,45 @@ impl Session {
     }
 
     /// Run one measurement over `transport`.
-    pub fn run<T: ProbeTransport + ?Sized>(&self, transport: &mut T) -> Result<Estimate, SlopsError> {
+    ///
+    /// This is the blocking reference driver over the sans-IO
+    /// [`SessionMachine`]: it executes each [`Command`] synchronously on
+    /// the transport and feeds the resulting [`Event`] back, in strict
+    /// alternation. Event-driven drivers (e.g. `simprobe::SessionApp`)
+    /// run the very same machine from timer and packet callbacks.
+    pub fn run<T: ProbeTransport + ?Sized>(
+        &self,
+        transport: &mut T,
+    ) -> Result<Estimate, SlopsError> {
+        // Validate before touching the transport (a socket transport's
+        // rtt() may do real I/O).
         self.cfg.validate().map_err(SlopsError::BadConfig)?;
         let start = transport.elapsed();
         let rtt = transport.rtt();
-
-        // Initial upper bound for the search.
-        let tool_max = self.cfg.max_rate();
-        let ceiling = match transport.max_rate() {
-            Some(m) => m.min(tool_max),
-            None => tool_max,
-        };
-        let rmax0 = match self.cfg.initial {
-            InitialRate::Train { len, size } => {
-                let rec = transport.send_train(len, size)?;
-                match rec.dispersion_rate() {
-                    // ADR ≥ A; pad 25% for dispersion noise.
-                    Some(adr) => (adr * 1.25).min(ceiling),
-                    None => ceiling,
+        let mut machine = SessionMachine::new(self.cfg.clone(), rtt, transport.max_rate())?;
+        loop {
+            let cmd = machine
+                .poll()
+                .expect("blocking driver always answers each command before polling again");
+            let event = match cmd {
+                Command::SendTrain { len, size } => {
+                    Event::TrainDone(transport.send_train(len, size)?)
                 }
-            }
-            InitialRate::FixedMax(r) => r.min(ceiling),
-        };
-
-        let mut search = RateSearch::new(
-            rmax0,
-            self.cfg.resolution,
-            self.cfg.grey_resolution,
-            Some(ceiling),
-        );
-        let mut fleets: Vec<FleetTrace> = Vec::new();
-        let mut stream_id: u32 = 0;
-        let mut budget_exhausted = false;
-
-        while let Some(rate) = search.next_rate() {
-            if fleets.len() as u32 >= self.cfg.max_fleets {
-                budget_exhausted = true;
-                break;
-            }
-            let req_proto = stream_params(rate, stream_id, &self.cfg);
-            let actual_rate = req_proto.actual_rate();
-            let v = req_proto.duration();
-            let idle = rtt.max(TimeNs::from_secs_f64(
-                v.secs_f64() * (1.0 / self.cfg.avg_load_factor - 1.0),
-            ));
-
-            let mut classes = Vec::with_capacity(self.cfg.fleet_len as usize);
-            let mut losses = Vec::with_capacity(self.cfg.fleet_len as usize);
-            for _ in 0..self.cfg.fleet_len {
-                let mut req = req_proto;
-                req.stream_id = stream_id;
-                stream_id += 1;
-                let rec = transport.send_stream(&req)?;
-                losses.push(rec.loss_fraction());
-                // A stream whose sender could not hold the nominal spacing
-                // did not probe at its nominal rate: discard it (§IV,
-                // context-switch detection).
-                let spacing = crate::validation::check_spacing(
-                    &rec,
-                    &req,
-                    self.cfg.spacing_tolerance,
-                );
-                if !crate::validation::spacing_acceptable(
-                    &spacing,
-                    self.cfg.spacing_max_violations,
-                ) {
-                    classes.push(crate::trend::StreamClass::Unusable);
-                } else {
-                    classes.push(classify_stream(&rec, &self.cfg));
+                Command::SendStream(req) => Event::StreamDone(transport.send_stream(&req)?),
+                Command::Idle(dur) => {
+                    transport.idle(dur);
+                    Event::Tick(transport.elapsed())
                 }
-                // A stream is sent only after the previous one has been
-                // acknowledged plus the pacing idle (§IV).
-                transport.idle(idle);
-                // Early abort: one stream with excessive loss kills the
-                // fleet without sending the rest (the real tool aborts
-                // as soon as the receiver reports it).
-                if *losses.last().unwrap() > self.cfg.loss_abort_stream {
-                    break;
+                Command::Finish(est) => {
+                    let mut est = *est;
+                    est.elapsed = transport.elapsed().saturating_sub(start);
+                    return Ok(est);
                 }
-            }
-            let outcome = classify_fleet(&classes, &losses, &self.cfg);
-            fleets.push(FleetTrace {
-                rate: actual_rate,
-                stream_classes: classes,
-                losses,
-                outcome,
-            });
-            search.record(actual_rate, outcome);
+            };
+            machine
+                .on_event(event)
+                .expect("the machine accepts the event answering its own command");
         }
-
-        let (low, high) = search.bounds();
-        let termination = if budget_exhausted {
-            Termination::FleetBudget
-        } else if search.saturated_at_ceiling() {
-            Termination::TransportCeiling
-        } else if search.grey_bounds().is_some() {
-            Termination::GreyResolution
-        } else {
-            Termination::Resolution
-        };
-        Ok(Estimate {
-            low,
-            high,
-            grey: search.grey_bounds(),
-            termination,
-            fleets,
-            elapsed: transport.elapsed().saturating_sub(start),
-        })
     }
 }
 
@@ -242,7 +172,10 @@ mod tests {
             est.low,
             est.high
         );
-        assert!((est.high - est.low).mbps() >= 1.5, "range suspiciously tight");
+        assert!(
+            (est.high - est.low).mbps() >= 1.5,
+            "range suspiciously tight"
+        );
         assert!(est.low.mbps() >= 36.0 - 2.0 - 1e-6, "low = {}", est.low);
         assert!(est.high.mbps() <= 44.0 + 2.0 + 1e-6, "high = {}", est.high);
     }

@@ -95,8 +95,7 @@ pub fn classify_medians(medians: &[f64], cfg: &SlopsConfig) -> StreamClass {
     }
     let pct = verdict(pct_metric(medians), cfg.pct_inc, cfg.pct_dec);
     // A perfectly flat series has no PDT but is trivially non-increasing.
-    let pdt = verdict(pdt_metric(medians), cfg.pdt_inc, cfg.pdt_dec)
-        .or(Some(Verdict::Non));
+    let pdt = verdict(pdt_metric(medians), cfg.pdt_inc, cfg.pdt_dec).or(Some(Verdict::Non));
     let combined = match cfg.trend_mode {
         TrendMode::PctOnly => pct.unwrap_or(Verdict::Non),
         TrendMode::PdtOnly => pdt.unwrap_or(Verdict::Non),
@@ -135,7 +134,9 @@ mod tests {
 
     #[test]
     fn pct_alternating_is_half() {
-        let alt: Vec<f64> = (0..11).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let alt: Vec<f64> = (0..11)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let v = pct_metric(&alt).unwrap();
         assert!((v - 0.5).abs() < 1e-12);
     }
@@ -149,7 +150,9 @@ mod tests {
         let flat = vec![5.0; 10];
         assert_eq!(pdt_metric(&flat), None);
         // Alternating: net 0 => PDT 0.
-        let alt: Vec<f64> = (0..11).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let alt: Vec<f64> = (0..11)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         assert_eq!(pdt_metric(&alt), Some(0.0));
     }
 

@@ -110,7 +110,9 @@ fn transport_failure_mid_fleet_surfaces_as_error() {
         inner: OracleTransport::new(Rate::from_mbps(30.0), 7),
         calls_left: 7,
     };
-    let err = Session::new(SlopsConfig::default()).run(&mut t).unwrap_err();
+    let err = Session::new(SlopsConfig::default())
+        .run(&mut t)
+        .unwrap_err();
     assert!(err.to_string().contains("link down"));
 }
 

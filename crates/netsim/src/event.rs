@@ -111,9 +111,27 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::default();
-        q.push(TimeNs::from_nanos(30), EventKind::Timer { app: AppId(0), token: 3 });
-        q.push(TimeNs::from_nanos(10), EventKind::Timer { app: AppId(0), token: 1 });
-        q.push(TimeNs::from_nanos(20), EventKind::Timer { app: AppId(0), token: 2 });
+        q.push(
+            TimeNs::from_nanos(30),
+            EventKind::Timer {
+                app: AppId(0),
+                token: 3,
+            },
+        );
+        q.push(
+            TimeNs::from_nanos(10),
+            EventKind::Timer {
+                app: AppId(0),
+                token: 1,
+            },
+        );
+        q.push(
+            TimeNs::from_nanos(20),
+            EventKind::Timer {
+                app: AppId(0),
+                token: 2,
+            },
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { token, .. } => token,
@@ -128,7 +146,13 @@ mod tests {
         let mut q = EventQueue::default();
         let t = TimeNs::from_nanos(5);
         for token in 0..100 {
-            q.push(t, EventKind::Timer { app: AppId(0), token });
+            q.push(
+                t,
+                EventKind::Timer {
+                    app: AppId(0),
+                    token,
+                },
+            );
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -143,7 +167,10 @@ mod tests {
     fn peek_time_matches_next_pop() {
         let mut q = EventQueue::default();
         assert_eq!(q.peek_time(), None);
-        q.push(TimeNs::from_nanos(42), EventKind::TxDone { link: LinkId(0) });
+        q.push(
+            TimeNs::from_nanos(42),
+            EventKind::TxDone { link: LinkId(0) },
+        );
         assert_eq!(q.peek_time(), Some(TimeNs::from_nanos(42)));
         assert_eq!(q.len(), 1);
         q.pop();

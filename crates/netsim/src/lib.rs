@@ -56,7 +56,7 @@ pub mod topology;
 pub use app::{App, AppId, Ctx};
 pub use link::{Link, LinkConfig, LinkId, LinkStats};
 pub use packet::{FlowId, Packet, Payload, RouteSpec, TcpFlags, TcpHeader};
-pub use ping::{EchoReflector, Pinger, PingerConfig, PingStats};
+pub use ping::{EchoReflector, PingStats, Pinger, PingerConfig};
 pub use red::{RedConfig, RedState};
 pub use rng::Prng;
 pub use sim::Simulator;

@@ -261,8 +261,7 @@ mod tests {
 
     fn link(limit: u64) -> Link {
         Link::new(
-            LinkConfig::new(Rate::from_mbps(8.0), TimeNs::from_millis(1))
-                .with_queue_limit(limit),
+            LinkConfig::new(Rate::from_mbps(8.0), TimeNs::from_millis(1)).with_queue_limit(limit),
             Prng::new(0),
         )
     }
@@ -286,7 +285,10 @@ mod tests {
     fn busy_link_queues_fifo_and_chains_transmissions() {
         let mut l = link(10_000);
         let t0 = TimeNs::ZERO;
-        assert!(matches!(l.on_arrival(pkt(1000, 0), t0), Arrival::StartTx(_)));
+        assert!(matches!(
+            l.on_arrival(pkt(1000, 0), t0),
+            Arrival::StartTx(_)
+        ));
         assert_eq!(l.on_arrival(pkt(500, 1), t0), Arrival::Queued);
         assert_eq!(l.on_arrival(pkt(500, 2), t0), Arrival::Queued);
         assert_eq!(l.queue_bytes(), 1000);
@@ -311,7 +313,10 @@ mod tests {
     #[test]
     fn queue_overflow_drops_tail() {
         let mut l = link(1000);
-        assert!(matches!(l.on_arrival(pkt(1000, 0), TimeNs::ZERO), Arrival::StartTx(_)));
+        assert!(matches!(
+            l.on_arrival(pkt(1000, 0), TimeNs::ZERO),
+            Arrival::StartTx(_)
+        ));
         assert_eq!(l.on_arrival(pkt(600, 1), TimeNs::ZERO), Arrival::Queued);
         // 600 + 600 > 1000: dropped
         assert_eq!(l.on_arrival(pkt(600, 2), TimeNs::ZERO), Arrival::Dropped);
@@ -334,7 +339,10 @@ mod tests {
     #[test]
     fn utilization_accounting() {
         let mut l = link(100_000);
-        assert!(matches!(l.on_arrival(pkt(1000, 0), TimeNs::ZERO), Arrival::StartTx(_)));
+        assert!(matches!(
+            l.on_arrival(pkt(1000, 0), TimeNs::ZERO),
+            Arrival::StartTx(_)
+        ));
         l.on_tx_done(TimeNs::from_millis(1));
         // Busy 1 ms out of 4 ms elapsed => 25%.
         assert!((l.stats.utilization(TimeNs::from_millis(4)) - 0.25).abs() < 1e-9);

@@ -134,7 +134,9 @@ mod tests {
         m.record(TimeNs::from_millis(1500), 375_000); // 3 Mb/s in w1
         let avg = m.avg_rate(TimeNs::ZERO, TimeNs::from_secs(2));
         assert!((avg.mbps() - 2.0).abs() < 1e-9);
-        assert!(m.avg_rate(TimeNs::from_secs(2), TimeNs::from_secs(2)).is_zero());
+        assert!(m
+            .avg_rate(TimeNs::from_secs(2), TimeNs::from_secs(2))
+            .is_zero());
     }
 
     #[test]

@@ -256,7 +256,10 @@ mod tests {
         // RTT = 2 * (51.2 us tx + 10 ms prop) ~ 20.1 ms
         for s in &p.samples {
             let rtt = s.rtt.expect("no loss expected");
-            assert_eq!(rtt, TimeNs::from_micros(2 * (10_000 + 51)) + TimeNs::from_nanos(400));
+            assert_eq!(
+                rtt,
+                TimeNs::from_micros(2 * (10_000 + 51)) + TimeNs::from_nanos(400)
+            );
         }
     }
 

@@ -195,7 +195,9 @@ impl Simulator {
                         .push(arrive, EventKind::ArriveAtLink { link: next, pkt }),
                     None => {
                         let app = pkt.route.dst;
-                        self.core.queue.push(arrive, EventKind::Deliver { app, pkt });
+                        self.core
+                            .queue
+                            .push(arrive, EventKind::Deliver { app, pkt });
                     }
                 }
             }
@@ -334,7 +336,10 @@ mod tests {
         let mut sim = Simulator::new(1);
         let sink = sim.add_app(Box::new(CountingSink::default()));
         let route = sim.route(&[], sink);
-        sim.inject(Packet::new(100, FlowId(1), 0, route), TimeNs::from_millis(3));
+        sim.inject(
+            Packet::new(100, FlowId(1), 0, route),
+            TimeNs::from_millis(3),
+        );
         assert!(sim.run_until_idle(TimeNs::from_secs(1)));
         let s = sim.app::<CountingSink>(sink);
         assert_eq!(s.packets, 1);

@@ -76,15 +76,17 @@ fn determinism_across_runs() {
 #[test]
 fn oversized_packet_cannot_wedge_the_queue() {
     let mut sim = Simulator::new(1);
-    let l = sim.add_link(
-        LinkConfig::new(Rate::from_mbps(1.0), TimeNs::ZERO).with_queue_limit(1000),
-    );
+    let l =
+        sim.add_link(LinkConfig::new(Rate::from_mbps(1.0), TimeNs::ZERO).with_queue_limit(1000));
     let sink = sim.add_app(Box::new(CountingSink::default()));
     let route = sim.route(&[l], sink);
     sim.inject(Packet::new(500, FlowId(1), 0, route.clone()), TimeNs::ZERO);
     // Arrives while busy, exceeds the whole queue limit: dropped.
     sim.inject(Packet::new(1500, FlowId(1), 1, route.clone()), TimeNs::ZERO);
-    sim.inject(Packet::new(500, FlowId(1), 2, route), TimeNs::from_micros(10));
+    sim.inject(
+        Packet::new(500, FlowId(1), 2, route),
+        TimeNs::from_micros(10),
+    );
     assert!(sim.run_until_idle(TimeNs::from_secs(1)));
     assert_eq!(sim.app::<CountingSink>(sink).packets, 2);
     assert_eq!(sim.link(l).stats.drops_overflow, 1);
@@ -120,7 +122,10 @@ fn run_until_horizon_is_respected() {
 #[test]
 fn engine_throughput_smoke() {
     let mut sim = Simulator::new(3);
-    let l = sim.add_link(LinkConfig::new(Rate::from_mbps(1000.0), TimeNs::from_micros(1)));
+    let l = sim.add_link(LinkConfig::new(
+        Rate::from_mbps(1000.0),
+        TimeNs::from_micros(1),
+    ));
     let sink = sim.add_app(Box::new(CountingSink::default()));
     let route = sim.route(&[l], sink);
     for i in 0..200_000u64 {

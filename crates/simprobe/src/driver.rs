@@ -1,0 +1,516 @@
+//! The in-sim session driver: a measurement session as a **native
+//! discrete-event application**.
+//!
+//! The blocking shim ([`crate::SimTransport`]) drives the simulator from
+//! the outside: every probe call seizes the event loop (`run_until` slices)
+//! until its stream completes, so exactly one measurement can run per
+//! simulator and nothing else can own the loop meanwhile. [`SessionApp`]
+//! inverts that: it runs the sans-IO [`slops::SessionMachine`] *inside*
+//! the simulation, executing its commands from packet and timer callbacks.
+//! The simulation is then free to host anything else concurrently — cross
+//! traffic, TCP flows, pingers, several measurement sessions on disjoint
+//! (or shared!) paths — under one ordinary `run_until` loop.
+//!
+//! Timing is deliberately bit-compatible with the blocking shim: the same
+//! [lead-in](crate::transport::LEAD_IN) before the first packet, the same
+//! [completion-poll grid](crate::transport::POLL_SLICE), the same
+//! [straggler grace](crate::transport::STREAM_GRACE), the same probe flow
+//! id and payloads. For the same simulator seed and start instant, both
+//! drivers therefore inject identical packet sequences, observe identical
+//! OWDs, and report **identical estimates** — which is exactly what the
+//! driver-equivalence tests assert.
+
+use crate::clock::ClockModel;
+use crate::transport::{LEAD_IN, POLL_SLICE, PROBE_FLOW, STREAM_GRACE};
+use netsim::{App, AppId, Chain, Ctx, Packet, Payload, RouteSpec, Simulator};
+use slops::machine::{Command, Event, SessionMachine};
+use slops::{
+    Estimate, PacketSample, SlopsConfig, SlopsError, StreamRecord, StreamRequest, TrainRecord,
+};
+use std::sync::Arc;
+use units::{Rate, TimeNs};
+
+/// Timer-token kinds (high byte of the token).
+const TOK_START: u64 = 1 << 56;
+const TOK_SEND: u64 = 2 << 56;
+const TOK_CHECK: u64 = 3 << 56;
+const TOK_IDLE: u64 = 4 << 56;
+const TOK_KIND_MASK: u64 = 0xFF << 56;
+const TOK_GEN_MASK: u64 = !TOK_KIND_MASK;
+
+/// What the app is currently executing for the machine.
+#[derive(Debug)]
+enum Exec {
+    /// Waiting for the start timer.
+    NotStarted,
+    /// A periodic stream is in flight.
+    Stream {
+        req: StreamRequest,
+        tag: u32,
+        /// First-packet instant.
+        t0: TimeNs,
+        /// No completion past this point; missing packets are lost.
+        deadline: TimeNs,
+        /// Next packet index to send.
+        next_send: u32,
+        /// Arrivals `(idx, sender_ts, recv_at)` in arrival order.
+        arrivals: Vec<(u32, TimeNs, TimeNs)>,
+    },
+    /// A back-to-back train is in flight.
+    Train {
+        len: u32,
+        size: u32,
+        tag: u32,
+        deadline: TimeNs,
+        count: u32,
+        first: TimeNs,
+        last: TimeNs,
+    },
+    /// A pacing idle is in progress.
+    Idling,
+    /// The session finished.
+    Done,
+}
+
+/// A pathload measurement session running as a simulator application.
+///
+/// Build with [`install_session`], kick implicitly (the installer arms the
+/// start timer), run the simulator however the experiment likes, and read
+/// the result with [`SessionApp::estimate`] or [`run_session`].
+pub struct SessionApp {
+    machine: SessionMachine,
+    /// Forward route to this app; set by [`install_session`].
+    route: Option<Arc<RouteSpec>>,
+    /// Endpoint clock model (offset + quantization).
+    pub clock: ClockModel,
+    /// Narrowest forward capacity (train drain-time bound).
+    narrowest: Rate,
+    exec: Exec,
+    start_at: Option<TimeNs>,
+    next_stream_tag: u32,
+    next_train_tag: u32,
+    idle_gen: u32,
+    /// Total probe bytes injected (streams + trains).
+    pub probe_bytes_sent: u64,
+    result: Option<Estimate>,
+}
+
+impl SessionApp {
+    /// The finished estimate, once the session has terminated.
+    pub fn estimate(&self) -> Option<&Estimate> {
+        self.result.as_ref()
+    }
+
+    /// Take the finished estimate out of the app.
+    pub fn take_estimate(&mut self) -> Option<Estimate> {
+        self.result.take()
+    }
+
+    /// Poll the machine once and execute the command it emits.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        let cmd = self
+            .machine
+            .poll()
+            .expect("SessionApp always answers the previous command before advancing");
+        match cmd {
+            Command::SendTrain { len, size } => {
+                let now = ctx.now();
+                let t0 = now + LEAD_IN;
+                let tag = self.next_train_tag;
+                self.next_train_tag += 1;
+                // Worst-case drain time at the narrowest capacity, plus
+                // queueing grace (mirrors the blocking shim).
+                let drain = TimeNs::from_secs_f64(
+                    (len as u64 * size as u64 * 8) as f64 / self.narrowest.bps(),
+                );
+                let deadline = t0 + drain * 2 + TimeNs::from_secs(1);
+                self.exec = Exec::Train {
+                    len,
+                    size,
+                    tag,
+                    deadline,
+                    count: 0,
+                    first: TimeNs::ZERO,
+                    last: TimeNs::ZERO,
+                };
+                ctx.timer_at(t0, TOK_SEND | tag as u64);
+                ctx.timer_at((now + POLL_SLICE).min(deadline), TOK_CHECK | tag as u64);
+            }
+            Command::SendStream(req) => {
+                let now = ctx.now();
+                let t0 = now + LEAD_IN;
+                let tag = self.next_stream_tag;
+                self.next_stream_tag += 1;
+                let deadline = t0 + req.period * req.count as u64 + STREAM_GRACE;
+                self.exec = Exec::Stream {
+                    req,
+                    tag,
+                    t0,
+                    deadline,
+                    next_send: 0,
+                    arrivals: Vec::with_capacity(req.count as usize),
+                };
+                ctx.timer_at(t0, TOK_SEND | tag as u64);
+                ctx.timer_at((now + POLL_SLICE).min(deadline), TOK_CHECK | tag as u64);
+            }
+            Command::Idle(dur) => {
+                self.idle_gen += 1;
+                self.exec = Exec::Idling;
+                ctx.timer_in(dur, TOK_IDLE | self.idle_gen as u64);
+            }
+            Command::Finish(est) => {
+                let mut est = *est;
+                est.elapsed = ctx
+                    .now()
+                    .saturating_sub(self.start_at.expect("session was started"));
+                self.result = Some(est);
+                self.exec = Exec::Done;
+            }
+        }
+    }
+
+    /// Feed an event to the machine and execute the follow-up command.
+    fn feed(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        self.machine
+            .on_event(event)
+            .expect("SessionApp feeds only the event answering its own command");
+        self.advance(ctx);
+    }
+
+    /// Send the next pending stream packet (exactly on its schedule).
+    fn send_stream_packet(&mut self, ctx: &mut Ctx<'_>) {
+        let route = self.route.clone().expect("route installed");
+        let Exec::Stream {
+            req,
+            tag,
+            t0,
+            next_send,
+            ..
+        } = &mut self.exec
+        else {
+            return; // stale timer from an already-finalized stream
+        };
+        let i = *next_send;
+        let pkt = Packet::with_payload(
+            req.packet_size,
+            PROBE_FLOW,
+            i as u64,
+            route,
+            Payload::Probe {
+                stream: *tag,
+                idx: i,
+                sender_ts: ctx.now(),
+            },
+        );
+        ctx.send(pkt);
+        self.probe_bytes_sent += req.packet_size as u64;
+        *next_send += 1;
+        if *next_send < req.count {
+            ctx.timer_at(*t0 + req.period * *next_send as u64, TOK_SEND | *tag as u64);
+        }
+    }
+
+    /// Inject the whole train back to back (the first link's FIFO
+    /// serializes it, exactly like a sender NIC at line rate).
+    fn send_train_packets(&mut self, ctx: &mut Ctx<'_>) {
+        let route = self.route.clone().expect("route installed");
+        let Exec::Train { len, size, tag, .. } = self.exec else {
+            return; // stale timer
+        };
+        for i in 0..len {
+            let pkt = Packet::with_payload(
+                size,
+                PROBE_FLOW,
+                i as u64,
+                route.clone(),
+                Payload::Train { train: tag, idx: i },
+            );
+            ctx.send(pkt);
+            self.probe_bytes_sent += size as u64;
+        }
+    }
+
+    /// Completion poll: finalize when everything arrived or the deadline
+    /// passed; otherwise re-arm on the poll grid.
+    fn check_completion(&mut self, ctx: &mut Ctx<'_>, gen: u32) {
+        let now = ctx.now();
+        match &self.exec {
+            Exec::Stream {
+                req,
+                tag,
+                deadline,
+                arrivals,
+                ..
+            } if *tag == gen => {
+                if arrivals.len() as u32 >= req.count || now >= *deadline {
+                    self.finalize_stream(ctx);
+                } else {
+                    let at = (now + POLL_SLICE).min(*deadline);
+                    ctx.timer_at(at, TOK_CHECK | gen as u64);
+                }
+            }
+            Exec::Train {
+                len,
+                tag,
+                deadline,
+                count,
+                ..
+            } if *tag == gen => {
+                if *count >= *len || now >= *deadline {
+                    self.finalize_train(ctx);
+                } else {
+                    let at = (now + POLL_SLICE).min(*deadline);
+                    ctx.timer_at(at, TOK_CHECK | gen as u64);
+                }
+            }
+            // Stale check timers (from finished commands) are ignored.
+            _ => {}
+        }
+    }
+
+    /// Build the stream record and hand it to the machine.
+    fn finalize_stream(&mut self, ctx: &mut Ctx<'_>) {
+        let Exec::Stream {
+            req, t0, arrivals, ..
+        } = std::mem::replace(&mut self.exec, Exec::Idling)
+        else {
+            unreachable!("finalize_stream outside a stream");
+        };
+        let event = if arrivals.is_empty() {
+            // Nothing came back at all: the stream is lost outright.
+            Event::StreamLost
+        } else {
+            let first_send = self.clock.sender_reading(t0);
+            let samples = arrivals
+                .iter()
+                .map(|&(idx, sender_ts, recv_at)| PacketSample {
+                    idx,
+                    send_offset: TimeNs::from_nanos(
+                        (self.clock.sender_reading(sender_ts) - first_send).max(0) as u64,
+                    ),
+                    owd_ns: self.clock.owd_ns(sender_ts, recv_at),
+                })
+                .collect();
+            Event::StreamDone(StreamRecord {
+                sent: req.count,
+                samples,
+            })
+        };
+        self.feed(ctx, event);
+    }
+
+    /// Build the train record and hand it to the machine.
+    fn finalize_train(&mut self, ctx: &mut Ctx<'_>) {
+        let Exec::Train {
+            len,
+            size,
+            count,
+            first,
+            last,
+            ..
+        } = std::mem::replace(&mut self.exec, Exec::Idling)
+        else {
+            unreachable!("finalize_train outside a train");
+        };
+        // Dispersion is a timestamp difference, so the clock offset
+        // cancels; report quantized sender-clock readings of the global
+        // instants (mirrors the blocking shim).
+        let rec = TrainRecord {
+            sent: len,
+            received: count,
+            size,
+            first_recv: TimeNs::from_nanos(self.clock.sender_reading(first).max(0) as u64),
+            last_recv: TimeNs::from_nanos(self.clock.sender_reading(last).max(0) as u64),
+        };
+        self.feed(ctx, Event::TrainDone(rec));
+    }
+}
+
+impl App for SessionApp {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let now = ctx.now();
+        match (&mut self.exec, pkt.payload) {
+            (
+                Exec::Stream { tag, arrivals, .. },
+                Payload::Probe {
+                    stream,
+                    idx,
+                    sender_ts,
+                },
+            ) if *tag == stream => {
+                arrivals.push((idx, sender_ts, now));
+            }
+            (
+                Exec::Train {
+                    tag,
+                    count,
+                    first,
+                    last,
+                    ..
+                },
+                Payload::Train { train, .. },
+            ) if *tag == train => {
+                if *count == 0 {
+                    *first = now;
+                }
+                *last = now;
+                *count += 1;
+            }
+            // Stragglers from already-finalized streams/trains are dropped,
+            // exactly like the blocking shim's receiver buffer.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let gen = (token & TOK_GEN_MASK) as u32;
+        match token & TOK_KIND_MASK {
+            TOK_START => {
+                if matches!(self.exec, Exec::NotStarted) {
+                    self.start_at = Some(ctx.now());
+                    self.advance(ctx);
+                }
+            }
+            TOK_SEND => match &self.exec {
+                Exec::Stream { tag, .. } if *tag == gen => self.send_stream_packet(ctx),
+                Exec::Train { tag, .. } if *tag == gen => self.send_train_packets(ctx),
+                _ => {} // stale
+            },
+            TOK_CHECK => self.check_completion(ctx, gen),
+            TOK_IDLE => {
+                if matches!(self.exec, Exec::Idling) && gen == self.idle_gen {
+                    self.feed(ctx, Event::Tick(ctx.now()));
+                }
+            }
+            _ => unreachable!("unknown timer token {token:#x}"),
+        }
+    }
+}
+
+/// Install a measurement session on `chain`, starting at the current
+/// simulated instant. Returns the app id; read the result with
+/// [`SessionApp::estimate`] once the simulation has run long enough, or
+/// use [`run_session`].
+///
+/// The RTT estimate handed to the machine is the chain's base RTT for
+/// small control packets, like the blocking shim's `rtt()`.
+pub fn install_session(
+    sim: &mut Simulator,
+    chain: &Chain,
+    cfg: SlopsConfig,
+) -> Result<AppId, SlopsError> {
+    install_session_at(sim, chain, cfg, sim.now())
+}
+
+/// [`install_session`] with an explicit start instant (≥ the current
+/// simulated time).
+pub fn install_session_at(
+    sim: &mut Simulator,
+    chain: &Chain,
+    cfg: SlopsConfig,
+    start_at: TimeNs,
+) -> Result<AppId, SlopsError> {
+    let rtt = chain.base_rtt(sim, 100, 100);
+    // The simulator can inject at any rate; slops caps at MTU/T_min.
+    let machine = SessionMachine::new(cfg, rtt, None)?;
+    let narrowest = chain
+        .forward
+        .iter()
+        .map(|l| sim.link(*l).capacity())
+        .reduce(Rate::min)
+        .expect("non-empty chain");
+    let app = SessionApp {
+        machine,
+        route: None,
+        clock: ClockModel::default(),
+        narrowest,
+        exec: Exec::NotStarted,
+        start_at: None,
+        next_stream_tag: 0,
+        next_train_tag: 0,
+        idle_gen: 0,
+        probe_bytes_sent: 0,
+        result: None,
+    };
+    let id = sim.add_app(Box::new(app));
+    let route = chain.forward_route(sim, id);
+    sim.app_mut::<SessionApp>(id).route = Some(route);
+    sim.schedule_timer(id, start_at, TOK_START);
+    Ok(id)
+}
+
+/// Run the simulation until session `id` finishes (or `limit` is hit) and
+/// return its estimate. Other apps — cross traffic, TCP flows, further
+/// sessions — keep running concurrently; the clock is left wherever the
+/// session ended, not at `limit`.
+pub fn run_session(sim: &mut Simulator, id: AppId, limit: TimeNs) -> Option<Estimate> {
+    const SLICE: TimeNs = TimeNs::from_millis(50);
+    while sim.app::<SessionApp>(id).result.is_none() && sim.now() < limit {
+        let target = (sim.now() + SLICE).min(limit);
+        sim.run_until(target);
+    }
+    sim.app_mut::<SessionApp>(id).take_estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::ProbeReceiver;
+    use crate::transport::SimTransport;
+    use netsim::{ChainConfig, LinkConfig};
+    use slops::Session;
+
+    fn empty_chain(sim: &mut Simulator) -> Chain {
+        Chain::build(
+            sim,
+            &ChainConfig::symmetric(vec![
+                LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(5)),
+                LinkConfig::new(Rate::from_mbps(8.0), TimeNs::from_millis(5)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn in_sim_session_measures_empty_path_capacity() {
+        let mut sim = Simulator::new(5);
+        let chain = empty_chain(&mut sim);
+        let id = install_session(&mut sim, &chain, SlopsConfig::default()).unwrap();
+        let est = run_session(&mut sim, id, TimeNs::from_secs(600)).expect("session finished");
+        assert!(
+            est.low.mbps() <= 8.0 && 8.0 <= est.high.mbps() + 0.5,
+            "reported [{}, {}]",
+            est.low,
+            est.high
+        );
+        assert!(est.elapsed > TimeNs::ZERO);
+    }
+
+    #[test]
+    fn bad_config_is_rejected_at_install() {
+        let mut sim = Simulator::new(5);
+        let chain = empty_chain(&mut sim);
+        let mut cfg = SlopsConfig::default();
+        cfg.fleet_fraction = 0.1;
+        assert!(install_session(&mut sim, &chain, cfg).is_err());
+    }
+
+    /// The acid test: on the identical topology and seed, the event-driven
+    /// in-sim driver and the blocking shim produce the *same* estimate.
+    #[test]
+    fn matches_blocking_driver_on_empty_path() {
+        let blocking = {
+            let mut sim = Simulator::new(42);
+            let chain = empty_chain(&mut sim);
+            let rx = sim.add_app(Box::new(ProbeReceiver::default()));
+            let mut t = SimTransport::new(sim, chain, rx);
+            Session::new(SlopsConfig::default()).run(&mut t).unwrap()
+        };
+        let in_sim = {
+            let mut sim = Simulator::new(42);
+            let chain = empty_chain(&mut sim);
+            let id = install_session(&mut sim, &chain, SlopsConfig::default()).unwrap();
+            run_session(&mut sim, id, TimeNs::from_secs(600)).unwrap()
+        };
+        assert_eq!(blocking, in_sim);
+    }
+}

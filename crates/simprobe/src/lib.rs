@@ -14,17 +14,34 @@
 //!
 //! Timestamping model: the simulated receiver reads its own clock, which is
 //! offset from the sender's by a configurable constant and quantized to a
-//! configurable resolution (1 µs default, like `gettimeofday`). SLoPS only
-//! uses OWD *differences*, so the offset cancels — the transport exists to
-//! prove exactly that on a packet-accurate path.
+//! configurable resolution (1 µs default, like `gettimeofday`; see
+//! [`clock::ClockModel`]). SLoPS only uses OWD *differences*, so the offset
+//! cancels — the transport exists to prove exactly that on a
+//! packet-accurate path.
+//!
+//! Two drivers run a measurement over the simulator:
+//!
+//! * [`SimTransport`] — the blocking shim: implements
+//!   [`slops::ProbeTransport`], seizing the event loop per probe call.
+//!   One measurement per simulator; simplest to use.
+//! * [`SessionApp`] (via [`install_session`] / [`run_session`]) — the
+//!   **in-sim driver**: runs the sans-IO [`slops::SessionMachine`] as a
+//!   native simulator application from packet/timer callbacks, so
+//!   measurements coexist with cross traffic, TCP flows and each other
+//!   under one ordinary event loop. Timing is bit-compatible with the
+//!   blocking shim: same seed, same estimate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod driver;
 pub mod receiver;
 pub mod scenarios;
 pub mod transport;
 
+pub use clock::ClockModel;
+pub use driver::{install_session, install_session_at, run_session, SessionApp};
 pub use receiver::ProbeReceiver;
 pub use scenarios::{
     multiplexing_path, reverse_loaded_path, verification_path, verification_path_with_window,

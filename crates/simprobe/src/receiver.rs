@@ -123,7 +123,10 @@ mod tests {
                     FlowId(2),
                     i,
                     route.clone(),
-                    Payload::Train { train: 3, idx: i as u32 },
+                    Payload::Train {
+                        train: 3,
+                        idx: i as u32,
+                    },
                 ),
                 TimeNs::from_millis(10),
             );

@@ -228,9 +228,8 @@ impl PaperPath {
     pub fn build(cfg: &PaperPathConfig, seed: u64) -> PaperPath {
         let mut opts = cfg.opts.clone();
         // 50 ms end-to-end propagation split across hops (paper §V-A).
-        opts.prop_per_hop = TimeNs::from_nanos(
-            TimeNs::from_millis(50).as_nanos() / cfg.hops as u64,
-        );
+        opts.prop_per_hop =
+            TimeNs::from_nanos(TimeNs::from_millis(50).as_nanos() / cfg.hops as u64);
         let transport = build_loaded_path(&cfg.loads(), &opts, seed);
         let tight_link = transport.chain().forward[cfg.hops / 2];
         PaperPath {
@@ -349,12 +348,7 @@ pub fn reverse_loaded_path(
 /// The Fig. 12 statistical-multiplexing paths: one bottleneck at the given
 /// capacity and utilization, fed by `n_sources` Pareto ON/OFF sources, with
 /// a fast, lightly loaded link on either side.
-pub fn multiplexing_path(
-    capacity: Rate,
-    util: f64,
-    n_sources: usize,
-    seed: u64,
-) -> SimTransport {
+pub fn multiplexing_path(capacity: Rate, util: f64, n_sources: usize, seed: u64) -> SimTransport {
     let loads = vec![
         LinkLoad::pareto(Rate::from_mbps(622.0), 0.05, 40),
         LinkLoad {

@@ -1,16 +1,28 @@
 //! [`slops::ProbeTransport`] implementation over [`netsim::Simulator`].
 
+use crate::clock::ClockModel;
 use crate::receiver::ProbeReceiver;
 use netsim::{AppId, Chain, FlowId, Packet, Payload, Simulator};
-use slops::{PacketSample, ProbeTransport, StreamRecord, StreamRequest, TrainRecord, TransportError};
+use slops::{
+    PacketSample, ProbeTransport, StreamRecord, StreamRequest, TrainRecord, TransportError,
+};
 use units::{Rate, TimeNs};
 
-/// Flow id used for probe traffic.
-const PROBE_FLOW: FlowId = FlowId(0x504C_0001); // 'PL'
+/// Flow id used for probe traffic (shared with the in-sim driver so both
+/// probing styles are indistinguishable on the wire).
+pub(crate) const PROBE_FLOW: FlowId = FlowId(0x504C_0001); // 'PL'
 
 /// How long past the nominal stream end the transport waits for stragglers
 /// before declaring the remaining packets lost.
-const STREAM_GRACE: TimeNs = TimeNs::from_millis(500);
+pub(crate) const STREAM_GRACE: TimeNs = TimeNs::from_millis(500);
+
+/// Scheduling delay between issuing a stream/train and its first packet.
+pub(crate) const LEAD_IN: TimeNs = TimeNs::from_millis(1);
+
+/// Completion-poll granularity. The in-sim driver checks stream completion
+/// on the same grid so both drivers make every decision at the same
+/// simulated instant (their estimates are bit-identical).
+pub(crate) const POLL_SLICE: TimeNs = TimeNs::from_millis(5);
 
 /// SLoPS probing over a simulated path.
 ///
@@ -43,11 +55,11 @@ impl SimTransport {
             sim,
             chain,
             receiver,
-            clock_offset_ns: -7_777_777_777, // clocks are not synchronized
-            clock_resolution_ns: 1_000,
+            clock_offset_ns: ClockModel::default().offset_ns,
+            clock_resolution_ns: ClockModel::default().resolution_ns,
             next_stream_tag: 0,
             next_train_tag: 0,
-            lead_in: TimeNs::from_millis(1),
+            lead_in: LEAD_IN,
             probe_bytes_sent: 0,
         }
     }
@@ -73,29 +85,23 @@ impl SimTransport {
         self.sim
     }
 
-    fn quantize(&self, ns: i64) -> i64 {
-        let res = self.clock_resolution_ns as i64;
-        if res > 1 {
-            ns.div_euclid(res) * res
-        } else {
-            ns
+    /// The clock model implied by the public offset/resolution fields.
+    fn clock(&self) -> ClockModel {
+        ClockModel {
+            offset_ns: self.clock_offset_ns,
+            resolution_ns: self.clock_resolution_ns,
         }
     }
 
     /// Sender-clock reading of a global instant.
     fn sender_reading(&self, t: TimeNs) -> i64 {
-        self.quantize(t.as_nanos() as i64)
-    }
-
-    /// Receiver-clock reading of a global instant.
-    fn receiver_reading(&self, t: TimeNs) -> i64 {
-        self.quantize(t.as_nanos() as i64 + self.clock_offset_ns)
+        self.clock().sender_reading(t)
     }
 
     /// Run the simulation in slices until `receiver` holds `want` packets
     /// of stream/train `tag`, or until `deadline`.
     fn run_until_collected(&mut self, tag: u32, want: u32, deadline: TimeNs, train: bool) {
-        let slice = TimeNs::from_millis(5);
+        let slice = POLL_SLICE;
         loop {
             let now = self.sim.now();
             if now >= deadline {
@@ -145,15 +151,16 @@ impl ProbeTransport for SimTransport {
             .sim
             .app_mut::<ProbeReceiver>(self.receiver)
             .take_stream(tag);
-        let first_send = self.sender_reading(t0);
+        let clock = self.clock();
+        let first_send = clock.sender_reading(t0);
         let samples = arrivals
             .iter()
             .map(|a| PacketSample {
                 idx: a.idx,
                 send_offset: TimeNs::from_nanos(
-                    (self.sender_reading(a.sender_ts) - first_send).max(0) as u64,
+                    (clock.sender_reading(a.sender_ts) - first_send).max(0) as u64,
                 ),
-                owd_ns: self.receiver_reading(a.recv_at) - self.sender_reading(a.sender_ts),
+                owd_ns: clock.owd_ns(a.sender_ts, a.recv_at),
             })
             .collect();
         Ok(StreamRecord {
@@ -189,9 +196,7 @@ impl ProbeTransport for SimTransport {
             .map(|l| self.sim.link(*l).capacity())
             .reduce(Rate::min)
             .expect("non-empty chain");
-        let drain = TimeNs::from_secs_f64(
-            (len as u64 * size as u64 * 8) as f64 / narrowest.bps(),
-        );
+        let drain = TimeNs::from_secs_f64((len as u64 * size as u64 * 8) as f64 / narrowest.bps());
         let deadline = t0 + drain * 2 + TimeNs::from_secs(1);
         self.run_until_collected(tag, len, deadline, true);
 

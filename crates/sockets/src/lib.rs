@@ -5,7 +5,10 @@
 //! channel that announces streams, acknowledges them, and carries the
 //! receiver's per-packet records back to the sender. The sender side
 //! implements [`slops::ProbeTransport`], so the *same* estimation code that
-//! runs over the simulator runs over a real network.
+//! runs over the simulator runs over a real network: the `pathload_snd`
+//! binary calls the blocking `slops::Session::run` driver, which executes
+//! the sans-IO `slops::SessionMachine` command by command over this
+//! transport.
 //!
 //! Layout:
 //!

@@ -212,7 +212,10 @@ impl CtrlMsg {
         r.read_exact(&mut len4)?;
         let len = u32::from_le_bytes(len4) as usize;
         if len == 0 || len > 16 * 1024 * 1024 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad frame length",
+            ));
         }
         let mut body = vec![0u8; len];
         r.read_exact(&mut body)?;

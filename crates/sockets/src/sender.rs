@@ -5,7 +5,9 @@ use crate::clock::MonoClock;
 use crate::pacing::pace_until;
 use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, PROBE_HEADER_LEN};
 use crate::receiver::connect_ctrl;
-use slops::{PacketSample, ProbeTransport, StreamRecord, StreamRequest, TrainRecord, TransportError};
+use slops::{
+    PacketSample, ProbeTransport, StreamRecord, StreamRequest, TrainRecord, TransportError,
+};
 use std::io;
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 use units::{Rate, TimeNs};

@@ -83,12 +83,7 @@ mod tests {
     use netsim::{ChainConfig, LinkConfig};
     use units::Rate;
 
-    fn chain_with(
-        sim: &mut Simulator,
-        mbps: f64,
-        delay_ms: u64,
-        queue_bytes: u64,
-    ) -> Chain {
+    fn chain_with(sim: &mut Simulator, mbps: f64, delay_ms: u64, queue_bytes: u64) -> Chain {
         Chain::build(
             sim,
             &ChainConfig::symmetric(vec![LinkConfig::new(
@@ -159,8 +154,8 @@ mod tests {
         // Fault injection: 30% random loss makes fast retransmit
         // insufficient; the connection must survive on RTOs.
         let mut sim = Simulator::new(7);
-        let fwd = LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(10))
-            .with_drop_prob(0.3);
+        let fwd =
+            LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(10)).with_drop_prob(0.3);
         let rev = LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(10));
         let chain = Chain::build(
             &mut sim,
@@ -190,6 +185,9 @@ mod tests {
         // Wire rate can be at most capacity; goodput at most
         // capacity * MSS/(MSS+HEADER).
         let cap = 8.0 * MSS as f64 / (MSS + HEADER) as f64;
-        assert!(goodput.mbps() <= cap + 0.1, "goodput {goodput} > payload cap");
+        assert!(
+            goodput.mbps() <= cap + 0.1,
+            "goodput {goodput} > payload cap"
+        );
     }
 }

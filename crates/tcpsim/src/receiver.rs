@@ -230,7 +230,10 @@ mod tests {
         // 3000 B over 2 s = 12 kb/s
         let g = r.goodput_between(TimeNs::ZERO, TimeNs::from_secs(2));
         assert!((g.bps() - 12_000.0).abs() < 1.0);
-        assert_eq!(r.goodput_series(TimeNs::ZERO, TimeNs::from_secs(2)).len(), 2);
+        assert_eq!(
+            r.goodput_series(TimeNs::ZERO, TimeNs::from_secs(2)).len(),
+            2
+        );
     }
 }
 

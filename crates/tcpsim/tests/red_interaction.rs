@@ -9,8 +9,8 @@ use units::{Rate, TimeNs};
 fn run(red: bool) -> (f64, f64, u64) {
     let mut sim = Simulator::new(31);
     let limit = 256 * 1024u64;
-    let mut tight = LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(20))
-        .with_queue_limit(limit);
+    let mut tight =
+        LinkConfig::new(Rate::from_mbps(10.0), TimeNs::from_millis(20)).with_queue_limit(limit);
     if red {
         tight = tight.with_red(RedConfig::for_queue_limit(limit));
     }
@@ -34,8 +34,11 @@ fn run(red: bool) -> (f64, f64, u64) {
         t += TimeNs::from_millis(100);
     }
     sim.run_until(TimeNs::from_secs(60));
-    let tput = c1.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(60)).mbps()
-        + c2.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(60)).mbps();
+    let tput = c1
+        .throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(60))
+        .mbps()
+        + c2.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(60))
+            .mbps();
     let link = sim.link(chain.forward[1]);
     let early = link.red().map_or(0, |r| r.early_drops);
     let avg_queue = samples.iter().sum::<f64>() / samples.len() as f64;

@@ -46,9 +46,7 @@ mod tests {
     #[test]
     fn all_models_hit_requested_mean() {
         assert!((sample_mean(Interarrival::Exponential, 0.01, 200_000) - 0.01).abs() < 2e-4);
-        assert!(
-            (sample_mean(Interarrival::PARETO_PAPER, 0.01, 400_000) - 0.01).abs() / 0.01 < 0.1
-        );
+        assert!((sample_mean(Interarrival::PARETO_PAPER, 0.01, 400_000) - 0.01).abs() / 0.01 < 0.1);
         assert!((sample_mean(Interarrival::Constant, 0.01, 10) - 0.01).abs() < 1e-12);
     }
 

@@ -88,9 +88,7 @@ impl App for OnOffSource {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOKEN_START_ON => {
-                let on = self
-                    .rng
-                    .pareto_mean(self.cfg.alpha, self.cfg.mean_on_secs);
+                let on = self.rng.pareto_mean(self.cfg.alpha, self.cfg.mean_on_secs);
                 self.on_until = ctx.now() + TimeNs::from_secs_f64(on);
                 ctx.timer_in(TimeNs::ZERO, TOKEN_PACKET);
             }
@@ -107,9 +105,7 @@ impl App for OnOffSource {
                     ctx.send(pkt);
                     ctx.timer_in(self.packet_gap(), TOKEN_PACKET);
                 } else {
-                    let off = self
-                        .rng
-                        .pareto_mean(self.cfg.alpha, self.cfg.mean_off_secs);
+                    let off = self.rng.pareto_mean(self.cfg.alpha, self.cfg.mean_off_secs);
                     ctx.timer_in(TimeNs::from_secs_f64(off), TOKEN_START_ON);
                 }
             }
@@ -134,7 +130,12 @@ pub fn attach_onoff_sources(
     for i in 0..n {
         let mut rng = sim.rng();
         let start = TimeNs::from_nanos(rng.below(cycle.as_nanos().max(1)));
-        let src = OnOffSource::new(cfg.clone(), route.clone(), FlowId(0x4F4E_0000 + i as u32), rng);
+        let src = OnOffSource::new(
+            cfg.clone(),
+            route.clone(),
+            FlowId(0x4F4E_0000 + i as u32),
+            rng,
+        );
         let id = sim.add_app(Box::new(src));
         let now = sim.now();
         sim.schedule_timer(id, now + start, TOKEN_START_ON);

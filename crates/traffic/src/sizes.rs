@@ -44,11 +44,7 @@ impl SizeDist {
             SizeDist::Fixed(s) => *s as f64,
             SizeDist::Discrete(items) => {
                 let total: f64 = items.iter().map(|(_, w)| *w).sum();
-                items
-                    .iter()
-                    .map(|(s, w)| *s as f64 * *w)
-                    .sum::<f64>()
-                    / total
+                items.iter().map(|(s, w)| *s as f64 * *w).sum::<f64>() / total
             }
         }
     }

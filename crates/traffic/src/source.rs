@@ -147,12 +147,7 @@ mod tests {
     use netsim::app::CountingSink;
     use netsim::LinkConfig;
 
-    fn run_sources(
-        cfg: SourceConfig,
-        aggregate_mbps: f64,
-        n: usize,
-        secs: u64,
-    ) -> (f64, u64) {
+    fn run_sources(cfg: SourceConfig, aggregate_mbps: f64, n: usize, secs: u64) -> (f64, u64) {
         let mut sim = Simulator::new(1234);
         let link = sim.add_link(LinkConfig::new(
             Rate::from_mbps(100.0),
@@ -160,13 +155,7 @@ mod tests {
         ));
         let sink = sim.add_app(Box::new(CountingSink::default()));
         let route = sim.route(&[link], sink);
-        attach_sources(
-            &mut sim,
-            route,
-            Rate::from_mbps(aggregate_mbps),
-            n,
-            &cfg,
-        );
+        attach_sources(&mut sim, route, Rate::from_mbps(aggregate_mbps), n, &cfg);
         sim.run_until(TimeNs::from_secs(secs));
         let elapsed = TimeNs::from_secs(secs);
         let util = sim.link(link).stats.utilization(elapsed);

@@ -23,11 +23,7 @@ fn main() {
                 .run(&mut t)
                 .expect("measurement failed");
             rhos.push(est.relative_variation());
-            ranges.push(format!(
-                "[{:.2}, {:.2}]",
-                est.low.mbps(),
-                est.high.mbps()
-            ));
+            ranges.push(format!("[{:.2}, {:.2}]", est.low.mbps(), est.high.mbps()));
         }
         let s = Summary::of(&rhos);
         println!(

@@ -1,0 +1,72 @@
+//! Parallel measurement grids on the `slops::runner` batch layer.
+//!
+//! Runs a {utilization × seed} grid of pathload sessions over the paper's
+//! Fig. 4 topology, once serially and once with one worker per CPU, prints
+//! both wall-clock times, and checks the two grids agree cell by cell
+//! (parallelism must never change a measurement).
+//!
+//! ```text
+//! cargo run --release --example parallel_grid
+//! ```
+
+use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
+use availbw::slops::runner::{run_sessions, SessionJob};
+use availbw::slops::SlopsConfig;
+use std::time::Instant;
+
+/// {utilization × seed} grid: 4 loads × 4 seeds = 16 sessions.
+fn jobs() -> Vec<SessionJob> {
+    let utils = [0.20, 0.40, 0.60, 0.90];
+    let seeds = [11u64, 22, 33, 44];
+    utils
+        .iter()
+        .flat_map(|&util| {
+            seeds.iter().map(move |&seed| {
+                let mut cfg = PaperPathConfig::default();
+                cfg.tight_util = util;
+                let a = cfg.avail_bw().mbps();
+                SessionJob::new(
+                    format!("u={:.0}% (A={a:.1} Mb/s) seed={seed}", util * 100.0),
+                    SlopsConfig::default(),
+                    move || PaperPath::build(&cfg, seed).into_transport(),
+                )
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("running a 16-session grid, serial then on {cpus} worker(s)\n");
+
+    let t0 = Instant::now();
+    let serial = run_sessions(jobs(), 1);
+    let serial_wall = t0.elapsed();
+
+    let t0 = Instant::now();
+    let parallel = run_sessions(jobs(), 0);
+    let parallel_wall = t0.elapsed();
+
+    println!(
+        "{:<34} {:>18} {:>12}",
+        "session", "estimate (Mb/s)", "sim time"
+    );
+    for (s, p) in serial.iter().zip(&parallel) {
+        let es = s.expect_estimate();
+        let ep = p.expect_estimate();
+        assert_eq!(es, ep, "parallelism changed the estimate of {}", s.label);
+        println!(
+            "{:<34} [{:>6.2}, {:>6.2}] {:>9.1?}s",
+            s.label,
+            es.low.mbps(),
+            es.high.mbps(),
+            es.elapsed.secs_f64(),
+        );
+    }
+    println!(
+        "\nserial: {serial_wall:.1?}   parallel ({cpus} workers): {parallel_wall:.1?}   \
+         speedup: {:.2}x",
+        serial_wall.as_secs_f64() / parallel_wall.as_secs_f64()
+    );
+    println!("all 16 parallel estimates identical to their serial counterparts");
+}

@@ -52,12 +52,19 @@ fn main() {
     sim.run_until(start + TimeNs::from_secs(60));
     sim.app_mut::<TcpSender>(btc.sender).stop();
     let btc_tput = btc.throughput(&sim, start, start + TimeNs::from_secs(60));
-    let bg_during = bg1.throughput(&sim, start, start + TimeNs::from_secs(60)).mbps()
-        + bg2.throughput(&sim, start, start + TimeNs::from_secs(60)).mbps();
+    let bg_during = bg1
+        .throughput(&sim, start, start + TimeNs::from_secs(60))
+        .mbps()
+        + bg2
+            .throughput(&sim, start, start + TimeNs::from_secs(60))
+            .mbps();
 
     let elapsed = sim.now();
     let util = sim.link(tight).stats.utilization(elapsed);
-    println!("tight link: 8.2 Mb/s, overall utilization {:.0}%", util * 100.0);
+    println!(
+        "tight link: 8.2 Mb/s, overall utilization {:.0}%",
+        util * 100.0
+    );
     println!("background TCP before BTC: {bg_before:.2} Mb/s");
     println!("BTC throughput:            {:.2} Mb/s", btc_tput.mbps());
     println!("background TCP during BTC: {bg_during:.2} Mb/s");
@@ -66,6 +73,8 @@ fn main() {
         100.0 * (bg_before - bg_during) / bg_before.max(1e-9)
     );
     println!("a 'measurement' that costs the competing traffic dearly (paper §VII).");
-    println!("Max tight-link queue: {} kB (RTT inflation while BTC ran)",
-        sim.link(tight).stats.max_queue_bytes / 1024);
+    println!(
+        "Max tight-link queue: {} kB (RTT inflation while BTC ran)",
+        sim.link(tight).stats.max_queue_bytes / 1024
+    );
 }

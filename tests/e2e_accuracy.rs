@@ -3,20 +3,30 @@
 //! topologies (the property behind Figs. 5–7).
 
 use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
+use availbw::slops::runner::{run_sessions, SessionJob};
 use availbw::slops::{Session, SlopsConfig, Termination};
 use availbw::units::stats::mean;
 
 /// Average the reported bounds over a few seeds (the paper always reports
-/// multi-run averages; single runs legitimately straddle A).
+/// multi-run averages; single runs legitimately straddle A). The seeds run
+/// concurrently on the batch runner, one simulator per worker.
 fn avg_range(cfg: &PaperPathConfig, seeds: &[u64]) -> (f64, f64) {
-    let mut lows = Vec::new();
-    let mut highs = Vec::new();
-    for &seed in seeds {
-        let mut t = PaperPath::build(cfg, seed).into_transport();
-        let est = Session::new(SlopsConfig::default()).run(&mut t).unwrap();
-        lows.push(est.low.mbps());
-        highs.push(est.high.mbps());
-    }
+    let jobs: Vec<SessionJob> = seeds
+        .iter()
+        .map(|&seed| {
+            let cfg = cfg.clone();
+            SessionJob::new(format!("seed{seed}"), SlopsConfig::default(), move || {
+                PaperPath::build(&cfg, seed).into_transport()
+            })
+        })
+        .collect();
+    let (lows, highs): (Vec<f64>, Vec<f64>) = run_sessions(jobs, 0)
+        .iter()
+        .map(|o| {
+            let est = o.expect_estimate();
+            (est.low.mbps(), est.high.mbps())
+        })
+        .unzip();
     (mean(&lows), mean(&highs))
 }
 

@@ -4,9 +4,7 @@
 
 use availbw::fluid::{FluidLink, FluidPath};
 use availbw::slops::testutil::OracleTransport;
-use availbw::slops::{
-    pct_metric, pdt_metric, FleetOutcome, RateSearch, Session, SlopsConfig,
-};
+use availbw::slops::{pct_metric, pdt_metric, FleetOutcome, RateSearch, Session, SlopsConfig};
 use availbw::units::Rate;
 use proptest::prelude::*;
 

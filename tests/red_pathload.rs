@@ -10,7 +10,6 @@ use availbw::units::{Rate, TimeNs};
 
 #[test]
 fn pathload_still_works_over_red() {
-            
     let mut sim = Simulator::new(33);
     let limit = 512 * 1024u64;
     let chain = Chain::build(

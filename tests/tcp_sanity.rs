@@ -61,7 +61,10 @@ fn btc_steals_from_window_limited_flows_via_rtt_inflation() {
     sim.run_until(TimeNs::from_secs(40));
     let before: f64 = limited
         .iter()
-        .map(|c| c.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(40)).mbps())
+        .map(|c| {
+            c.throughput(&sim, TimeNs::from_secs(10), TimeNs::from_secs(40))
+                .mbps()
+        })
         .sum();
 
     // A greedy connection joins and fills the buffer.
@@ -70,7 +73,10 @@ fn btc_steals_from_window_limited_flows_via_rtt_inflation() {
     sim.run_until(start + TimeNs::from_secs(40));
     let during: f64 = limited
         .iter()
-        .map(|c| c.throughput(&sim, start, start + TimeNs::from_secs(40)).mbps())
+        .map(|c| {
+            c.throughput(&sim, start, start + TimeNs::from_secs(40))
+                .mbps()
+        })
         .sum();
     let btc_tput = btc.throughput(&sim, start, start + TimeNs::from_secs(40));
 
