@@ -2,17 +2,17 @@
 //!
 //! Two pre-SLoPS approaches, both discussed in §II of the paper:
 //!
-//! * [`cprobe`] — Carter & Crovella's long-packet-train dispersion. The
+//! * [`mod@cprobe`] — Carter & Crovella's long-packet-train dispersion. The
 //!   underlying assumption (train dispersion ∝ 1/avail-bw) is wrong: what
 //!   it actually measures is the **asymptotic dispersion rate** (ADR),
 //!   which sits between the avail-bw and the capacity (Dovrolis et al.,
 //!   INFOCOM 2001). The integration tests demonstrate exactly that gap on
 //!   simulated paths.
-//! * [`topp`] — Melander et al.'s train-of-packet-pairs method: offered
+//! * [`mod@topp`] — Melander et al.'s train-of-packet-pairs method: offered
 //!   rates are swept, and the ratio of offered to delivered rate bends at
 //!   the avail-bw with slope 1/C — so TOPP recovers both the avail-bw and
 //!   the tight link's capacity under the fluid model.
-//! * [`delphi`] — Ribeiro et al.'s single-queue pair-spacing estimator;
+//! * [`mod@delphi`] — Ribeiro et al.'s single-queue pair-spacing estimator;
 //!   works when the path really is one queue of known capacity, degrades
 //!   exactly as §II predicts when it is not.
 //!

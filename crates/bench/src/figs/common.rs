@@ -45,43 +45,87 @@ impl RepeatedRuns {
     }
 }
 
+/// One configuration point of a figure's grid: a path topology plus a
+/// session configuration, identified by the figure's `point` id (which
+/// also roots the per-run seeds, so ports from the serial loops keep
+/// byte-identical seeding).
+pub struct GridPoint {
+    /// Seed-rooting point id (see [`RunOpts::run_seed`]).
+    pub point: usize,
+    /// Path topology of this point.
+    pub path_cfg: PaperPathConfig,
+    /// Session configuration of this point.
+    pub slops_cfg: SlopsConfig,
+}
+
+/// Run pathload `opts.runs` times on **every** grid point as one batch on
+/// the [`slops::runner`] layer: all `points × runs` sessions self-schedule
+/// across the worker pool together, so a figure's slowest point no longer
+/// serializes behind its fastest. Results come back per point, in point
+/// order; lost sessions are reported on stderr and skipped.
+pub fn repeated_runs_grid(points: &[GridPoint], opts: &RunOpts) -> Vec<RepeatedRuns> {
+    let jobs: Vec<SessionJob> = points
+        .iter()
+        .flat_map(|p| {
+            (0..opts.runs).map(|run| {
+                let seed = opts.run_seed(p.point, run);
+                let path_cfg = p.path_cfg.clone();
+                SessionJob::new(
+                    format!("point{}/run{run}", p.point),
+                    p.slops_cfg.clone(),
+                    move || PaperPath::build(&path_cfg, seed).into_transport(),
+                )
+            })
+        })
+        .collect();
+    let outcomes = run_sessions(jobs, 0);
+    outcomes
+        .chunks(opts.runs)
+        .map(|chunk| {
+            let mut res = RepeatedRuns {
+                lows: Vec::with_capacity(opts.runs),
+                highs: Vec::with_capacity(opts.runs),
+                rhos: Vec::with_capacity(opts.runs),
+            };
+            for out in chunk {
+                match out.estimate() {
+                    Some(est) => {
+                        res.lows.push(est.low.mbps());
+                        res.highs.push(est.high.mbps());
+                        res.rhos.push(est.relative_variation());
+                    }
+                    None => eprintln!(
+                        "{} failed: {}",
+                        out.label,
+                        out.error().expect("no estimate implies an error")
+                    ),
+                }
+            }
+            res
+        })
+        .collect()
+}
+
 /// Run pathload `opts.runs` times on fresh instances of `path_cfg`
 /// (a new seed per run, as the paper's 50-run averages do).
 ///
-/// Runs execute concurrently on the [`slops::runner`] batch layer — one
-/// independent simulator per run, one worker per CPU — and come back in
-/// run order, so the averages are identical to the old serial loop.
+/// Single-point convenience wrapper over [`repeated_runs_grid`].
 pub fn repeated_runs(
     path_cfg: &PaperPathConfig,
     slops_cfg: &SlopsConfig,
     opts: &RunOpts,
     point: usize,
 ) -> RepeatedRuns {
-    let jobs: Vec<SessionJob> = (0..opts.runs)
-        .map(|run| {
-            let seed = opts.run_seed(point, run);
-            let path_cfg = path_cfg.clone();
-            SessionJob::new(
-                format!("point{point}/run{run}"),
-                slops_cfg.clone(),
-                move || PaperPath::build(&path_cfg, seed).into_transport(),
-            )
-        })
-        .collect();
-    let mut lows = Vec::with_capacity(opts.runs);
-    let mut highs = Vec::with_capacity(opts.runs);
-    let mut rhos = Vec::with_capacity(opts.runs);
-    for out in run_sessions(jobs, 0) {
-        match out.estimate {
-            Ok(est) => {
-                lows.push(est.low.mbps());
-                highs.push(est.high.mbps());
-                rhos.push(est.relative_variation());
-            }
-            Err(e) => eprintln!("{} failed: {e}", out.label),
-        }
-    }
-    RepeatedRuns { lows, highs, rhos }
+    repeated_runs_grid(
+        &[GridPoint {
+            point,
+            path_cfg: path_cfg.clone(),
+            slops_cfg: slops_cfg.clone(),
+        }],
+        opts,
+    )
+    .pop()
+    .expect("one point in, one result out")
 }
 
 /// Print-and-return convention shared by all figure mains.

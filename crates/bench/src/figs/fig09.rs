@@ -6,7 +6,8 @@ use crate::figs::common::emit;
 use crate::report::{section, Table};
 use crate::RunOpts;
 use simprobe::scenarios::{PaperPath, PaperPathConfig};
-use slops::{Session, SlopsConfig, TrendMode};
+use slops::runner::{run_sessions, SessionJob};
+use slops::{SlopsConfig, TrendMode};
 
 const THRESHOLDS: [f64; 7] = [0.05, 0.15, 0.30, 0.45, 0.60, 0.80, 0.95];
 
@@ -14,17 +15,27 @@ const THRESHOLDS: [f64; 7] = [0.05, 0.15, 0.30, 0.45, 0.60, 0.80, 0.95];
 pub fn run(opts: &RunOpts) -> String {
     let mut out = section("Figure 9: effect of the PDT threshold (PDT-only detection, A=4 Mb/s)");
     let mut tab = Table::new(&["PDT threshold", "R_lo", "R_hi", "center", "center/A"]);
-    for (i, thr) in THRESHOLDS.iter().enumerate() {
-        let path_cfg = PaperPathConfig::default();
-        let mut scfg = SlopsConfig::default();
-        scfg.trend_mode = TrendMode::PdtOnly;
-        // Single-threshold semantics as in the paper's sweep: no ambiguous
-        // band, > thr is increasing, otherwise non-increasing.
-        scfg.pdt_inc = *thr;
-        scfg.pdt_dec = *thr;
-        let mut t = PaperPath::build(&path_cfg, opts.run_seed(400, i)).into_transport();
-        match Session::new(scfg).run(&mut t) {
-            Ok(est) => {
+    // One session per threshold; the whole sweep runs as one batch on the
+    // runner (each worker builds its own simulator).
+    let jobs: Vec<SessionJob> = THRESHOLDS
+        .iter()
+        .enumerate()
+        .map(|(i, thr)| {
+            let mut scfg = SlopsConfig::default();
+            scfg.trend_mode = TrendMode::PdtOnly;
+            // Single-threshold semantics as in the paper's sweep: no
+            // ambiguous band, > thr is increasing, otherwise non-increasing.
+            scfg.pdt_inc = *thr;
+            scfg.pdt_dec = *thr;
+            let seed = opts.run_seed(400, i);
+            SessionJob::new(format!("thr{thr:.2}"), scfg, move || {
+                PaperPath::build(&PaperPathConfig::default(), seed).into_transport()
+            })
+        })
+        .collect();
+    for (thr, res) in THRESHOLDS.iter().zip(run_sessions(jobs, 0)) {
+        match res.estimate() {
+            Some(est) => {
                 let center = est.midpoint().mbps();
                 tab.row(&[
                     format!("{thr:.2}"),
@@ -34,7 +45,10 @@ pub fn run(opts: &RunOpts) -> String {
                     format!("{:.2}", center / 4.0),
                 ]);
             }
-            Err(e) => eprintln!("thr={thr}: {e}"),
+            None => eprintln!(
+                "thr={thr}: {}",
+                res.error().expect("no estimate implies an error")
+            ),
         }
     }
     out.push_str(&tab.render());

@@ -2,7 +2,7 @@
 //! ρ = (R_hi − R_lo)/midpoint over repeated runs in three tight-link
 //! utilization bands; ρ grows strongly with utilization.
 
-use crate::figs::common::{emit, repeated_runs};
+use crate::figs::common::{emit, repeated_runs_grid, GridPoint};
 use crate::report::{render_cdfs, section};
 use crate::RunOpts;
 use simprobe::scenarios::PaperPathConfig;
@@ -15,19 +15,30 @@ const BANDS: [(f64, f64); 3] = [(0.20, 0.30), (0.40, 0.50), (0.75, 0.85)];
 pub fn run(opts: &RunOpts) -> String {
     let mut out =
         section("Figure 11: CDF of relative variation rho in three load bands (Ct=10 Mb/s)");
-    let mut series = Vec::new();
-    let mut p75s = Vec::new();
+    // The paper's 110 runs sample real load fluctuation; we sweep each
+    // band deterministically across runs. Every (band, run) cell is its
+    // own grid point — the whole figure is one batch on the runner.
+    let mut points = Vec::new();
     for (bi, (lo, hi)) in BANDS.iter().enumerate() {
-        // The paper's 110 runs sample real load fluctuation; we sweep the
-        // band deterministically across runs.
-        let mut rhos = Vec::with_capacity(opts.runs);
         for run in 0..opts.runs {
             let mut cfg = PaperPathConfig::default();
             cfg.tight_util = lo + (hi - lo) * (run as f64 / opts.runs.max(2) as f64);
-            let one = RunOpts { runs: 1, ..*opts };
-            let res = repeated_runs(&cfg, &SlopsConfig::default(), &one, 600 + bi * 200 + run);
-            rhos.extend(res.rhos);
+            points.push(GridPoint {
+                point: 600 + bi * 200 + run,
+                path_cfg: cfg,
+                slops_cfg: SlopsConfig::default(),
+            });
         }
+    }
+    let one = RunOpts { runs: 1, ..*opts };
+    let results = repeated_runs_grid(&points, &one);
+    let mut series = Vec::new();
+    let mut p75s = Vec::new();
+    for (bi, (lo, hi)) in BANDS.iter().enumerate() {
+        let rhos: Vec<f64> = results[bi * opts.runs..(bi + 1) * opts.runs]
+            .iter()
+            .flat_map(|r| r.rhos.iter().copied())
+            .collect();
         p75s.push(percentile(&rhos, 75.0));
         series.push((
             format!("u={:.0}-{:.0}%", lo * 100.0, hi * 100.0),

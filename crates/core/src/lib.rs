@@ -28,6 +28,10 @@
 //!   transport per worker, results in job order.
 //! * [`metrics`] — the relative-variation metric ρ (eq. 12) and the
 //!   weighted average used to compare against MRTG (eq. 11).
+//! * [`series`] — reusable avail-bw time-series aggregation: compact
+//!   [`RangeSample`]s, eq. 11 window averages, tumbling windowed ranges,
+//!   and the §VI change-point flag. [`monitor`] builds single-path series
+//!   on it; the `monitord` crate builds per-path ring-buffer stores on it.
 //!
 //! ## Machine / driver / runner split
 //!
@@ -74,6 +78,7 @@ pub mod monitor;
 pub mod owd;
 pub mod ratesearch;
 pub mod runner;
+pub mod series;
 pub mod session;
 pub mod stream;
 pub mod testutil;
@@ -89,6 +94,7 @@ pub use metrics::{relative_variation, weighted_average};
 pub use monitor::{monitor_until, sla_compliance, AvailBwSeries, MonitorSample};
 pub use ratesearch::RateSearch;
 pub use runner::{run_parallel, run_sessions, Outcome, SessionJob};
+pub use series::{RangeSample, SeriesStats, WindowedRange};
 pub use session::{Estimate, Session, Termination};
 pub use stream::{stream_params, StreamRequest};
 pub use transport::{PacketSample, ProbeTransport, StreamRecord, TrainRecord};

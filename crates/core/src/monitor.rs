@@ -8,7 +8,7 @@
 //! the paper's own Fig. 10 verification drives the tool.
 
 use crate::error::SlopsError;
-use crate::metrics::weighted_average;
+use crate::series::{self, RangeSample};
 use crate::session::{Estimate, Session};
 use crate::transport::ProbeTransport;
 use units::{Rate, TimeNs};
@@ -24,7 +24,24 @@ pub struct MonitorSample {
     pub estimate: Estimate,
 }
 
+impl MonitorSample {
+    /// The sample reduced to its range (the form [`crate::series`]
+    /// aggregates and a long-running store retains).
+    pub fn range(&self) -> RangeSample {
+        RangeSample {
+            started: self.started,
+            duration: self.duration,
+            low: self.estimate.low,
+            high: self.estimate.high,
+        }
+    }
+}
+
 /// A time series of avail-bw measurements over one transport.
+///
+/// The samples keep their full per-fleet traces; the aggregation (eq. 11
+/// window averages, envelopes, windowed ranges) is shared with the compact
+/// ring-buffer stores through [`crate::series`].
 #[derive(Debug, Default)]
 pub struct AvailBwSeries {
     /// Samples in measurement order.
@@ -32,31 +49,20 @@ pub struct AvailBwSeries {
 }
 
 impl AvailBwSeries {
+    /// The samples reduced to their ranges, in measurement order.
+    pub fn ranges(&self) -> Vec<RangeSample> {
+        self.samples.iter().map(MonitorSample::range).collect()
+    }
+
     /// Duration-weighted average of the range midpoints over `[from, to)`
     /// (eq. 11), suitable for comparison with an MRTG window.
     pub fn window_average(&self, from: TimeNs, to: TimeNs) -> Rate {
-        let runs: Vec<(TimeNs, Rate, Rate)> = self
-            .samples
-            .iter()
-            .filter(|s| s.started >= from && s.started < to)
-            .map(|s| (s.duration, s.estimate.low, s.estimate.high))
-            .collect();
-        weighted_average(&runs)
+        series::window_average(&self.ranges(), from, to)
     }
 
     /// The widest range observed (the avail-bw variation envelope).
     pub fn envelope(&self) -> Option<(Rate, Rate)> {
-        let lo = self
-            .samples
-            .iter()
-            .map(|s| s.estimate.low)
-            .reduce(Rate::min)?;
-        let hi = self
-            .samples
-            .iter()
-            .map(|s| s.estimate.high)
-            .reduce(Rate::max)?;
-        Some((lo, hi))
+        series::envelope(&self.ranges())
     }
 }
 
@@ -187,5 +193,64 @@ mod tests {
         assert!(err.is_some(), "the fuse must eventually blow");
         // At least one measurement completed before the failure.
         assert!(!series.samples.is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_takes_no_samples() {
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 5);
+        let session = Session::new(SlopsConfig::default());
+        let (series, err) = monitor_until(&session, &mut t, TimeNs::ZERO, TimeNs::from_secs(1));
+        assert!(err.is_none());
+        assert!(series.samples.is_empty());
+        // A series with no samples aggregates to nothing, not a panic.
+        assert!(series.window_average(TimeNs::ZERO, TimeNs::MAX).is_zero());
+        assert!(series.envelope().is_none());
+    }
+
+    #[test]
+    fn first_run_failure_yields_empty_series_and_error() {
+        let mut bad = SlopsConfig::default();
+        bad.fleet_fraction = 0.2; // rejected by validation before any probe
+        let mut t = OracleTransport::new(Rate::from_mbps(40.0), 6);
+        let session = Session::new(bad);
+        let (series, err) = monitor_until(&session, &mut t, TimeNs::from_secs(60), TimeNs::ZERO);
+        assert!(matches!(err, Some(SlopsError::BadConfig(_))));
+        assert!(series.samples.is_empty());
+    }
+
+    #[test]
+    fn window_average_edge_cases() {
+        use crate::session::Termination;
+        let est = |lo: f64, hi: f64| Estimate {
+            low: Rate::from_mbps(lo),
+            high: Rate::from_mbps(hi),
+            grey: None,
+            termination: Termination::Resolution,
+            fleets: Vec::new(),
+            elapsed: TimeNs::ZERO,
+        };
+        let mut series = AvailBwSeries::default();
+        // Empty series.
+        assert!(series.window_average(TimeNs::ZERO, TimeNs::MAX).is_zero());
+        // A zero-duration sample carries no weight.
+        series.samples.push(MonitorSample {
+            started: TimeNs::from_secs(1),
+            duration: TimeNs::ZERO,
+            estimate: est(2.0, 4.0),
+        });
+        assert!(series.window_average(TimeNs::ZERO, TimeNs::MAX).is_zero());
+        // One weighted sample: the window average is its midpoint, even for
+        // a window far longer than the series.
+        series.samples.push(MonitorSample {
+            started: TimeNs::from_secs(2),
+            duration: TimeNs::from_secs(10),
+            estimate: est(6.0, 8.0),
+        });
+        let avg = series.window_average(TimeNs::ZERO, TimeNs::from_secs(1_000_000));
+        assert!((avg.mbps() - 7.0).abs() < 1e-9);
+        // A window that covers no sample starts.
+        assert!(series
+            .window_average(TimeNs::from_secs(500), TimeNs::from_secs(600))
+            .is_zero());
     }
 }

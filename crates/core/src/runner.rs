@@ -152,6 +152,18 @@ pub struct Outcome {
 }
 
 impl Outcome {
+    /// The estimate, or `None` if the session failed. Prefer this over
+    /// [`Outcome::expect_estimate`] in grid code that should survive (and
+    /// report) a lost session instead of tearing the whole batch down.
+    pub fn estimate(&self) -> Option<&Estimate> {
+        self.estimate.as_ref().ok()
+    }
+
+    /// The failure, if the session was lost.
+    pub fn error(&self) -> Option<&SlopsError> {
+        self.estimate.as_ref().err()
+    }
+
     /// The estimate, panicking with the label on failure (grid code that
     /// treats failures as fatal).
     pub fn expect_estimate(&self) -> &Estimate {
@@ -255,5 +267,8 @@ mod tests {
         assert!(out[0].estimate.is_ok());
         assert!(out[1].estimate.is_err());
         assert_eq!(out[1].label, "bad");
+        // The non-panicking accessors see the same outcome.
+        assert!(out[0].estimate().is_some() && out[0].error().is_none());
+        assert!(out[1].estimate().is_none() && out[1].error().is_some());
     }
 }

@@ -1,0 +1,190 @@
+//! Daemon output: JSON-lines records and a human summary.
+//!
+//! One self-describing JSON object per line — the standard daemon export
+//! shape (tail it, pipe it to `jq`, ship it to a collector). The encoder
+//! is hand-rolled: records are flat, the workspace is offline, and a
+//! serialization framework would be the only external dependency in it.
+
+use crate::store::{ChangeDirection, ChangeEvent, PathSeries};
+use slops::series::RangeSample;
+use std::io::{self, Write};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `sample` record for one finished measurement.
+pub fn sample_line(path: usize, label: &str, s: &RangeSample) -> String {
+    format!(
+        "{{\"type\":\"sample\",\"path\":{path},\"label\":\"{}\",\"t_start_ns\":{},\
+         \"duration_ns\":{},\"low_bps\":{:.0},\"high_bps\":{:.0},\"rho\":{:.4}}}",
+        escape(label),
+        s.started.as_nanos(),
+        s.duration.as_nanos(),
+        s.low.bps(),
+        s.high.bps(),
+        s.relative_variation(),
+    )
+}
+
+/// The `change` record for one flagged avail-bw shift.
+pub fn change_line(path: usize, label: &str, c: &ChangeEvent) -> String {
+    let dir = match c.direction {
+        ChangeDirection::Up => "up",
+        ChangeDirection::Down => "down",
+    };
+    format!(
+        "{{\"type\":\"change\",\"path\":{path},\"label\":\"{}\",\"t_ns\":{},\
+         \"direction\":\"{dir}\",\"before_low_bps\":{:.0},\"before_high_bps\":{:.0},\
+         \"after_low_bps\":{:.0},\"after_high_bps\":{:.0}}}",
+        escape(label),
+        c.at.as_nanos(),
+        c.before.low.bps(),
+        c.before.high.bps(),
+        c.after.low.bps(),
+        c.after.high.bps(),
+    )
+}
+
+/// The `summary` record for one path's whole series.
+pub fn summary_line(path: usize, series: &PathSeries) -> String {
+    let st = series.stats();
+    format!(
+        "{{\"type\":\"summary\",\"path\":{path},\"label\":\"{}\",\"samples\":{},\
+         \"evicted\":{},\"errors\":{},\"mean_mid_bps\":{:.0},\"mean_width_bps\":{:.0},\
+         \"mean_rho\":{:.4},\"p75_rho\":{:.4},\"changes\":{}}}",
+        escape(series.label()),
+        st.count,
+        series.evicted(),
+        series.errors(),
+        st.mean_midpoint.bps(),
+        st.mean_width.bps(),
+        st.mean_rho,
+        st.p75_rho,
+        series.changes().len(),
+    )
+}
+
+/// Write a whole fleet as JSON lines: every sample, every flagged change,
+/// then one summary per path.
+pub fn write_fleet_jsonl<W: Write>(w: &mut W, fleet: &[PathSeries]) -> io::Result<()> {
+    for (p, series) in fleet.iter().enumerate() {
+        for s in series.samples() {
+            writeln!(w, "{}", sample_line(p, series.label(), s))?;
+        }
+        for c in series.changes() {
+            writeln!(w, "{}", change_line(p, series.label(), &c))?;
+        }
+    }
+    for (p, series) in fleet.iter().enumerate() {
+        writeln!(w, "{}", summary_line(p, series))?;
+    }
+    Ok(())
+}
+
+/// A human-readable fleet summary (one line per path), for examples and
+/// operator consoles.
+pub fn fleet_summary(fleet: &[PathSeries]) -> String {
+    let mut out = String::new();
+    for s in fleet {
+        let st = s.stats();
+        let changes = s.changes();
+        out.push_str(&format!(
+            "{:<10} {:>3} samples  mid {:>7.2} Mb/s  width {:>5.2} Mb/s  rho {:>4.2}  {}\n",
+            s.label(),
+            st.count,
+            st.mean_midpoint.mbps(),
+            st.mean_width.mbps(),
+            st.mean_rho,
+            if changes.is_empty() {
+                "steady".to_string()
+            } else {
+                changes
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{} at {:.0}s to [{:.1}, {:.1}] Mb/s",
+                            match c.direction {
+                                ChangeDirection::Up => "UP",
+                                ChangeDirection::Down => "DOWN",
+                            },
+                            c.at.secs_f64(),
+                            c.after.low.mbps(),
+                            c.after.high.mbps(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SeriesConfig;
+    use units::{Rate, TimeNs};
+
+    fn demo_fleet() -> Vec<PathSeries> {
+        let cfg = SeriesConfig {
+            capacity: 16,
+            window: TimeNs::from_secs(30),
+        };
+        let mut a = PathSeries::new("atl\"gru", &cfg, TimeNs::ZERO);
+        for i in 0..4u64 {
+            a.push(RangeSample {
+                started: TimeNs::from_secs(i * 20),
+                duration: TimeNs::from_secs(3),
+                low: Rate::from_mbps(if i < 2 { 7.0 } else { 3.0 }),
+                high: Rate::from_mbps(if i < 2 { 9.0 } else { 4.0 }),
+            });
+        }
+        a.record_error();
+        vec![a]
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let fleet = demo_fleet();
+        let mut buf = Vec::new();
+        write_fleet_jsonl(&mut buf, &fleet).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 4 samples + 1 change + 1 summary.
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // The label's quote is escaped, so the line has an even count
+            // of unescaped quotes.
+            let unescaped = line.replace("\\\"", "");
+            assert_eq!(unescaped.matches('"').count() % 2, 0, "{line}");
+        }
+        assert!(lines[4].contains("\"type\":\"change\""));
+        assert!(lines[4].contains("\"direction\":\"down\""));
+        assert!(lines[5].contains("\"errors\":1"));
+        assert!(lines[5].contains("atl\\\"gru"));
+    }
+
+    #[test]
+    fn summary_renders_changes() {
+        let fleet = demo_fleet();
+        let text = fleet_summary(&fleet);
+        assert!(text.contains("DOWN at"));
+        assert!(text.contains("samples"));
+    }
+}

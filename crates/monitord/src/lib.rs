@@ -1,0 +1,75 @@
+//! # monitord — a multi-path avail-bw monitoring daemon
+//!
+//! The paper's motivating applications (§I, §IX: SLA verification, server
+//! selection, overlay routing) and its dynamics study (§VI) all consume a
+//! *continuous series* of avail-bw ranges across *many* paths. This crate
+//! is that deployment mode: a long-running monitoring scheduler
+//! multiplexing N independent measurement sessions, one per path, with all
+//! estimation staying in the sans-IO `slops::SessionMachine`.
+//!
+//! The pieces:
+//!
+//! * [`scheduler`] — the sans-IO fleet [`Scheduler`]: staggered starts
+//!   (configurable period + jitter) and a concurrency cap so concurrent
+//!   probe streams don't self-interfere on shared links, on a
+//!   deterministic [`scheduler::TICK`] grid.
+//! * [`store`] — per-path bounded [`PathSeries`] ring buffers with eq. 11
+//!   window averages, §VI variation statistics, and a change-point flag
+//!   (consecutive windowed ranges that stop overlapping), built on
+//!   [`slops::series`].
+//! * [`sim`] — the in-sim driver: N paths (disjoint or sharing a tight
+//!   link) inside **one** `netsim::Simulator`, each measurement a native
+//!   `simprobe::SessionApp`.
+//! * [`thread`] — the thread-backed driver: blocking transports (sockets,
+//!   simulator shims, the test oracle) measured in concurrent waves on the
+//!   `slops::runner` pool.
+//! * [`export`] — JSON-lines daemon output and a human fleet summary.
+//!
+//! Both drivers take decisions from the same scheduler, so on independent
+//! paths they produce identical per-path series for the same seeds — the
+//! fleet-level extension of the repo's driver-equivalence invariant.
+//!
+//! ```
+//! use monitord::{run_fleet, ScheduleConfig, SeriesConfig, ThreadPathSpec};
+//! use slops::testutil::OracleTransport;
+//! use slops::SlopsConfig;
+//! use units::{Rate, TimeNs};
+//!
+//! // Monitor three synthetic paths for two simulated minutes.
+//! let paths = (0..3)
+//!     .map(|i| ThreadPathSpec {
+//!         label: format!("path{i}"),
+//!         cfg: SlopsConfig::default(),
+//!         transport: Box::new(OracleTransport::new(Rate::from_mbps(30.0 + 10.0 * i as f64), i as u64)),
+//!     })
+//!     .collect();
+//! let series = run_fleet(
+//!     paths,
+//!     &ScheduleConfig::default(),
+//!     &SeriesConfig::default(),
+//!     TimeNs::from_secs(120),
+//!     0,
+//! )
+//! .unwrap();
+//! for (i, s) in series.iter().enumerate() {
+//!     let a = 30.0 + 10.0 * i as f64;
+//!     let (lo, hi) = s.envelope().expect("non-empty series");
+//!     assert!(lo.mbps() <= a + 1.5 && a - 1.5 <= hi.mbps());
+//! }
+//! println!("{}", monitord::export::fleet_summary(&series));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod scheduler;
+pub mod sim;
+pub mod store;
+pub mod thread;
+
+pub use export::{fleet_summary, write_fleet_jsonl};
+pub use scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
+pub use sim::{SimFleetMonitor, SimPathSpec};
+pub use store::{ChangeDirection, ChangeEvent, PathSeries, SeriesConfig};
+pub use thread::{run_fleet, ThreadPathSpec};

@@ -1,0 +1,371 @@
+//! The fleet scheduler: staggered, capped measurement starts on a
+//! deterministic tick grid.
+//!
+//! The scheduler is **sans-IO**, like the session machine underneath it:
+//! it never reads a clock and never touches a transport. Drivers ask it
+//! what to do ([`Scheduler::poll`]) and tell it what happened
+//! ([`Scheduler::on_complete`]); every decision is a pure function of the
+//! configuration and the completion times fed back. Because start instants
+//! are quantized to the [`TICK`] grid, the event-driven in-sim driver and
+//! the thread-backed blocking driver — which observe completions at
+//! different granularities — still issue byte-identical schedules, which is
+//! what the driver-equivalence test in `tests/fleet_monitoring.rs` pins.
+//!
+//! Policy:
+//!
+//! * path `i`'s first measurement is due at
+//!   `t0 + i·period/N + U[0, jitter)` — staggered so a fleet of N paths
+//!   spreads its probing instead of phase-locking;
+//! * each later measurement is due `period` after the previous one
+//!   *started* (an overrunning measurement pushes the schedule back rather
+//!   than bursting to catch up);
+//! * at most `max_concurrent` measurements run at once — concurrent probe
+//!   streams self-interfere on shared links (§IV: pathload's own load is
+//!   capped per path; a fleet must cap across paths too);
+//! * a start is issued at `max(due, own previous completion, earliest free
+//!   slot)`, rounded **up** to the tick grid;
+//! * no measurement starts at or after the horizon.
+
+use netsim::Prng;
+use units::TimeNs;
+
+/// Scheduling decisions are quantized to this grid (anchored at the
+/// scheduler's `t0`). Coarse enough that any driver can observe a
+/// completion within one tick; fine enough to be irrelevant against
+/// measurement periods of seconds.
+pub const TICK: TimeNs = TimeNs::from_millis(50);
+
+/// Index of a monitored path within a fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(pub u32);
+
+/// Fleet scheduling knobs.
+#[derive(Clone, Debug)]
+pub struct ScheduleConfig {
+    /// Target start-to-start spacing of consecutive measurements on one
+    /// path. Zero means back-to-back.
+    pub period: TimeNs,
+    /// Uniform random addition in `[0, jitter)` to each path's initial
+    /// offset (drawn once per path from `seed`), so restarts of the same
+    /// fleet don't phase-align with other periodic load.
+    pub jitter: TimeNs,
+    /// Maximum measurements in flight at once; `0` means unlimited.
+    pub max_concurrent: usize,
+    /// Seed of the jitter draw.
+    pub seed: u64,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            period: TimeNs::from_secs(30),
+            jitter: TimeNs::from_secs(2),
+            max_concurrent: 0,
+            seed: 0x6D6F_6E64, // "mond"
+        }
+    }
+}
+
+/// What a driver should do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Poll {
+    /// Start a measurement on `path` at instant `at` (on the tick grid,
+    /// never before the knowledge that produced it).
+    Start {
+        /// The path to measure.
+        path: PathId,
+        /// The start instant.
+        at: TimeNs,
+    },
+    /// Nothing can start until a running measurement completes; drive the
+    /// substrate forward and report completions.
+    Blocked,
+    /// Every path has reached the horizon and nothing is running.
+    Done,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PathState {
+    Idle,
+    Running,
+    Finished,
+}
+
+/// The sans-IO fleet scheduler. See the module docs for the policy.
+#[derive(Debug)]
+pub struct Scheduler {
+    t0: TimeNs,
+    horizon: TimeNs,
+    period: TimeNs,
+    /// Next due start per path.
+    due: Vec<TimeNs>,
+    state: Vec<PathState>,
+    /// Completion time of each path's latest measurement (`t0` initially).
+    own_free: Vec<TimeNs>,
+    /// Instant each concurrency slot frees up; `None` while occupied.
+    slots: Vec<Option<TimeNs>>,
+    /// Which slot each running path occupies.
+    slot_of: Vec<usize>,
+    /// Measurements started so far (for reporting).
+    started: u64,
+}
+
+impl Scheduler {
+    /// Create a scheduler for `n_paths` paths. Measurements are scheduled
+    /// from `t0` and no start is issued at or after `horizon`.
+    pub fn new(n_paths: usize, t0: TimeNs, horizon: TimeNs, cfg: &ScheduleConfig) -> Scheduler {
+        assert!(n_paths > 0, "a fleet needs at least one path");
+        let mut rng = Prng::new(cfg.seed);
+        let due = (0..n_paths)
+            .map(|i| {
+                let stagger = TimeNs::from_nanos(cfg.period.as_nanos() * i as u64 / n_paths as u64);
+                let jitter = if cfg.jitter.is_zero() {
+                    TimeNs::ZERO
+                } else {
+                    TimeNs::from_nanos(rng.below(cfg.jitter.as_nanos()))
+                };
+                t0 + stagger + jitter
+            })
+            .collect();
+        let slots = if cfg.max_concurrent == 0 {
+            n_paths
+        } else {
+            cfg.max_concurrent.min(n_paths)
+        };
+        Scheduler {
+            t0,
+            horizon,
+            period: cfg.period,
+            due,
+            state: vec![PathState::Idle; n_paths],
+            own_free: vec![t0; n_paths],
+            slots: vec![Some(t0); slots],
+            slot_of: vec![usize::MAX; n_paths],
+            started: 0,
+        }
+    }
+
+    /// Round `t` **up** to the tick grid anchored at `t0`: the instant at
+    /// which a driver ticking on the grid learns of an event at `t`.
+    /// Drivers that batch completions must group them by this boundary
+    /// (feed one group, re-poll, feed the next) to stay byte-identical
+    /// with a driver that observes completions tick by tick.
+    pub fn tick_boundary(&self, t: TimeNs) -> TimeNs {
+        if t <= self.t0 {
+            return self.t0;
+        }
+        let d = (t - self.t0).as_nanos();
+        let tick = TICK.as_nanos();
+        self.t0 + TimeNs::from_nanos(d.div_ceil(tick) * tick)
+    }
+
+    /// Ask for the next action. Returns each pending [`Poll::Start`]
+    /// exactly once; drivers call this in a loop until it yields
+    /// [`Poll::Blocked`] (drive the substrate, feed completions, retry) or
+    /// [`Poll::Done`].
+    pub fn poll(&mut self) -> Poll {
+        loop {
+            // The idle path with the earliest due start (ties: lowest id).
+            let Some(path) = (0..self.due.len())
+                .filter(|&p| self.state[p] == PathState::Idle)
+                .min_by_key(|&p| (self.due[p], p))
+            else {
+                let any_running = self.state.contains(&PathState::Running);
+                return if any_running {
+                    Poll::Blocked
+                } else {
+                    Poll::Done
+                };
+            };
+            if self.due[path] >= self.horizon {
+                self.state[path] = PathState::Finished;
+                continue;
+            }
+            // The earliest-freeing free slot.
+            let Some(slot) = (0..self.slots.len())
+                .filter(|&s| self.slots[s].is_some())
+                .min_by_key(|&s| self.slots[s])
+            else {
+                return Poll::Blocked; // all slots occupied
+            };
+            let slot_free = self.slots[slot].expect("slot is free");
+            let at = self.tick_boundary(self.due[path].max(self.own_free[path]).max(slot_free));
+            if at >= self.horizon {
+                self.state[path] = PathState::Finished;
+                continue;
+            }
+            self.slots[slot] = None;
+            self.slot_of[path] = slot;
+            self.state[path] = PathState::Running;
+            self.due[path] = at + self.period;
+            self.started += 1;
+            return Poll::Start {
+                path: PathId(path as u32),
+                at,
+            };
+        }
+    }
+
+    /// Report that `path`'s running measurement finished at `finished_at`.
+    pub fn on_complete(&mut self, path: PathId, finished_at: TimeNs) {
+        let p = path.0 as usize;
+        assert_eq!(
+            self.state[p],
+            PathState::Running,
+            "completion for a path that is not running"
+        );
+        let slot = self.slot_of[p];
+        self.slots[slot] = Some(finished_at);
+        self.slot_of[p] = usize::MAX;
+        self.own_free[p] = finished_at;
+        self.state[p] = PathState::Idle;
+    }
+
+    /// True once every path has reached the horizon and nothing runs.
+    pub fn is_done(&self) -> bool {
+        self.state.iter().all(|s| *s == PathState::Finished)
+    }
+
+    /// Measurements started so far.
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// The scheduling epoch `t0`.
+    pub fn t0(&self) -> TimeNs {
+        self.t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(period_s: u64, jitter_s: u64, cap: usize) -> ScheduleConfig {
+        ScheduleConfig {
+            period: TimeNs::from_secs(period_s),
+            jitter: TimeNs::from_secs(jitter_s),
+            max_concurrent: cap,
+            seed: 42,
+        }
+    }
+
+    /// Run the schedule to completion assuming every measurement takes
+    /// `dur`; returns (path, at) in issue order.
+    fn drain(mut s: Scheduler, dur: TimeNs) -> Vec<(u32, TimeNs)> {
+        let mut out = Vec::new();
+        loop {
+            match s.poll() {
+                Poll::Start { path, at } => {
+                    out.push((path.0, at));
+                    s.on_complete(path, at + dur);
+                }
+                Poll::Blocked => unreachable!("completions are fed synchronously"),
+                Poll::Done => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn staggers_initial_offsets() {
+        let s = Scheduler::new(4, TimeNs::ZERO, TimeNs::from_secs(100), &cfg(40, 0, 0));
+        // Without jitter, offsets are i * period / N.
+        assert_eq!(
+            s.due,
+            vec![
+                TimeNs::ZERO,
+                TimeNs::from_secs(10),
+                TimeNs::from_secs(20),
+                TimeNs::from_secs(30),
+            ]
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mk = || Scheduler::new(8, TimeNs::ZERO, TimeNs::from_secs(1000), &cfg(40, 5, 0));
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.due, b.due, "same seed, same offsets");
+        for (i, d) in a.due.iter().enumerate() {
+            let base = TimeNs::from_secs(5 * i as u64);
+            assert!(*d >= base && *d < base + TimeNs::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn periodic_starts_on_the_tick_grid() {
+        let s = Scheduler::new(2, TimeNs::ZERO, TimeNs::from_secs(100), &cfg(20, 3, 0));
+        let starts = drain(s, TimeNs::from_secs(4));
+        assert!(starts.len() >= 8, "got {} starts", starts.len());
+        for (_, at) in &starts {
+            assert_eq!(at.as_nanos() % TICK.as_nanos(), 0, "{at} off-grid");
+            assert!(*at < TimeNs::from_secs(100));
+        }
+        // Per path, consecutive starts are >= period apart (quantized up).
+        for p in 0..2u32 {
+            let mine: Vec<TimeNs> = starts
+                .iter()
+                .filter(|(q, _)| *q == p)
+                .map(|&(_, a)| a)
+                .collect();
+            for w in mine.windows(2) {
+                assert!(w[1] - w[0] >= TimeNs::from_secs(20));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrency_cap_serializes_overlapping_runs() {
+        // 3 paths due at once, cap 1, runs of 10 s: strictly sequential.
+        let s = Scheduler::new(3, TimeNs::ZERO, TimeNs::from_secs(25), &cfg(0, 0, 1));
+        let mut s = s;
+        let mut intervals: Vec<(TimeNs, TimeNs)> = Vec::new();
+        loop {
+            match s.poll() {
+                Poll::Start { path, at } => {
+                    let end = at + TimeNs::from_secs(10);
+                    intervals.push((at, end));
+                    s.on_complete(path, end);
+                }
+                Poll::Blocked => unreachable!(),
+                Poll::Done => break,
+            }
+        }
+        for w in intervals.windows(2) {
+            assert!(w[1].0 >= w[0].1, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn overrunning_path_never_overlaps_itself() {
+        // Period 5 s but runs take 12 s: starts are 12+ s apart, no burst.
+        let s = Scheduler::new(1, TimeNs::ZERO, TimeNs::from_secs(60), &cfg(5, 0, 0));
+        let starts = drain(s, TimeNs::from_secs(12));
+        assert!(starts.len() >= 4);
+        for w in starts.windows(2) {
+            assert!(w[1].1 - w[0].1 >= TimeNs::from_secs(12));
+        }
+    }
+
+    #[test]
+    fn horizon_stops_the_fleet() {
+        let s = Scheduler::new(2, TimeNs::ZERO, TimeNs::from_secs(30), &cfg(10, 0, 0));
+        let starts = drain(s, TimeNs::from_secs(1));
+        assert!(starts.iter().all(|(_, at)| *at < TimeNs::from_secs(30)));
+        // 2 paths * 3 periods within [0, 30).
+        assert_eq!(starts.len(), 6);
+    }
+
+    #[test]
+    fn blocked_when_capped_done_when_finished() {
+        let mut s = Scheduler::new(2, TimeNs::ZERO, TimeNs::from_secs(10), &cfg(8, 0, 1));
+        let Poll::Start { path, at } = s.poll() else {
+            panic!("expected a start")
+        };
+        assert_eq!(s.poll(), Poll::Blocked, "cap 1: second path must wait");
+        s.on_complete(path, at + TimeNs::from_secs(2));
+        assert!(matches!(s.poll(), Poll::Start { .. }));
+        assert!(!s.is_done());
+    }
+}

@@ -1,0 +1,269 @@
+//! The in-sim fleet driver: N monitored paths inside **one** simulation.
+//!
+//! Each scheduled measurement is installed as a fresh
+//! [`simprobe::SessionApp`] (the event-driven driver over the sans-IO
+//! machine), so all sessions, cross traffic, TCP flows — anything living
+//! in the simulator — share one ordinary event loop. Paths may be disjoint
+//! or share links (e.g. [`simprobe::scenarios::shared_tight_link`]), which
+//! is what enables the §VI cross-traffic-dynamics scenarios: step the load
+//! mid-run through [`SimFleetMonitor::sim_mut`] and watch the change
+//! detector flag it.
+//!
+//! The driver advances the simulation on the scheduler's [`TICK`] grid and
+//! harvests completions after every tick, so every scheduling decision is
+//! made with exact completion times — byte-identical to the thread-backed
+//! driver on independent paths (pinned by `tests/fleet_monitoring.rs`).
+
+use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler, TICK};
+use crate::store::{PathSeries, SeriesConfig};
+use netsim::{AppId, Chain, Simulator};
+use simprobe::{install_session_at, SessionApp};
+use slops::series::RangeSample;
+use slops::{SlopsConfig, SlopsError};
+use units::TimeNs;
+
+/// One monitored path of an in-sim fleet.
+pub struct SimPathSpec {
+    /// Label carried into the series and the export layer.
+    pub label: String,
+    /// The path through the shared simulator.
+    pub chain: Chain,
+    /// Measurement configuration for this path.
+    pub cfg: SlopsConfig,
+}
+
+struct PathRuntime {
+    chain: Chain,
+    cfg: SlopsConfig,
+    /// The running measurement, if any: `(app, start instant)`.
+    running: Option<(AppId, TimeNs)>,
+}
+
+/// A multi-path monitoring daemon over one simulator. Build with
+/// [`SimFleetMonitor::new`], drive with [`SimFleetMonitor::run_until`] /
+/// [`SimFleetMonitor::run_to_completion`], read the per-path series with
+/// [`SimFleetMonitor::series`].
+pub struct SimFleetMonitor {
+    sim: Simulator,
+    sched: Scheduler,
+    paths: Vec<PathRuntime>,
+    series: Vec<PathSeries>,
+    t0: TimeNs,
+}
+
+impl SimFleetMonitor {
+    /// Create the monitor. Scheduling starts at the simulator's current
+    /// instant (warm the topology up first) and no measurement starts at
+    /// or after `horizon`. Every path's config is validated up front.
+    pub fn new(
+        sim: Simulator,
+        paths: Vec<SimPathSpec>,
+        sched_cfg: &ScheduleConfig,
+        series_cfg: &SeriesConfig,
+        horizon: TimeNs,
+    ) -> Result<SimFleetMonitor, SlopsError> {
+        assert!(!paths.is_empty(), "a fleet needs at least one path");
+        for p in &paths {
+            p.cfg.validate().map_err(SlopsError::BadConfig)?;
+        }
+        let t0 = sim.now();
+        let sched = Scheduler::new(paths.len(), t0, horizon, sched_cfg);
+        let series = paths
+            .iter()
+            .map(|p| PathSeries::new(p.label.clone(), series_cfg, t0))
+            .collect();
+        let paths = paths
+            .into_iter()
+            .map(|p| PathRuntime {
+                chain: p.chain,
+                cfg: p.cfg,
+                running: None,
+            })
+            .collect();
+        Ok(SimFleetMonitor {
+            sim,
+            sched,
+            paths,
+            series,
+            t0,
+        })
+    }
+
+    /// Install every start the scheduler can issue right now.
+    fn install_ready(&mut self) {
+        while let Poll::Start { path, at } = self.sched.poll() {
+            let p = path.0 as usize;
+            debug_assert!(self.paths[p].running.is_none());
+            debug_assert!(at >= self.sim.now(), "start instant in the simulated past");
+            let id = install_session_at(
+                &mut self.sim,
+                &self.paths[p].chain,
+                self.paths[p].cfg.clone(),
+                at,
+            )
+            .expect("config validated at construction");
+            self.paths[p].running = Some((id, at));
+        }
+    }
+
+    /// Harvest finished sessions: store the sample, retire the app, free
+    /// the scheduler slot.
+    fn harvest(&mut self) {
+        for (p, path) in self.paths.iter_mut().enumerate() {
+            let Some((id, at)) = path.running else {
+                continue;
+            };
+            let Some(est) = self.sim.app_mut::<SessionApp>(id).take_estimate() else {
+                continue;
+            };
+            self.series[p].push(RangeSample::from_estimate(at, &est));
+            self.sim.remove_app(id);
+            path.running = None;
+            self.sched.on_complete(PathId(p as u32), at + est.elapsed);
+        }
+    }
+
+    /// Advance the simulation (and the schedule) to instant `t`, ticking
+    /// on the scheduler grid so completions are harvested — and new starts
+    /// issued — within one [`TICK`] of happening.
+    ///
+    /// Cross-driver series equivalence is guaranteed for targets on the
+    /// tick grid relative to the fleet epoch ([`run_to_completion`]
+    /// always is); an off-grid target inserts one off-grid harvest, which
+    /// can reveal a completion slightly earlier than the thread-backed
+    /// driver's tick-granular replay would.
+    ///
+    /// [`run_to_completion`]: SimFleetMonitor::run_to_completion
+    pub fn run_until(&mut self, t: TimeNs) {
+        loop {
+            self.install_ready();
+            let now = self.sim.now();
+            if now >= t {
+                return;
+            }
+            // The next grid instant strictly after `now`, clamped to `t`.
+            let elapsed = (now - self.t0).as_nanos();
+            let next_tick =
+                self.t0 + TimeNs::from_nanos((elapsed / TICK.as_nanos() + 1) * TICK.as_nanos());
+            self.sim.run_until(next_tick.min(t));
+            self.harvest();
+        }
+    }
+
+    /// Run until every path has reached the horizon and its last
+    /// measurement finished (the clock may pass the horizon: a measurement
+    /// started just before it is allowed to complete).
+    pub fn run_to_completion(&mut self) {
+        while !self.sched.is_done() {
+            let t = self.sim.now() + TICK;
+            self.run_until(t);
+        }
+    }
+
+    /// The per-path series, in path order.
+    pub fn series(&self) -> &[PathSeries] {
+        &self.series
+    }
+
+    /// Consume the monitor, returning the per-path series.
+    pub fn into_series(self) -> Vec<PathSeries> {
+        self.series
+    }
+
+    /// Measurements started so far across the fleet.
+    pub fn measurements_started(&self) -> u64 {
+        self.sched.started()
+    }
+
+    /// Borrow the simulator (link stats, utilization monitors, ...).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutably borrow the simulator — e.g. to step cross traffic mid-run
+    /// ([`simprobe::scenarios::step_link_load`]) between
+    /// [`SimFleetMonitor::run_until`] calls.
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Chain, ChainConfig, LinkConfig};
+    use units::Rate;
+
+    fn empty_chain(sim: &mut Simulator, mbps: f64) -> Chain {
+        Chain::build(
+            sim,
+            &ChainConfig::symmetric(vec![
+                LinkConfig::new(Rate::from_mbps(mbps + 2.0), TimeNs::from_millis(5)),
+                LinkConfig::new(Rate::from_mbps(mbps), TimeNs::from_millis(5)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn two_unloaded_paths_measure_their_capacities() {
+        let mut sim = Simulator::new(9);
+        let chains = [empty_chain(&mut sim, 8.0), empty_chain(&mut sim, 16.0)];
+        let paths = chains
+            .into_iter()
+            .enumerate()
+            .map(|(i, chain)| SimPathSpec {
+                label: format!("p{i}"),
+                chain,
+                cfg: SlopsConfig::default(),
+            })
+            .collect();
+        let sched = ScheduleConfig {
+            period: TimeNs::from_secs(10),
+            jitter: TimeNs::from_secs(1),
+            max_concurrent: 0,
+            seed: 1,
+        };
+        let mut mon = SimFleetMonitor::new(
+            sim,
+            paths,
+            &sched,
+            &SeriesConfig::default(),
+            TimeNs::from_secs(40),
+        )
+        .unwrap();
+        mon.run_to_completion();
+        for (i, want) in [(0usize, 8.0), (1, 16.0)] {
+            let s = &mon.series()[i];
+            assert!(s.len() >= 3, "path {i}: only {} samples", s.len());
+            for r in s.samples() {
+                assert!(
+                    r.low.mbps() <= want && want <= r.high.mbps() + 0.5,
+                    "path {i}: [{}, {}] should bracket {want}",
+                    r.low,
+                    r.high
+                );
+            }
+        }
+        assert!(mon.measurements_started() >= 6);
+    }
+
+    #[test]
+    fn bad_config_rejected_up_front() {
+        let mut sim = Simulator::new(9);
+        let chain = empty_chain(&mut sim, 8.0);
+        let mut cfg = SlopsConfig::default();
+        cfg.fleet_fraction = 0.1;
+        let err = SimFleetMonitor::new(
+            sim,
+            vec![SimPathSpec {
+                label: "p0".into(),
+                chain,
+                cfg,
+            }],
+            &ScheduleConfig::default(),
+            &SeriesConfig::default(),
+            TimeNs::from_secs(10),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! The thread-backed fleet driver: one blocking transport per path.
+//!
+//! For transports that block — real sockets (`pathload-net`), the
+//! simulator shim, the test oracle — the fleet runs as batches of blocking
+//! [`slops::Session::run`] calls on the [`slops::runner`] worker pool: the
+//! scheduler issues every start it can, the batch executes concurrently
+//! (one transport per worker, transports never shared), and completions
+//! feed back **one at a time in virtual finish order**, with the scheduler
+//! re-polled between feeds. That ordering matters: it is exactly how the
+//! in-sim driver observes completions, so a fast path can be rescheduled
+//! while a slow path's measurement is still outstanding instead of
+//! waiting for the whole batch. Both drivers take decisions from the same
+//! sans-IO [`Scheduler`], so on independent paths they produce
+//! **identical per-path series** for the same seeds — asserted by
+//! `tests/fleet_monitoring.rs`.
+//!
+//! On transports with a virtual clock the schedule is exact. On
+//! wall-clock transports (real sockets) time also passes while a worker
+//! waits for its batch, so a start instant may already lie in the past
+//! when its job runs; the driver then starts immediately (best effort) —
+//! the stagger and cap remain, the precise grid does not.
+
+use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
+use crate::store::{PathSeries, SeriesConfig};
+use slops::runner::run_parallel;
+use slops::series::RangeSample;
+use slops::{Estimate, ProbeTransport, Session, SlopsConfig, SlopsError};
+use std::collections::BTreeMap;
+use units::TimeNs;
+
+/// One monitored path of a thread-backed fleet.
+pub struct ThreadPathSpec {
+    /// Label carried into the series and the export layer.
+    pub label: String,
+    /// Measurement configuration for this path.
+    pub cfg: SlopsConfig,
+    /// The path's transport. All transports of a fleet must share a time
+    /// epoch (`elapsed()` measured from the same origin), since the
+    /// scheduler staggers starts on one common timeline.
+    pub transport: Box<dyn ProbeTransport + Send>,
+}
+
+/// Run a thread-backed monitoring fleet to completion: measure every path
+/// periodically (staggered, jittered, capped — see [`ScheduleConfig`])
+/// until `horizon` on the transports' clock, using `threads` workers per
+/// wave (`0` = one per CPU). Failed measurements are counted on the
+/// path's series ([`PathSeries::errors`]) and monitoring continues.
+///
+/// Returns the per-path series in path order.
+pub fn run_fleet(
+    paths: Vec<ThreadPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    threads: usize,
+) -> Result<Vec<PathSeries>, SlopsError> {
+    assert!(!paths.is_empty(), "a fleet needs at least one path");
+    for p in &paths {
+        p.cfg.validate().map_err(SlopsError::BadConfig)?;
+    }
+    // The fleet epoch: the latest transport clock (all at 0 for fresh
+    // transports; equal by construction for warmed simulator shims).
+    let t0 = paths
+        .iter()
+        .map(|p| p.transport.elapsed())
+        .max()
+        .expect("non-empty fleet");
+    let mut sched = Scheduler::new(paths.len(), t0, horizon, sched_cfg);
+    let mut series: Vec<PathSeries> = paths
+        .iter()
+        .map(|p| PathSeries::new(p.label.clone(), series_cfg, t0))
+        .collect();
+    let mut cfgs: Vec<SlopsConfig> = Vec::with_capacity(paths.len());
+    let mut transports: Vec<Option<Box<dyn ProbeTransport + Send>>> = Vec::new();
+    for p in paths {
+        cfgs.push(p.cfg);
+        transports.push(Some(p.transport));
+    }
+
+    // Completions executed but not yet fed to the scheduler, keyed by the
+    // tick boundary at which a tick-granular driver would learn of them
+    // (ties broken by path id), carrying `(start, exact finish, outcome)`.
+    type Outcome = Result<Estimate, SlopsError>;
+    let mut unfed: BTreeMap<(TimeNs, usize), (TimeNs, TimeNs, Outcome)> = BTreeMap::new();
+    loop {
+        // Issue every start the scheduler can decide with what it knows.
+        let mut batch: Vec<(usize, TimeNs)> = Vec::new();
+        while let Poll::Start { path, at } = sched.poll() {
+            batch.push((path.0 as usize, at));
+        }
+        if batch.is_empty() && unfed.is_empty() {
+            debug_assert!(sched.is_done(), "blocked with nothing running");
+            break;
+        }
+        // Execute the new starts concurrently: one path per job, the
+        // transport travels to the worker and back. (A wall-clock
+        // transport may already be past `at`; it then starts at once.)
+        let jobs: Vec<_> = batch
+            .into_iter()
+            .map(|(p, at)| {
+                let mut transport = transports[p].take().expect("path measured twice at once");
+                let session = Session::new(cfgs[p].clone());
+                move |_idx: usize| {
+                    let now = transport.elapsed();
+                    transport.idle(at.saturating_sub(now));
+                    let outcome = session.run(transport.as_mut());
+                    let finished = transport.elapsed();
+                    (p, at, outcome, finished, transport)
+                }
+            })
+            .collect();
+        for (p, at, outcome, finished, transport) in run_parallel(jobs, threads) {
+            transports[p] = Some(transport);
+            unfed.insert((sched.tick_boundary(finished), p), (at, finished, outcome));
+        }
+        // Feed ONLY the earliest tick's completions, then re-poll: the
+        // scheduler must learn completions in the same tick-granular
+        // groups — with the same paths still marked running in between —
+        // as the in-sim driver harvests them, or the two schedules
+        // diverge (e.g. when a measurement overruns its period, the fast
+        // path must be rescheduled while the slow one is still running).
+        if let Some(&(tick, _)) = unfed.keys().next() {
+            while let Some(entry) = unfed.first_entry() {
+                if entry.key().0 != tick {
+                    break;
+                }
+                let (_, p) = *entry.key();
+                let (at, finished, outcome) = entry.remove();
+                match outcome {
+                    Ok(est) => series[p].push(RangeSample::from_estimate(at, &est)),
+                    Err(_) => series[p].record_error(),
+                }
+                sched.on_complete(PathId(p as u32), finished);
+            }
+        }
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slops::testutil::OracleTransport;
+    use units::Rate;
+
+    fn oracle_fleet(n: usize) -> Vec<ThreadPathSpec> {
+        (0..n)
+            .map(|i| ThreadPathSpec {
+                label: format!("p{i}"),
+                cfg: SlopsConfig::default(),
+                transport: Box::new(OracleTransport::new(
+                    Rate::from_mbps(20.0 + 10.0 * i as f64),
+                    i as u64,
+                )),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oracle_fleet_converges_per_path() {
+        let sched = ScheduleConfig {
+            period: TimeNs::from_secs(30),
+            jitter: TimeNs::from_secs(2),
+            max_concurrent: 2,
+            seed: 7,
+        };
+        let series = run_fleet(
+            oracle_fleet(3),
+            &sched,
+            &SeriesConfig::default(),
+            TimeNs::from_secs(120),
+            2,
+        )
+        .unwrap();
+        assert_eq!(series.len(), 3);
+        for (i, s) in series.iter().enumerate() {
+            let want = 20.0 + 10.0 * i as f64;
+            assert!(s.len() >= 2, "path {i}: {} samples", s.len());
+            assert_eq!(s.errors(), 0);
+            for r in s.samples() {
+                assert!(
+                    r.low.mbps() <= want + 1.5 && want - 1.5 <= r.high.mbps(),
+                    "path {i}: [{}, {}] vs {want}",
+                    r.low,
+                    r.high
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wave_execution_is_deterministic() {
+        let run = |threads: usize| {
+            let sched = ScheduleConfig {
+                period: TimeNs::from_secs(20),
+                jitter: TimeNs::from_secs(1),
+                max_concurrent: 0,
+                seed: 3,
+            };
+            run_fleet(
+                oracle_fleet(4),
+                &sched,
+                &SeriesConfig::default(),
+                TimeNs::from_secs(90),
+                threads,
+            )
+            .unwrap()
+            .into_iter()
+            .map(|s| s.samples().copied().collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4), "worker count changed the series");
+    }
+
+    #[test]
+    fn bad_config_rejected_up_front() {
+        let mut paths = oracle_fleet(1);
+        paths[0].cfg.fleet_fraction = 0.1;
+        let err = run_fleet(
+            paths,
+            &ScheduleConfig::default(),
+            &SeriesConfig::default(),
+            TimeNs::from_secs(10),
+            1,
+        );
+        assert!(matches!(err, Err(SlopsError::BadConfig(_))));
+    }
+}

@@ -18,8 +18,11 @@ pub struct AppId(pub u32);
 ///
 /// The `Any` supertrait lets experiment code downcast apps back to their
 /// concrete type after a run to read out collected results
-/// (see [`crate::Simulator::app`]).
-pub trait App: Any {
+/// (see [`crate::Simulator::app`]). The `Send` supertrait keeps whole
+/// simulators movable across threads, which is what lets the batch runner
+/// and the monitoring daemon drive independent simulations on worker
+/// threads.
+pub trait App: Any + Send {
     /// A packet addressed to this application arrived.
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         let _ = (ctx, pkt);

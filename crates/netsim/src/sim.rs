@@ -50,6 +50,9 @@ impl SimCore {
 pub struct Simulator {
     core: SimCore,
     apps: Vec<Option<Box<dyn App>>>,
+    /// Apps retired with [`Simulator::remove_app`]: their slots are `None`
+    /// and events still addressed to them are silently dropped.
+    retired: Vec<bool>,
     master_rng: Prng,
     rng_streams_taken: u64,
 }
@@ -67,6 +70,7 @@ impl Simulator {
                 events_processed: 0,
             },
             apps: Vec::new(),
+            retired: Vec::new(),
             master_rng: Prng::new(seed),
             rng_streams_taken: 0,
         }
@@ -111,7 +115,25 @@ impl Simulator {
     pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
         let id = AppId(self.apps.len() as u32);
         self.apps.push(Some(app));
+        self.retired.push(false);
         id
+    }
+
+    /// Permanently retire an application, returning it for final
+    /// inspection. Events still addressed to it — packets in flight, armed
+    /// timers — are dropped on delivery, like traffic to a host that went
+    /// away. Long-running experiments (the monitoring daemon installs a
+    /// fresh session app per measurement) use this to keep the app table
+    /// from accumulating finished sessions.
+    ///
+    /// Panics if the app is currently being dispatched or was already
+    /// removed.
+    pub fn remove_app(&mut self, id: AppId) -> Box<dyn App> {
+        let app = self.apps[id.0 as usize]
+            .take()
+            .expect("app already removed or being dispatched");
+        self.retired[id.0 as usize] = true;
+        app
     }
 
     /// Downcast an application to its concrete type (panics on mismatch —
@@ -119,7 +141,7 @@ impl Simulator {
     pub fn app<T: App>(&self, id: AppId) -> &T {
         let app = self.apps[id.0 as usize]
             .as_ref()
-            .expect("app is being dispatched");
+            .expect("app is being dispatched or was removed");
         let any: &dyn Any = app.as_ref();
         any.downcast_ref::<T>().expect("app type mismatch")
     }
@@ -128,7 +150,7 @@ impl Simulator {
     pub fn app_mut<T: App>(&mut self, id: AppId) -> &mut T {
         let app = self.apps[id.0 as usize]
             .as_mut()
-            .expect("app is being dispatched");
+            .expect("app is being dispatched or was removed");
         let any: &mut dyn Any = app.as_mut();
         any.downcast_mut::<T>().expect("app type mismatch")
     }
@@ -211,6 +233,9 @@ impl Simulator {
     }
 
     fn with_app<F: FnOnce(&mut Box<dyn App>, &mut Ctx<'_>)>(&mut self, id: AppId, f: F) {
+        if self.retired[id.0 as usize] {
+            return; // stale event for a removed app: drop it
+        }
         let slot = &mut self.apps[id.0 as usize];
         let mut app = slot.take().expect("re-entrant dispatch of the same app");
         let mut ctx = Ctx {
@@ -344,6 +369,38 @@ mod tests {
         let s = sim.app::<CountingSink>(sink);
         assert_eq!(s.packets, 1);
         assert_eq!(s.last_arrival, TimeNs::from_millis(3));
+    }
+
+    #[test]
+    fn removed_apps_drop_stale_events() {
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(8.0),
+            TimeNs::from_millis(1),
+        ));
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let route = sim.route(&[l], sink);
+        // One packet in flight and one timer armed for the sink...
+        sim.inject(Packet::new(1000, FlowId(1), 0, route), TimeNs::ZERO);
+        sim.schedule_timer(sink, TimeNs::from_millis(5), 7);
+        // ...then the sink goes away before either is delivered.
+        let gone = sim.remove_app(sink);
+        let any: &dyn Any = gone.as_ref();
+        assert_eq!(any.downcast_ref::<CountingSink>().unwrap().packets, 0);
+        // Both events drain without panicking and without effect.
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        // The slot stays retired: a fresh app gets a fresh id.
+        let other = sim.add_app(Box::new(CountingSink::default()));
+        assert_ne!(other, sink);
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_remove_panics() {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let _ = sim.remove_app(sink);
+        let _ = sim.remove_app(sink);
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! (or shared!) paths — under one ordinary `run_until` loop.
 //!
 //! Timing is deliberately bit-compatible with the blocking shim: the same
-//! [lead-in](crate::transport::LEAD_IN) before the first packet, the same
-//! [completion-poll grid](crate::transport::POLL_SLICE), the same
-//! [straggler grace](crate::transport::STREAM_GRACE), the same probe flow
+//! lead-in (`LEAD_IN`) before the first packet, the same completion-poll
+//! grid (`POLL_SLICE`), the same straggler grace (`STREAM_GRACE`), the
+//! same probe flow
 //! id and payloads. For the same simulator seed and start instant, both
 //! drivers therefore inject identical packet sequences, observe identical
 //! OWDs, and report **identical estimates** — which is exactly what the

@@ -44,7 +44,8 @@ pub use clock::ClockModel;
 pub use driver::{install_session, install_session_at, run_session, SessionApp};
 pub use receiver::ProbeReceiver;
 pub use scenarios::{
-    multiplexing_path, reverse_loaded_path, verification_path, verification_path_with_window,
-    PaperPath, PaperPathConfig,
+    build_disjoint_paths, multiplexing_path, reverse_loaded_path, shared_tight_link,
+    step_link_load, verification_path, verification_path_with_window, PaperPath, PaperPathConfig,
+    SharedTightLink, SharedTightLinkConfig,
 };
 pub use transport::SimTransport;

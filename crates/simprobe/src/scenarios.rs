@@ -84,13 +84,17 @@ pub fn path_avail_bw(loads: &[LinkLoad]) -> Rate {
         .expect("non-empty path")
 }
 
-/// Build a loaded chain and return its probe transport.
-///
-/// The reverse path mirrors the forward capacities but carries no cross
-/// traffic (the paper's experiments only load the forward direction).
-pub fn build_loaded_path(loads: &[LinkLoad], opts: &PathOpts, seed: u64) -> SimTransport {
+/// Build one loaded chain **inside an existing simulator**: links, cross
+/// traffic per hop, and a cross-traffic sink — no warm-up, no transport.
+/// Link names get `name_prefix` prepended so multi-path simulations stay
+/// readable. The multi-path builders and [`build_loaded_path`] share this.
+pub fn attach_loaded_chain(
+    sim: &mut Simulator,
+    loads: &[LinkLoad],
+    opts: &PathOpts,
+    name_prefix: &str,
+) -> Chain {
     assert!(!loads.is_empty());
-    let mut sim = Simulator::new(seed);
     let forward: Vec<LinkConfig> = loads
         .iter()
         .enumerate()
@@ -98,29 +102,163 @@ pub fn build_loaded_path(loads: &[LinkLoad], opts: &PathOpts, seed: u64) -> SimT
             LinkConfig::new(l.capacity, opts.prop_per_hop)
                 .with_queue_limit(opts.queue_limit)
                 .with_monitor_window(opts.monitor_window)
-                .with_name(format!("hop{i}"))
+                .with_name(format!("{name_prefix}hop{i}"))
         })
         .collect();
-    let chain = Chain::build(&mut sim, &ChainConfig::symmetric(forward));
+    let chain = Chain::build(sim, &ChainConfig::symmetric(forward));
     let cross_sink = sim.add_app(Box::new(CountingSink::default()));
     for (hop, load) in loads.iter().enumerate() {
         if load.util <= 0.0 {
             continue;
         }
         let rate = load.capacity * load.util;
-        let route = chain.hop_route(&sim, hop, cross_sink);
+        let route = chain.hop_route(sim, hop, cross_sink);
         match &load.model {
             TrafficModel::Renewal(cfg) => {
-                attach_sources(&mut sim, route, rate, load.n_sources, cfg);
+                attach_sources(sim, route, rate, load.n_sources, cfg);
             }
             TrafficModel::ParetoOnOff => {
-                attach_onoff_sources(&mut sim, route, rate, load.n_sources);
+                attach_onoff_sources(sim, route, rate, load.n_sources);
             }
         }
     }
+    chain
+}
+
+/// Build a loaded chain and return its probe transport.
+///
+/// The reverse path mirrors the forward capacities but carries no cross
+/// traffic (the paper's experiments only load the forward direction).
+pub fn build_loaded_path(loads: &[LinkLoad], opts: &PathOpts, seed: u64) -> SimTransport {
+    let mut sim = Simulator::new(seed);
+    let chain = attach_loaded_chain(&mut sim, loads, opts, "");
     let receiver = sim.add_app(Box::new(ProbeReceiver::default()));
     sim.run_until(opts.warmup);
     SimTransport::new(sim, chain, receiver)
+}
+
+/// Build `paths.len()` **disjoint** loaded chains inside one simulator —
+/// the multi-path monitoring substrate: one in-sim measurement session per
+/// chain, all under a single event loop. Applies `opts.warmup` once after
+/// all paths are built. Path `i`'s links are named `p{i}hop{j}`.
+pub fn build_disjoint_paths(
+    sim: &mut Simulator,
+    paths: &[Vec<LinkLoad>],
+    opts: &PathOpts,
+) -> Vec<Chain> {
+    let chains: Vec<Chain> = paths
+        .iter()
+        .enumerate()
+        .map(|(i, loads)| attach_loaded_chain(sim, loads, opts, &format!("p{i}")))
+        .collect();
+    let warm_until = sim.now() + opts.warmup;
+    sim.run_until(warm_until);
+    chains
+}
+
+/// A set of paths sharing one **tight link** (§VI cross-traffic dynamics):
+/// path `i` is `access_i → tight → egress_i`. All cross traffic rides the
+/// tight link, so concurrent probe streams on different paths interfere
+/// there — exactly the self-interference a monitoring scheduler's
+/// concurrency cap exists to avoid.
+pub struct SharedTightLink {
+    /// One chain per path; every `forward[1]` is the same tight link.
+    pub chains: Vec<Chain>,
+    /// The shared tight link.
+    pub tight: LinkId,
+    /// Sink of the tight-link cross traffic (reusable for load steps).
+    pub cross_sink: netsim::AppId,
+}
+
+/// Configuration for [`shared_tight_link`].
+#[derive(Clone, Debug)]
+pub struct SharedTightLinkConfig {
+    /// Number of paths through the tight link.
+    pub paths: usize,
+    /// The shared tight link's capacity, load and traffic model.
+    pub tight: LinkLoad,
+    /// Capacity of each path's private access/egress links.
+    pub edge_capacity: Rate,
+    /// Propagation delay per hop.
+    pub prop_per_hop: TimeNs,
+    /// Warm-up simulated after construction.
+    pub warmup: TimeNs,
+}
+
+impl Default for SharedTightLinkConfig {
+    fn default() -> Self {
+        SharedTightLinkConfig {
+            paths: 2,
+            tight: LinkLoad::pareto(Rate::from_mbps(10.0), 0.20, 10),
+            edge_capacity: Rate::from_mbps(100.0),
+            prop_per_hop: TimeNs::from_millis(10),
+            warmup: TimeNs::from_secs(2),
+        }
+    }
+}
+
+/// Build the shared-tight-link topology inside `sim` and warm it up.
+pub fn shared_tight_link(sim: &mut Simulator, cfg: &SharedTightLinkConfig) -> SharedTightLink {
+    assert!(cfg.paths > 0, "need at least one path");
+    let edge = |name: String| LinkConfig::new(cfg.edge_capacity, cfg.prop_per_hop).with_name(name);
+    let tight = sim.add_link(
+        LinkConfig::new(cfg.tight.capacity, cfg.prop_per_hop).with_name("tight".to_string()),
+    );
+    let mut chains = Vec::with_capacity(cfg.paths);
+    for i in 0..cfg.paths {
+        let access = sim.add_link(edge(format!("p{i}access")));
+        let egress = sim.add_link(edge(format!("p{i}egress")));
+        // Private mirrored reverse path (control/ACK direction; unloaded).
+        let rev: Vec<LinkId> = [
+            edge(format!("p{i}rev0")),
+            LinkConfig::new(cfg.tight.capacity, cfg.prop_per_hop).with_name(format!("p{i}rev1")),
+            edge(format!("p{i}rev2")),
+        ]
+        .into_iter()
+        .map(|lc| sim.add_link(lc))
+        .collect();
+        chains.push(Chain {
+            forward: vec![access, tight, egress],
+            reverse: rev,
+        });
+    }
+    let cross_sink = sim.add_app(Box::new(CountingSink::default()));
+    if cfg.tight.util > 0.0 {
+        let rate = cfg.tight.capacity * cfg.tight.util;
+        let route = sim.route(&[tight], cross_sink);
+        match &cfg.tight.model {
+            TrafficModel::Renewal(src) => {
+                attach_sources(sim, route, rate, cfg.tight.n_sources, src);
+            }
+            TrafficModel::ParetoOnOff => {
+                attach_onoff_sources(sim, route, rate, cfg.tight.n_sources);
+            }
+        }
+    }
+    let warm_until = sim.now() + cfg.warmup;
+    sim.run_until(warm_until);
+    SharedTightLink {
+        chains,
+        tight,
+        cross_sink,
+    }
+}
+
+/// Step a link's load **mid-run** by attaching `n_sources` additional
+/// renewal sources totalling `extra_rate`, sinking into `sink` — the §VI
+/// scenario where the avail-bw shifts under a running monitor. Works on
+/// any link of any topology ([`SharedTightLink`] exposes `tight` and
+/// `cross_sink` for exactly this). Returns the new source app ids.
+pub fn step_link_load(
+    sim: &mut Simulator,
+    link: LinkId,
+    sink: netsim::AppId,
+    extra_rate: Rate,
+    n_sources: usize,
+    src: &SourceConfig,
+) -> Vec<netsim::AppId> {
+    let route = sim.route(&[link], sink);
+    attach_sources(sim, route, extra_rate, n_sources, src)
 }
 
 /// Configuration of the paper's default simulation topology (Fig. 4):
@@ -420,6 +558,71 @@ mod tests {
             (util - 0.60).abs() < 0.05,
             "tight-link utilization {util}, want ~0.60"
         );
+    }
+
+    #[test]
+    fn disjoint_paths_are_independent_and_loaded() {
+        use slops::ProbeTransport;
+        let mut sim = Simulator::new(11);
+        let paths = vec![
+            vec![LinkLoad::pareto(Rate::from_mbps(10.0), 0.4, 5); 2],
+            vec![LinkLoad::pareto(Rate::from_mbps(20.0), 0.2, 5); 2],
+        ];
+        let opts = PathOpts::default();
+        let chains = build_disjoint_paths(&mut sim, &paths, &opts);
+        assert_eq!(chains.len(), 2);
+        // No link is shared between the two paths.
+        for a in chains[0].forward.iter().chain(&chains[0].reverse) {
+            assert!(!chains[1].forward.contains(a) && !chains[1].reverse.contains(a));
+        }
+        // Each path carries its own configured load.
+        sim.run_until(sim.now() + TimeNs::from_secs(20));
+        let elapsed = sim.now();
+        let u0 = sim.link(chains[0].forward[0]).stats.utilization(elapsed);
+        let u1 = sim.link(chains[1].forward[0]).stats.utilization(elapsed);
+        assert!((u0 - 0.4).abs() < 0.08, "path 0 util {u0}");
+        assert!((u1 - 0.2).abs() < 0.08, "path 1 util {u1}");
+        // The refactor kept the single-path builder byte-compatible.
+        let mut t = build_loaded_path(&paths[0], &opts, 3);
+        t.idle(TimeNs::from_secs(5));
+        assert!(t.elapsed() >= TimeNs::from_secs(5));
+    }
+
+    #[test]
+    fn shared_tight_link_shares_exactly_one_link() {
+        let mut sim = Simulator::new(12);
+        let cfg = SharedTightLinkConfig {
+            paths: 3,
+            ..SharedTightLinkConfig::default()
+        };
+        let shared = shared_tight_link(&mut sim, &cfg);
+        assert_eq!(shared.chains.len(), 3);
+        for c in &shared.chains {
+            assert_eq!(c.forward[1], shared.tight);
+        }
+        // Private edges are not shared across paths.
+        for (i, a) in shared.chains.iter().enumerate() {
+            for b in shared.chains.iter().skip(i + 1) {
+                assert_ne!(a.forward[0], b.forward[0]);
+                assert_ne!(a.forward[2], b.forward[2]);
+            }
+        }
+        // The tight link carries ~20% load; a mid-run step raises it.
+        sim.run_until(sim.now() + TimeNs::from_secs(20));
+        let u = sim.link(shared.tight).stats.utilization(sim.now());
+        assert!((u - 0.20).abs() < 0.06, "tight util {u}");
+        step_link_load(
+            &mut sim,
+            shared.tight,
+            shared.cross_sink,
+            Rate::from_mbps(4.0),
+            5,
+            &SourceConfig::paper_pareto(),
+        );
+        let t_step = sim.now();
+        sim.run_until(t_step + TimeNs::from_secs(20));
+        let win = sim.link(shared.tight).stats.utilization(sim.now());
+        assert!(win > 0.30, "stepped util {win} should exceed 30%");
     }
 
     #[test]

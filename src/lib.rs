@@ -14,6 +14,9 @@
 //! * [`tcpsim`] — TCP Reno over the simulator (BTC experiments, §VII).
 //! * [`fluid`] — the analytic fluid model from the paper's Appendix.
 //! * [`simprobe`] — `ProbeTransport` over the simulator + paper scenarios.
+//! * [`monitord`] — multi-path monitoring daemon: staggered fleet
+//!   scheduling, per-path ring-buffer series with change detection,
+//!   in-sim and thread-backed drivers, JSONL export (§I, §VI, §IX).
 //! * [`baselines`] — cprobe/packet-train (ADR) and TOPP baselines.
 //! * [`pathload_net`] — pathload over real UDP/TCP sockets.
 //! * [`units`] — shared time/rate newtypes and statistics helpers.
@@ -37,6 +40,7 @@
 
 pub use baselines;
 pub use fluid;
+pub use monitord;
 pub use netsim;
 pub use pathload_net;
 pub use simprobe;
