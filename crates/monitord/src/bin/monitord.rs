@@ -1,0 +1,193 @@
+//! `monitord` — the multi-path avail-bw monitoring daemon over real
+//! sockets.
+//!
+//! ```text
+//! monitord <config-file>          monitor the fleet described by the file
+//! monitord --loopback <n> [horizon_s]
+//!                                 self-test: monitor n in-process loopback
+//!                                 receivers for horizon_s (default 8) s
+//! ```
+//!
+//! The config format is documented in `monitord::config` (and in the
+//! README's "Running monitord" section): `path <label> <host:port>` lines
+//! naming `pathload_rcv` receivers, plus scheduling, series, probing, and
+//! output knobs.
+//!
+//! Output is JSON lines: one `sample` record per finished measurement and
+//! one `change` record per flagged avail-bw shift, streamed as they
+//! happen; one `summary` record per path when the horizon is reached.
+//! Failed measurements are logged to stderr and counted in the summary. A
+//! human-readable fleet digest also goes to stderr at the end, so piping
+//! stdout to a file or `jq` stays clean.
+
+use monitord::export::{change_line, fleet_summary, sample_line, summary_line};
+use monitord::{run_socket_fleet, DaemonConfig, FleetEvent, SocketPathSpec};
+use pathload_net::Receiver;
+use std::fs;
+use std::io::{self, Write};
+use std::net::ToSocketAddrs;
+use std::process::exit;
+use std::thread;
+use units::{Rate, TimeNs};
+
+const USAGE: &str = "\
+usage: monitord <config-file>
+       monitord --loopback <n-paths> [horizon-s]
+
+Monitors N network paths by periodic pathload measurements against
+pathload_rcv receivers, emitting JSONL sample/change/summary records to
+stdout (or the file named by the config's `out`). --loopback runs a
+seconds-bounded self-test against in-process receivers.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return;
+        }
+        Some("--loopback") => run_loopback(&args[1..]),
+        Some(path) if args.len() == 1 => run_from_file(path),
+        _ => {
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    };
+    if let Err(msg) = result {
+        eprintln!("monitord: {msg}");
+        exit(1);
+    }
+}
+
+fn run_from_file(path: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cfg = DaemonConfig::parse(&text).map_err(|e| e.to_string())?;
+    let mut specs = Vec::with_capacity(cfg.paths.len());
+    for p in &cfg.paths {
+        let addr = p
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("path {}: cannot resolve {}: {e}", p.label, p.addr))?
+            .next()
+            .ok_or_else(|| format!("path {}: {} resolves to nothing", p.label, p.addr))?;
+        specs.push(SocketPathSpec {
+            label: p.label.clone(),
+            ctrl_addr: addr,
+            cfg: cfg.probe.clone(),
+            rate_cap: cfg.rate_cap,
+        });
+    }
+    monitor(&cfg, specs)
+}
+
+/// Self-test mode: spawn `n` in-process loopback receivers and monitor
+/// them with gentle, seconds-scale settings. The "avail-bw" of loopback is
+/// meaningless (no FIFO bottleneck) — the point is the whole daemon stack
+/// running end to end on a real network stack, bounded in time.
+fn run_loopback(args: &[String]) -> Result<(), String> {
+    let n: usize = args
+        .first()
+        .ok_or_else(|| format!("--loopback wants a path count\n{USAGE}"))?
+        .parse()
+        .ok()
+        .filter(|&n| (1..=64).contains(&n))
+        .ok_or("path count must be an integer in 1..=64")?;
+    let horizon_s: f64 = match args.get(1) {
+        None => 8.0,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&s| s > 0.0 && s <= 3600.0)
+            .ok_or("horizon must be seconds in (0, 3600]")?,
+    };
+
+    let mut cfg = DaemonConfig::default();
+    cfg.horizon = TimeNs::from_secs_f64(horizon_s);
+    cfg.schedule.period = TimeNs::from_secs(2);
+    cfg.schedule.jitter = TimeNs::from_millis(200);
+    cfg.schedule.max_concurrent = 1; // loopback paths share the host
+    cfg.series.window = TimeNs::from_secs(4);
+    cfg.rate_cap = Some(Rate::from_mbps(40.0));
+    // Gentle probing so one measurement lasts ~a second on a shared box.
+    cfg.probe.stream_len = 30;
+    cfg.probe.fleet_len = 4;
+    cfg.probe.min_period = TimeNs::from_millis(1);
+    cfg.probe.resolution = Rate::from_mbps(8.0);
+    cfg.probe.grey_resolution = Rate::from_mbps(16.0);
+    cfg.probe.max_fleets = 6;
+
+    let mut specs = Vec::with_capacity(n);
+    let mut servers = Vec::with_capacity(n);
+    for i in 0..n {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap())
+            .map_err(|e| format!("cannot bind a loopback receiver: {e}"))?;
+        specs.push(SocketPathSpec {
+            label: format!("lo{i}"),
+            ctrl_addr: rx.ctrl_addr(),
+            cfg: cfg.probe.clone(),
+            rate_cap: cfg.rate_cap,
+        });
+        // One long-lived sender connection per path; serve_one returns
+        // when the fleet drops its transports.
+        servers.push(thread::spawn(move || rx.serve_one()));
+    }
+    eprintln!("monitord: loopback self-test, {n} path(s), {horizon_s} s horizon");
+    monitor(&cfg, specs)?;
+    for s in servers {
+        s.join()
+            .map_err(|_| "receiver thread panicked".to_string())?
+            .map_err(|e| format!("receiver failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Run the fleet, streaming JSONL records to the configured sink.
+fn monitor(cfg: &DaemonConfig, specs: Vec<SocketPathSpec>) -> Result<(), String> {
+    let mut sink: Box<dyn Write> = match &cfg.out {
+        None => Box::new(io::stdout()),
+        Some(path) => Box::new(io::BufWriter::new(
+            fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+    };
+    // A daemon whose sink is gone (closed pipe, full disk) cannot usefully
+    // continue; bail out of the whole process from inside the observer.
+    let mut emit = move |line: String| {
+        if writeln!(sink, "{line}")
+            .and_then(|()| sink.flush())
+            .is_err()
+        {
+            eprintln!("monitord: output sink failed, stopping");
+            exit(1);
+        }
+    };
+
+    let series = run_socket_fleet(
+        specs,
+        &cfg.schedule,
+        &cfg.series,
+        cfg.horizon,
+        cfg.threads,
+        |ev| match ev {
+            FleetEvent::Sample {
+                path,
+                label,
+                sample,
+            } => emit(sample_line(path, label, &sample)),
+            FleetEvent::Change {
+                path,
+                label,
+                change,
+            } => emit(change_line(path, label, &change)),
+            FleetEvent::Failed { path, label, error } => {
+                eprintln!("monitord: measurement {path} ({label}) failed: {error}");
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    for (p, s) in series.iter().enumerate() {
+        emit(summary_line(p, s));
+    }
+    eprint!("{}", fleet_summary(&series));
+    Ok(())
+}

@@ -1,0 +1,322 @@
+//! The `monitord` daemon configuration: a tiny line-based format.
+//!
+//! One directive per line, `key value...`; `#` starts a comment. The
+//! format is hand-rolled for the same reason the JSONL encoder is: the
+//! workspace is offline, records are flat, and a config framework would
+//! be its only external dependency.
+//!
+//! ```text
+//! # paths to monitor: `path <label> <receiver host:port>`
+//! path atl-gru 192.0.2.7:9100
+//! path atl-fra 198.51.100.3:9100
+//!
+//! period_s 30          # start-to-start spacing per path
+//! jitter_s 2           # random addition to each path's initial offset
+//! max_concurrent 1     # probe streams in flight at once (0 = unlimited)
+//! window_s 300         # tumbling window of the change detector
+//! capacity 4096        # ring-buffer samples kept per path (0 = unbounded)
+//! horizon_s 3600       # stop issuing measurements after this long
+//! threads 0            # worker threads (0 = one per CPU)
+//! out -                # JSONL sink: `-` for stdout, else a file path
+//! rate_cap_mbps 80     # pacing ceiling of the sender transports
+//!
+//! # probing knobs (defaults are the paper's; override for gentle paths)
+//! stream_len 100
+//! fleet_len 12
+//! min_period_us 100
+//! resolution_mbps 1
+//! grey_resolution_mbps 2
+//! max_fleets 64
+//! ```
+//!
+//! Unknown keys are errors (they are invariably typos), as are missing
+//! `path` lines. Parsing does not resolve addresses — the binary resolves
+//! each path's `host:port` when it connects, so a config referencing a
+//! currently-unresolvable host still parses.
+
+use crate::scheduler::ScheduleConfig;
+use crate::store::SeriesConfig;
+use core::fmt;
+use slops::SlopsConfig;
+use units::{Rate, TimeNs};
+
+/// One `path` directive: a label and an unresolved `host:port`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathEntry {
+    /// Label carried into the series and every JSONL record.
+    pub label: String,
+    /// The path's `pathload_rcv` control address (resolved at connect).
+    pub addr: String,
+}
+
+/// A parsed `monitord` configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// The monitored paths, in file order.
+    pub paths: Vec<PathEntry>,
+    /// Fleet scheduling knobs (period, jitter, concurrency cap, seed).
+    pub schedule: ScheduleConfig,
+    /// Per-path series knobs (ring capacity, change-detector window).
+    pub series: SeriesConfig,
+    /// Stop issuing new measurements this long after the fleet connects.
+    pub horizon: TimeNs,
+    /// Worker threads per measurement wave (0 = one per CPU).
+    pub threads: usize,
+    /// JSONL sink: `None` for stdout, `Some(path)` for a file.
+    pub out: Option<String>,
+    /// Probing configuration applied to every path.
+    pub probe: SlopsConfig,
+    /// Pacing ceiling of the sender transports, if overridden.
+    pub rate_cap: Option<Rate>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            paths: Vec::new(),
+            schedule: ScheduleConfig::default(),
+            series: SeriesConfig::default(),
+            horizon: TimeNs::from_secs(3600),
+            threads: 0,
+            out: None,
+            probe: SlopsConfig::default(),
+            rate_cap: None,
+        }
+    }
+}
+
+/// A rejected configuration line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number of the offending directive.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl DaemonConfig {
+    /// Parse a configuration from the line-based format above.
+    pub fn parse(text: &str) -> Result<DaemonConfig, ConfigError> {
+        let mut cfg = DaemonConfig::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let err = |msg: String| ConfigError { line: lineno, msg };
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let key = tokens.next().expect("non-empty line has a first token");
+            let rest: Vec<&str> = tokens.collect();
+            let one = || -> Result<&str, ConfigError> {
+                match rest.as_slice() {
+                    [v] => Ok(v),
+                    _ => Err(err(format!("`{key}` wants exactly one value"))),
+                }
+            };
+            match key {
+                "path" => match rest.as_slice() {
+                    [label, addr] => {
+                        if cfg.paths.iter().any(|p| p.label == *label) {
+                            return Err(err(format!("duplicate path label {label:?}")));
+                        }
+                        // A receiver serves one control connection at a
+                        // time, so two paths sharing an address would
+                        // stall at connect; reject it here, where the
+                        // diagnosis is cheap and names the directive.
+                        if cfg.paths.iter().any(|p| p.addr == *addr) {
+                            return Err(err(format!(
+                                "duplicate receiver address {addr} (one pathload_rcv \
+                                 serves one path; give each path its own port)"
+                            )));
+                        }
+                        cfg.paths.push(PathEntry {
+                            label: (*label).to_string(),
+                            addr: (*addr).to_string(),
+                        });
+                    }
+                    _ => return Err(err("`path` wants `<label> <host:port>`".into())),
+                },
+                "period_s" => cfg.schedule.period = secs(key, one()?, lineno)?,
+                "jitter_s" => cfg.schedule.jitter = secs(key, one()?, lineno)?,
+                "max_concurrent" => cfg.schedule.max_concurrent = int(key, one()?, lineno)?,
+                "seed" => cfg.schedule.seed = int(key, one()?, lineno)?,
+                "window_s" => cfg.series.window = secs(key, one()?, lineno)?,
+                "capacity" => cfg.series.capacity = int(key, one()?, lineno)?,
+                "horizon_s" => cfg.horizon = secs(key, one()?, lineno)?,
+                "threads" => cfg.threads = int(key, one()?, lineno)?,
+                "out" => {
+                    let v = one()?;
+                    cfg.out = if v == "-" { None } else { Some(v.to_string()) };
+                }
+                "rate_cap_mbps" => {
+                    cfg.rate_cap = Some(Rate::from_mbps(float(key, one()?, lineno)?))
+                }
+                "stream_len" => cfg.probe.stream_len = int(key, one()?, lineno)?,
+                "fleet_len" => cfg.probe.fleet_len = int(key, one()?, lineno)?,
+                "min_period_us" => {
+                    cfg.probe.min_period = TimeNs::from_micros(int(key, one()?, lineno)?)
+                }
+                "resolution_mbps" => {
+                    cfg.probe.resolution = Rate::from_mbps(float(key, one()?, lineno)?)
+                }
+                "grey_resolution_mbps" => {
+                    cfg.probe.grey_resolution = Rate::from_mbps(float(key, one()?, lineno)?)
+                }
+                "max_fleets" => cfg.probe.max_fleets = int(key, one()?, lineno)?,
+                other => return Err(err(format!("unknown directive `{other}`"))),
+            }
+        }
+        if cfg.paths.is_empty() {
+            return Err(ConfigError {
+                line: 0,
+                msg: "no `path` directives: nothing to monitor".into(),
+            });
+        }
+        if cfg.horizon.is_zero() {
+            return Err(ConfigError {
+                line: 0,
+                msg: "horizon_s must be positive".into(),
+            });
+        }
+        cfg.probe.validate().map_err(|msg| ConfigError {
+            line: 0,
+            msg: format!("probing configuration rejected: {msg}"),
+        })?;
+        Ok(cfg)
+    }
+}
+
+fn float(key: &str, v: &str, line: usize) -> Result<f64, ConfigError> {
+    match v.parse::<f64>() {
+        Ok(x) if x.is_finite() && x >= 0.0 => Ok(x),
+        _ => Err(ConfigError {
+            line,
+            msg: format!("`{key}` wants a non-negative number, got {v:?}"),
+        }),
+    }
+}
+
+fn secs(key: &str, v: &str, line: usize) -> Result<TimeNs, ConfigError> {
+    Ok(TimeNs::from_secs_f64(float(key, v, line)?))
+}
+
+fn int<T: TryFrom<u64>>(key: &str, v: &str, line: usize) -> Result<T, ConfigError> {
+    v.parse::<u64>()
+        .ok()
+        .and_then(|x| T::try_from(x).ok())
+        .ok_or_else(|| ConfigError {
+            line,
+            msg: format!("`{key}` wants a non-negative integer, got {v:?}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# a fleet of two
+path a 127.0.0.1:9100   # trailing comment
+path b 127.0.0.1:9101
+
+period_s 12.5
+jitter_s 0.5
+max_concurrent 2
+seed 99
+window_s 60
+capacity 128
+horizon_s 120
+threads 3
+out /tmp/fleet.jsonl
+rate_cap_mbps 40
+stream_len 50
+min_period_us 500
+resolution_mbps 4
+grey_resolution_mbps 8
+max_fleets 16
+";
+
+    #[test]
+    fn full_config_round_trips() {
+        let cfg = DaemonConfig::parse(GOOD).unwrap();
+        assert_eq!(cfg.paths.len(), 2);
+        assert_eq!(cfg.paths[0].label, "a");
+        assert_eq!(cfg.paths[1].addr, "127.0.0.1:9101");
+        assert_eq!(cfg.schedule.period, TimeNs::from_secs_f64(12.5));
+        assert_eq!(cfg.schedule.jitter, TimeNs::from_secs_f64(0.5));
+        assert_eq!(cfg.schedule.max_concurrent, 2);
+        assert_eq!(cfg.schedule.seed, 99);
+        assert_eq!(cfg.series.window, TimeNs::from_secs(60));
+        assert_eq!(cfg.series.capacity, 128);
+        assert_eq!(cfg.horizon, TimeNs::from_secs(120));
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.out.as_deref(), Some("/tmp/fleet.jsonl"));
+        assert_eq!(cfg.rate_cap.unwrap().mbps(), 40.0);
+        assert_eq!(cfg.probe.stream_len, 50);
+        assert_eq!(cfg.probe.min_period, TimeNs::from_micros(500));
+        assert_eq!(cfg.probe.max_fleets, 16);
+    }
+
+    #[test]
+    fn defaults_fill_the_gaps() {
+        let cfg = DaemonConfig::parse("path p 10.0.0.1:9100\n").unwrap();
+        assert_eq!(cfg.schedule.period, ScheduleConfig::default().period);
+        assert_eq!(cfg.horizon, TimeNs::from_secs(3600));
+        assert!(cfg.out.is_none());
+        assert!(cfg.rate_cap.is_none());
+    }
+
+    #[test]
+    fn out_dash_means_stdout() {
+        let cfg = DaemonConfig::parse("path p 10.0.0.1:9100\nout -\n").unwrap();
+        assert!(cfg.out.is_none());
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_position() {
+        for (text, needle) in [
+            ("path p 1.2.3.4:9100\nbogus 3\n", "unknown directive"),
+            ("path p\n", "`path` wants"),
+            (
+                "path p 1.2.3.4:1\npath p 1.2.3.4:2\n",
+                "duplicate path label",
+            ),
+            (
+                "path a 1.2.3.4:9100\npath b 1.2.3.4:9100\n",
+                "duplicate receiver address",
+            ),
+            ("path p 1.2.3.4:1\nperiod_s fast\n", "non-negative number"),
+            ("path p 1.2.3.4:1\nthreads -2\n", "non-negative integer"),
+            ("path p 1.2.3.4:1\nperiod_s 1 2\n", "exactly one value"),
+            ("", "no `path` directives"),
+            (
+                "path p 1.2.3.4:1\nhorizon_s 0\n",
+                "horizon_s must be positive",
+            ),
+        ] {
+            let err = DaemonConfig::parse(text).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?} => {err} (wanted {needle:?})"
+            );
+        }
+        // The error names the offending line.
+        let err = DaemonConfig::parse("path p 1.2.3.4:9100\n\nbogus 3\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn invalid_probe_config_is_rejected() {
+        let err = DaemonConfig::parse("path p 1.2.3.4:1\nstream_len 0\n").unwrap_err();
+        assert!(err.to_string().contains("probing configuration rejected"));
+    }
+}

@@ -22,12 +22,23 @@
 //!   `simprobe::SessionApp`.
 //! * [`thread`] — the thread-backed driver: blocking transports (sockets,
 //!   simulator shims, the test oracle) measured in concurrent waves on the
-//!   `slops::runner` pool.
+//!   `slops::runner` pool, with a live [`FleetEvent`] observer hook.
+//! * [`socket`] — the socket-backed driver: real paths probed over
+//!   `pathload-net` UDP/TCP transports (one long-lived connection per
+//!   path, all sharing a clock epoch), through the same scheduler.
+//! * [`config`] — the `monitord` binary's line-based configuration.
 //! * [`export`] — JSON-lines daemon output and a human fleet summary.
 //!
-//! Both drivers take decisions from the same scheduler, so on independent
-//! paths they produce identical per-path series for the same seeds — the
-//! fleet-level extension of the repo's driver-equivalence invariant.
+//! All drivers take decisions from the same scheduler, so on independent
+//! paths the deterministic ones produce identical per-path series for the
+//! same seeds — the fleet-level extension of the repo's driver-equivalence
+//! invariant.
+//!
+//! The runnable daemon is the `monitord` binary
+//! (`crates/monitord/src/bin/monitord.rs`): point it at a config file
+//! listing `pathload_rcv` receivers and it streams the JSONL records of
+//! [`export`] to stdout or a file; `monitord --loopback N` demonstrates
+//! the whole stack against in-process receivers.
 //!
 //! ```
 //! use monitord::{run_fleet, ScheduleConfig, SeriesConfig, ThreadPathSpec};
@@ -62,14 +73,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod export;
 pub mod scheduler;
 pub mod sim;
+pub mod socket;
 pub mod store;
 pub mod thread;
 
+pub use config::{ConfigError, DaemonConfig, PathEntry};
 pub use export::{fleet_summary, write_fleet_jsonl};
 pub use scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
 pub use sim::{SimFleetMonitor, SimPathSpec};
-pub use store::{ChangeDirection, ChangeEvent, PathSeries, SeriesConfig};
-pub use thread::{run_fleet, ThreadPathSpec};
+pub use socket::{connect_fleet, run_socket_fleet, SocketPathSpec};
+pub use store::{ChangeCursor, ChangeDirection, ChangeEvent, PathSeries, SeriesConfig};
+pub use thread::{run_fleet, run_fleet_with, FleetEvent, ThreadPathSpec};

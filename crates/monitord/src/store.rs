@@ -57,6 +57,39 @@ pub struct ChangeEvent {
     pub direction: ChangeDirection,
 }
 
+/// Tracks which flagged changes of a path have already been streamed, so
+/// a live consumer sees each change exactly once.
+///
+/// [`PathSeries::changes`] is recomputed from the retained samples, and
+/// ring-buffer eviction can *shrink* it (dropped leading windows take
+/// their changes with them) — so "how many have I seen" is not a usable
+/// cursor. Change instants are, because they are monotonic per path:
+/// windows fill in sample-start order, so every newly visible change is
+/// at a strictly later window boundary than all previously visible ones.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChangeCursor {
+    /// Instant of the latest change handed out.
+    last_at: TimeNs,
+}
+
+impl ChangeCursor {
+    /// A cursor that has seen nothing.
+    pub fn new() -> ChangeCursor {
+        ChangeCursor::default()
+    }
+
+    /// The not-yet-seen suffix of `changes` (which [`PathSeries::changes`]
+    /// returns sorted by instant), advancing the cursor past it.
+    pub fn fresh<'a>(&mut self, changes: &'a [ChangeEvent]) -> &'a [ChangeEvent] {
+        let start = changes.partition_point(|c| c.at <= self.last_at);
+        let fresh = &changes[start..];
+        if let Some(last) = fresh.last() {
+            self.last_at = last.at;
+        }
+        fresh
+    }
+}
+
 /// A bounded avail-bw time series for one monitored path.
 #[derive(Clone, Debug)]
 pub struct PathSeries {
@@ -283,6 +316,39 @@ mod tests {
         assert_eq!(windows.len(), 1, "incomplete window must be dropped");
         assert_eq!(windows[0].from, TimeNs::from_secs(30));
         assert!(s.changes().is_empty());
+    }
+
+    /// Regression: a count-based "changes already streamed" cursor goes
+    /// permanently silent once eviction shrinks `changes()`; the
+    /// instant-based [`ChangeCursor`] must keep emitting.
+    #[test]
+    fn change_cursor_survives_eviction_shrinking_the_list() {
+        let mut s = series(5, 30);
+        let mut cursor = ChangeCursor::new();
+        // Window [0, 30) at [7, 9], window [30, 60) at [3, 4]: change A.
+        s.push(sample(0, 7.0, 9.0));
+        s.push(sample(10, 7.0, 9.0));
+        s.push(sample(30, 3.0, 4.0));
+        s.push(sample(40, 3.0, 4.0));
+        let fresh: Vec<ChangeEvent> = cursor.fresh(&s.changes()).to_vec();
+        assert_eq!(fresh.len(), 1, "change A must stream");
+        assert_eq!(fresh[0].at, TimeNs::from_secs(30));
+        // Nothing new on re-poll.
+        assert!(cursor.fresh(&s.changes()).is_empty());
+        // More [3, 4] samples evict the first window: changes() shrinks
+        // to empty (A's windows are gone).
+        s.push(sample(60, 3.0, 4.0));
+        s.push(sample(70, 3.0, 4.0));
+        assert!(s.changes().is_empty(), "A must vanish with its windows");
+        assert!(cursor.fresh(&s.changes()).is_empty());
+        // A step back up creates change B — at index 0 of the (rebuilt)
+        // list, i.e. *below* where a count cursor would resume.
+        s.push(sample(90, 8.0, 10.0));
+        let changes = s.changes();
+        let fresh = cursor.fresh(&changes);
+        assert_eq!(fresh.len(), 1, "change B must still stream: {changes:?}");
+        assert_eq!(fresh[0].at, TimeNs::from_secs(90));
+        assert_eq!(fresh[0].direction, ChangeDirection::Up);
     }
 
     #[test]

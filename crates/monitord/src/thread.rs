@@ -21,7 +21,7 @@
 //! the stagger and cap remain, the precise grid does not.
 
 use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
-use crate::store::{PathSeries, SeriesConfig};
+use crate::store::{ChangeCursor, ChangeEvent, PathSeries, SeriesConfig};
 use slops::runner::run_parallel;
 use slops::series::RangeSample;
 use slops::{Estimate, ProbeTransport, Session, SlopsConfig, SlopsError};
@@ -40,6 +40,47 @@ pub struct ThreadPathSpec {
     pub transport: Box<dyn ProbeTransport + Send>,
 }
 
+/// A live notification from a running fleet, streamed to the observer of
+/// [`run_fleet_with`] as completions are fed to the scheduler (in the same
+/// tick-granular order the series are built in).
+#[derive(Debug)]
+pub enum FleetEvent<'a> {
+    /// A measurement finished; `sample` was just appended to the path's
+    /// series.
+    Sample {
+        /// Index of the path within the fleet.
+        path: usize,
+        /// The path's label.
+        label: &'a str,
+        /// The stored range sample.
+        sample: RangeSample,
+    },
+    /// A measurement failed; the error was counted on the path's series
+    /// and monitoring continues.
+    Failed {
+        /// Index of the path within the fleet.
+        path: usize,
+        /// The path's label.
+        label: &'a str,
+        /// What went wrong.
+        error: &'a SlopsError,
+    },
+    /// The change detector flagged a new windowed-range shift on a path.
+    ///
+    /// Best-effort live signal: a change is emitted when it first becomes
+    /// visible, but later samples landing in the same window can still
+    /// widen its envelope. The authoritative list is
+    /// [`PathSeries::changes`] once the run is over.
+    Change {
+        /// Index of the path within the fleet.
+        path: usize,
+        /// The path's label.
+        label: &'a str,
+        /// The flagged change.
+        change: ChangeEvent,
+    },
+}
+
 /// Run a thread-backed monitoring fleet to completion: measure every path
 /// periodically (staggered, jittered, capped — see [`ScheduleConfig`])
 /// until `horizon` on the transports' clock, using `threads` workers per
@@ -53,6 +94,22 @@ pub fn run_fleet(
     series_cfg: &SeriesConfig,
     horizon: TimeNs,
     threads: usize,
+) -> Result<Vec<PathSeries>, SlopsError> {
+    run_fleet_with(paths, sched_cfg, series_cfg, horizon, threads, |_| {})
+}
+
+/// [`run_fleet`] with a live observer: every stored sample, failed
+/// measurement, and newly flagged change is reported as a [`FleetEvent`]
+/// the moment the driver learns of it — what a daemon needs to stream
+/// JSONL records while the fleet is still running (the `monitord` binary
+/// is built on this).
+pub fn run_fleet_with(
+    paths: Vec<ThreadPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    threads: usize,
+    mut observer: impl FnMut(FleetEvent<'_>),
 ) -> Result<Vec<PathSeries>, SlopsError> {
     assert!(!paths.is_empty(), "a fleet needs at least one path");
     for p in &paths {
@@ -76,6 +133,10 @@ pub fn run_fleet(
         cfgs.push(p.cfg);
         transports.push(Some(p.transport));
     }
+
+    // Changes already reported per path, so the observer only sees each
+    // flagged change once (instant-keyed: eviction may shrink the list).
+    let mut change_cursors = vec![ChangeCursor::new(); series.len()];
 
     // Completions executed but not yet fed to the scheduler, keyed by the
     // tick boundary at which a tick-granular driver would learn of them
@@ -127,8 +188,31 @@ pub fn run_fleet(
                 let (_, p) = *entry.key();
                 let (at, finished, outcome) = entry.remove();
                 match outcome {
-                    Ok(est) => series[p].push(RangeSample::from_estimate(at, &est)),
-                    Err(_) => series[p].record_error(),
+                    Ok(est) => {
+                        let sample = RangeSample::from_estimate(at, &est);
+                        series[p].push(sample);
+                        observer(FleetEvent::Sample {
+                            path: p,
+                            label: series[p].label(),
+                            sample,
+                        });
+                        let changes = series[p].changes();
+                        for change in change_cursors[p].fresh(&changes) {
+                            observer(FleetEvent::Change {
+                                path: p,
+                                label: series[p].label(),
+                                change: *change,
+                            });
+                        }
+                    }
+                    Err(error) => {
+                        series[p].record_error();
+                        observer(FleetEvent::Failed {
+                            path: p,
+                            label: series[p].label(),
+                            error: &error,
+                        });
+                    }
                 }
                 sched.on_complete(PathId(p as u32), finished);
             }
@@ -210,6 +294,42 @@ mod tests {
             .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(4), "worker count changed the series");
+    }
+
+    #[test]
+    fn observer_sees_every_stored_sample_in_feed_order() {
+        let sched = ScheduleConfig {
+            period: TimeNs::from_secs(25),
+            jitter: TimeNs::from_secs(1),
+            max_concurrent: 2,
+            seed: 11,
+        };
+        let mut streamed: Vec<(usize, RangeSample)> = Vec::new();
+        let series = run_fleet_with(
+            oracle_fleet(3),
+            &sched,
+            &SeriesConfig::default(),
+            TimeNs::from_secs(100),
+            2,
+            |ev| {
+                if let FleetEvent::Sample { path, sample, .. } = ev {
+                    streamed.push((path, sample));
+                }
+            },
+        )
+        .unwrap();
+        let stored: usize = series.iter().map(|s| s.len()).sum();
+        assert_eq!(streamed.len(), stored, "observer missed samples");
+        // Per path, the streamed samples are exactly the stored series.
+        for (p, s) in series.iter().enumerate() {
+            let mine: Vec<RangeSample> = streamed
+                .iter()
+                .filter(|(q, _)| *q == p)
+                .map(|&(_, r)| r)
+                .collect();
+            let kept: Vec<RangeSample> = s.samples().copied().collect();
+            assert_eq!(mine, kept, "path {p} diverged");
+        }
     }
 
     #[test]

@@ -20,6 +20,17 @@ impl MonoClock {
         }
     }
 
+    /// A clock sharing this clock's epoch.
+    ///
+    /// A *fleet* of sender transports on one host must read one common
+    /// timeline: the `monitord` scheduler staggers starts across paths on
+    /// a single clock, so every transport of a fleet is built from clones
+    /// of the same epoch. (Across hosts the epochs still differ — relative
+    /// OWDs remain the only cross-host quantity.)
+    pub fn same_epoch(&self) -> MonoClock {
+        self.clone()
+    }
+
     /// Nanoseconds since the epoch.
     #[inline]
     pub fn now_ns(&self) -> u64 {
@@ -54,5 +65,16 @@ mod tests {
         let c2 = MonoClock::new();
         // c2's epoch is later, so its readings are smaller.
         assert!(c1.now_ns() > c2.now_ns());
+    }
+
+    #[test]
+    fn same_epoch_clocks_agree() {
+        let c1 = MonoClock::new();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let c2 = c1.same_epoch();
+        let (a, b) = (c1.now_ns(), c2.now_ns());
+        // Read back to back, two same-epoch clocks differ by at most the
+        // read overhead — far below the 2 ms that separates fresh epochs.
+        assert!(b >= a && b - a < 1_000_000, "epochs diverged: {a} vs {b}");
     }
 }

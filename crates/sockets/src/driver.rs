@@ -1,0 +1,123 @@
+//! The socket driver over the sans-IO machine: commands onto the wire,
+//! wire outcomes back as events.
+//!
+//! [`SocketDriver`] owns a [`SocketTransport`] and pumps a
+//! `slops::machine::SessionMachine` over it. The whole mapping from the
+//! machine's command/event protocol onto real UDP/TCP sockets is the
+//! [`SocketDriver::execute`] method:
+//!
+//! | command | wire operation | event fed back |
+//! |---|---|---|
+//! | `SendTrain { len, size }` | announce on the TCP control channel, blast `len` back-to-back UDP packets, await the `TrainReport` | `TrainDone(record)` |
+//! | `SendStream(req)` | announce, pace `req.count` UDP packets at `req.period` on absolute deadlines, await the `StreamReport` | `StreamDone(record)` |
+//! | `Idle(d)` | sleep `d` | `Tick(clock now)` |
+//! | `Finish(est)` | nothing — terminal | — |
+//!
+//! There is **no estimation logic here**: loss accounting, spacing
+//! validation, trend classification, rate search — everything that turns
+//! packets into an avail-bw range — happens inside the machine. A stream
+//! whose report comes back empty is fed to the machine as a record with
+//! zero samples, which the machine already treats as a fully lost stream;
+//! a control-channel failure aborts the measurement with a transport
+//! error. That is the repo's driver-equivalence invariant applied to the
+//! wire (see `docs/DRIVERS.md`).
+//!
+//! [`SocketDriver::run`] is the blocking poll/execute/feed loop — the same
+//! loop as the generic `slops::Session::run`, specialized to sockets and
+//! exposed step by step so callers (and tests) can drive the machine one
+//! command at a time over a real network stack.
+
+use crate::clock::MonoClock;
+use crate::sender::SocketTransport;
+use slops::machine::{Command, Event, SessionMachine};
+use slops::{Estimate, ProbeTransport, SlopsConfig, SlopsError, TransportError};
+use std::io;
+use std::net::SocketAddr;
+
+/// A blocking socket driver for the sans-IO measurement machine.
+pub struct SocketDriver {
+    transport: SocketTransport,
+}
+
+impl SocketDriver {
+    /// Connect to a `pathload_rcv`-style receiver's control address.
+    pub fn connect(addr: SocketAddr) -> io::Result<SocketDriver> {
+        Ok(SocketDriver {
+            transport: SocketTransport::connect(addr)?,
+        })
+    }
+
+    /// Connect with an explicit sender clock (see
+    /// [`SocketTransport::connect_with_clock`]); fleets of drivers share
+    /// one epoch so a scheduler can stagger them on a common timeline.
+    pub fn connect_with_clock(addr: SocketAddr, clock: MonoClock) -> io::Result<SocketDriver> {
+        Ok(SocketDriver {
+            transport: SocketTransport::connect_with_clock(addr, clock)?,
+        })
+    }
+
+    /// Wrap an already-connected transport.
+    pub fn from_transport(transport: SocketTransport) -> SocketDriver {
+        SocketDriver { transport }
+    }
+
+    /// The underlying transport (e.g. to adjust its `rate_cap`).
+    pub fn transport_mut(&mut self) -> &mut SocketTransport {
+        &mut self.transport
+    }
+
+    /// Unwrap back into the transport (e.g. to hand it to the `monitord`
+    /// fleet driver, which owns transports per path).
+    pub fn into_transport(self) -> SocketTransport {
+        self.transport
+    }
+
+    /// Execute one machine command on the wire and return the event to
+    /// feed back. This method is the entire command→socket mapping; see
+    /// the module docs for the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Command::Finish`]: it is terminal and carries the
+    /// result — there is nothing to execute and no event to feed.
+    pub fn execute(&mut self, cmd: &Command) -> Result<Event, TransportError> {
+        match cmd {
+            Command::SendTrain { len, size } => {
+                Ok(Event::TrainDone(self.transport.send_train(*len, *size)?))
+            }
+            Command::SendStream(req) => Ok(Event::StreamDone(self.transport.send_stream(req)?)),
+            Command::Idle(dur) => {
+                self.transport.idle(*dur);
+                Ok(Event::Tick(self.transport.elapsed()))
+            }
+            Command::Finish(_) => panic!("Finish is terminal: nothing to execute"),
+        }
+    }
+
+    /// Run one full measurement session: poll the machine, [`execute`]
+    /// each command, feed the event back, until the machine finishes.
+    /// Identical in behavior to `slops::Session::run` over the transport
+    /// (both are thin pumps around the same machine).
+    ///
+    /// [`execute`]: SocketDriver::execute
+    pub fn run(&mut self, cfg: SlopsConfig) -> Result<Estimate, SlopsError> {
+        cfg.validate().map_err(SlopsError::BadConfig)?;
+        let start = self.transport.elapsed();
+        let rtt = self.transport.rtt();
+        let mut machine = SessionMachine::new(cfg, rtt, self.transport.max_rate())?;
+        loop {
+            let cmd = machine
+                .poll()
+                .expect("blocking driver answers each command before polling again");
+            if let Command::Finish(est) = cmd {
+                let mut est = *est;
+                est.elapsed = self.transport.elapsed().saturating_sub(start);
+                return Ok(est);
+            }
+            let event = self.execute(&cmd)?;
+            machine
+                .on_event(event)
+                .expect("the machine accepts the event answering its own command");
+        }
+    }
+}

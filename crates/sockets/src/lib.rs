@@ -22,6 +22,9 @@
 //! * [`receiver`] — the `pathload_rcv` side: collects probe packets,
 //!   timestamps arrivals, ships records back.
 //! * [`sender`] — the `pathload_snd` side: [`SocketTransport`].
+//! * [`driver`] — [`SocketDriver`], the explicit command/event pump of the
+//!   sans-IO `slops::SessionMachine` over this transport (the reference
+//!   mapping a new transport driver should copy; see `docs/DRIVERS.md`).
 //!
 //! Binaries `pathload_snd` / `pathload_rcv` wrap these (see `src/bin`).
 //!
@@ -36,10 +39,12 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod driver;
 pub mod pacing;
 pub mod proto;
 pub mod receiver;
 pub mod sender;
 
+pub use driver::SocketDriver;
 pub use receiver::Receiver;
 pub use sender::SocketTransport;

@@ -28,6 +28,15 @@ pub struct SocketTransport {
 impl SocketTransport {
     /// Connect to a receiver's control address.
     pub fn connect(addr: SocketAddr) -> io::Result<SocketTransport> {
+        Self::connect_with_clock(addr, MonoClock::new())
+    }
+
+    /// Connect with an explicit sender clock.
+    ///
+    /// `elapsed()` reports this clock, so transports built from
+    /// [`MonoClock::same_epoch`] clones of one clock share a timeline —
+    /// what a fleet scheduler staggering starts across paths requires.
+    pub fn connect_with_clock(addr: SocketAddr, clock: MonoClock) -> io::Result<SocketTransport> {
         let (ctrl, udp_port) = connect_ctrl(addr)?;
         let mut peer = addr;
         peer.set_port(udp_port);
@@ -40,7 +49,7 @@ impl SocketTransport {
         Ok(SocketTransport {
             ctrl,
             udp,
-            clock: MonoClock::new(),
+            clock,
             next_id: 0,
             rate_cap: Rate::from_mbps(80.0),
         })

@@ -1,0 +1,249 @@
+//! The socket-backed monitoring fleet, end to end over loopback: the
+//! `monitord` binary's driver ([`run_socket_fleet`]) multiplexing several
+//! real UDP/TCP paths through the sans-IO scheduler, with the JSONL
+//! records it would emit validated line by line.
+//!
+//! Loopback has no FIFO bottleneck, so the estimates themselves are not
+//! meaningful — what these tests pin is the deployable stack: long-lived
+//! per-path connections, shared-epoch clocks, staggered starts, streamed
+//! records that parse, and per-path series that settle into a sane range.
+
+use availbw::monitord::export::{sample_line, summary_line};
+use availbw::monitord::{
+    run_socket_fleet, FleetEvent, ScheduleConfig, SeriesConfig, SocketPathSpec,
+};
+use availbw::pathload_net::Receiver;
+use availbw::slops::SlopsConfig;
+use availbw::units::{Rate, TimeNs};
+use std::thread;
+
+/// Gentle probing so a loopback measurement lasts about a second.
+fn gentle_cfg() -> SlopsConfig {
+    let mut cfg = SlopsConfig::default();
+    cfg.stream_len = 30;
+    cfg.fleet_len = 4;
+    cfg.min_period = TimeNs::from_millis(1);
+    cfg.resolution = Rate::from_mbps(8.0);
+    cfg.grey_resolution = Rate::from_mbps(16.0);
+    cfg.max_fleets = 6;
+    cfg
+}
+
+const RATE_CAP_MBPS: f64 = 40.0;
+
+/// Parse one flat JSONL record (`{"k":"str",...,"k":123}`) into pairs.
+/// Only what the export layer emits: string and number values, no
+/// nesting. Returns `None` on any malformed syntax.
+fn parse_flat_json(line: &str) -> Option<Vec<(String, String)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        // Key: a quoted string.
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next()? {
+                '\\' => {
+                    key.push(chars.next()?);
+                }
+                '"' => break,
+                c => key.push(c),
+            }
+        }
+        if chars.next()? != ':' {
+            return None;
+        }
+        // Value: a quoted string or a bare number.
+        let mut value = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next()? {
+                    '\\' => {
+                        value.push(chars.next()?);
+                    }
+                    '"' => break,
+                    c => value.push(c),
+                }
+            }
+        } else {
+            while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                value.push(chars.next()?);
+            }
+            value.parse::<f64>().ok()?; // must be a number
+        }
+        fields.push((key, value));
+        match chars.next()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(fields)
+}
+
+fn field<'a>(rec: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    rec.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Three loopback paths through the binary's socket fleet driver: every
+/// streamed record parses as JSONL, every path converges to a sane series
+/// with no errors, and the starts are staggered on one shared timeline.
+#[test]
+fn loopback_fleet_emits_valid_jsonl_and_converges() {
+    const N: usize = 3;
+    let mut specs = Vec::new();
+    let mut servers = Vec::new();
+    for i in 0..N {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        specs.push(SocketPathSpec {
+            label: format!("lo{i}"),
+            ctrl_addr: rx.ctrl_addr(),
+            cfg: gentle_cfg(),
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        });
+        servers.push(thread::spawn(move || rx.serve_one()));
+    }
+    let sched = ScheduleConfig {
+        period: TimeNs::from_secs(2),
+        jitter: TimeNs::from_millis(200),
+        max_concurrent: 1, // loopback paths share the host CPU
+        seed: 42,
+    };
+
+    // Collect the JSONL lines exactly as the binary would emit them.
+    let mut lines: Vec<String> = Vec::new();
+    let series = run_socket_fleet(
+        specs,
+        &sched,
+        &SeriesConfig::default(),
+        TimeNs::from_secs(8),
+        2,
+        |ev| match ev {
+            FleetEvent::Sample {
+                path,
+                label,
+                sample,
+            } => lines.push(sample_line(path, label, &sample)),
+            FleetEvent::Failed { path, error, .. } => {
+                panic!("path {path} failed on loopback: {error}")
+            }
+            FleetEvent::Change { .. } => {} // possible, not asserted
+        },
+    )
+    .unwrap();
+    for (p, s) in series.iter().enumerate() {
+        lines.push(summary_line(p, s));
+    }
+
+    // Every line parses as a flat JSON record with the right shape.
+    let mut samples_seen = [0usize; N];
+    for line in &lines {
+        let rec = parse_flat_json(line).unwrap_or_else(|| panic!("bad JSONL: {line}"));
+        match field(&rec, "type") {
+            Some("sample") => {
+                let p: usize = field(&rec, "path").unwrap().parse().unwrap();
+                assert!(p < N, "{line}");
+                assert_eq!(field(&rec, "label").unwrap(), format!("lo{p}"));
+                let low: f64 = field(&rec, "low_bps").unwrap().parse().unwrap();
+                let high: f64 = field(&rec, "high_bps").unwrap().parse().unwrap();
+                assert!(0.0 <= low && low <= high, "{line}");
+                assert!(
+                    high <= (RATE_CAP_MBPS + 8.0) * 1e6,
+                    "estimate above the pacing cap: {line}"
+                );
+                let dur: f64 = field(&rec, "duration_ns").unwrap().parse().unwrap();
+                assert!(dur > 0.0, "{line}");
+                samples_seen[p] += 1;
+            }
+            Some("summary") => {
+                assert_eq!(field(&rec, "errors").unwrap(), "0", "{line}");
+            }
+            Some("change") => {}
+            other => panic!("unexpected record type {other:?}: {line}"),
+        }
+    }
+
+    // Per-path series: at least 2 samples each, streamed == stored.
+    assert_eq!(series.len(), N);
+    let mut first_starts = Vec::new();
+    for (p, s) in series.iter().enumerate() {
+        assert!(
+            s.len() >= 2,
+            "path {p}: only {} samples before the horizon",
+            s.len()
+        );
+        assert_eq!(s.len(), samples_seen[p], "path {p}: streamed != stored");
+        assert_eq!(s.errors(), 0);
+        first_starts.push(s.samples().next().unwrap().started);
+    }
+    // Staggered starts on one shared timeline: all distinct.
+    first_starts.sort();
+    first_starts.dedup();
+    assert_eq!(first_starts.len(), N, "starts were not staggered");
+
+    for h in servers {
+        h.join().unwrap().unwrap();
+    }
+}
+
+/// The concurrency cap holds over real sockets: with `max_concurrent 1`
+/// no two measurements overlap in wall-clock time, even across paths.
+#[test]
+fn concurrency_cap_holds_on_the_wall_clock() {
+    const N: usize = 2;
+    let mut specs = Vec::new();
+    let mut servers = Vec::new();
+    for i in 0..N {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        specs.push(SocketPathSpec {
+            label: format!("p{i}"),
+            ctrl_addr: rx.ctrl_addr(),
+            cfg: gentle_cfg(),
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        });
+        servers.push(thread::spawn(move || rx.serve_one()));
+    }
+    let sched = ScheduleConfig {
+        period: TimeNs::from_millis(500), // force back-to-back pressure
+        jitter: TimeNs::ZERO,
+        max_concurrent: 1,
+        seed: 3,
+    };
+    let series = run_socket_fleet(
+        specs,
+        &sched,
+        &SeriesConfig::default(),
+        TimeNs::from_secs(5),
+        2,
+        |_| {},
+    )
+    .unwrap();
+    let mut intervals: Vec<(TimeNs, TimeNs)> = series
+        .iter()
+        .flat_map(|s| s.samples().map(|r| (r.started, r.end())))
+        .collect();
+    intervals.sort();
+    assert!(
+        intervals.len() >= 3,
+        "too few measurements to check the cap"
+    );
+    for w in intervals.windows(2) {
+        assert!(
+            w[1].0 >= w[0].1,
+            "measurements overlapped under cap 1: {w:?}"
+        );
+    }
+    for h in servers {
+        h.join().unwrap().unwrap();
+    }
+}
