@@ -19,16 +19,66 @@
 //! Failed measurements are logged to stderr and counted in the summary. A
 //! human-readable fleet digest also goes to stderr at the end, so piping
 //! stdout to a file or `jq` stays clean.
+//!
+//! Receivers are multi-session, so any number of `path` directives may
+//! name the same `pathload_rcv` address; `--loopback` exercises exactly
+//! that, running all n paths against **one** shared in-process receiver.
+//!
+//! On SIGINT/SIGTERM the daemon shuts down gracefully: no new
+//! measurements start, the one in flight completes and is recorded, the
+//! per-path summaries for everything collected so far are flushed, and
+//! the process exits 0.
 
 use monitord::export::{change_line, fleet_summary, sample_line, summary_line};
-use monitord::{run_socket_fleet, DaemonConfig, FleetEvent, SocketPathSpec};
+use monitord::{
+    run_socket_fleet_with_shutdown, DaemonConfig, FleetEvent, ShutdownFlag, SocketPathSpec,
+};
 use pathload_net::Receiver;
 use std::fs;
 use std::io::{self, Write};
 use std::net::ToSocketAddrs;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
+use std::time::Duration;
 use units::{Rate, TimeNs};
+
+/// Set by the (async-signal-safe) handler; bridged to the fleet's
+/// [`ShutdownFlag`] by a watcher thread.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT/SIGTERM handlers that request a graceful fleet
+/// shutdown. Uses libc's `signal` directly (std links libc on unix and
+/// exposes no signal API; an external crate would be this workspace's
+/// only dependency). The handler merely sets an atomic; a watcher thread
+/// forwards it to the cooperative flag.
+#[cfg(unix)]
+fn install_signal_handlers(stop: ShutdownFlag) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("monitord: shutdown requested, letting in-flight measurements land");
+            stop.request();
+            return;
+        }
+        thread::sleep(Duration::from_millis(100));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers(_stop: ShutdownFlag) {}
 
 const USAGE: &str = "\
 usage: monitord <config-file>
@@ -41,13 +91,15 @@ seconds-bounded self-test against in-process receivers.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let stop = ShutdownFlag::new();
+    install_signal_handlers(stop.clone());
     let result = match args.first().map(String::as_str) {
         None | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return;
         }
-        Some("--loopback") => run_loopback(&args[1..]),
-        Some(path) if args.len() == 1 => run_from_file(path),
+        Some("--loopback") => run_loopback(&args[1..], &stop),
+        Some(path) if args.len() == 1 => run_from_file(path, &stop),
         _ => {
             eprintln!("{USAGE}");
             exit(2);
@@ -59,7 +111,7 @@ fn main() {
     }
 }
 
-fn run_from_file(path: &str) -> Result<(), String> {
+fn run_from_file(path: &str, stop: &ShutdownFlag) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let cfg = DaemonConfig::parse(&text).map_err(|e| e.to_string())?;
     let mut specs = Vec::with_capacity(cfg.paths.len());
@@ -77,14 +129,16 @@ fn run_from_file(path: &str) -> Result<(), String> {
             rate_cap: cfg.rate_cap,
         });
     }
-    monitor(&cfg, specs)
+    monitor(&cfg, specs, stop)
 }
 
-/// Self-test mode: spawn `n` in-process loopback receivers and monitor
-/// them with gentle, seconds-scale settings. The "avail-bw" of loopback is
-/// meaningless (no FIFO bottleneck) — the point is the whole daemon stack
-/// running end to end on a real network stack, bounded in time.
-fn run_loopback(args: &[String]) -> Result<(), String> {
+/// Self-test mode: spawn **one** in-process loopback receiver and monitor
+/// `n` paths against it concurrently — the multi-session receiver demuxes
+/// the sessions on one control port and one UDP socket — with gentle,
+/// seconds-scale settings. The "avail-bw" of loopback is meaningless (no
+/// FIFO bottleneck) — the point is the whole daemon stack running end to
+/// end on a real network stack, bounded in time.
+fn run_loopback(args: &[String], stop: &ShutdownFlag) -> Result<(), String> {
     let n: usize = args
         .first()
         .ok_or_else(|| format!("--loopback wants a path count\n{USAGE}"))?
@@ -116,33 +170,43 @@ fn run_loopback(args: &[String]) -> Result<(), String> {
     cfg.probe.grey_resolution = Rate::from_mbps(16.0);
     cfg.probe.max_fleets = 6;
 
-    let mut specs = Vec::with_capacity(n);
-    let mut servers = Vec::with_capacity(n);
-    for i in 0..n {
-        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap())
-            .map_err(|e| format!("cannot bind a loopback receiver: {e}"))?;
-        specs.push(SocketPathSpec {
+    // ONE shared receiver for the whole fleet: every path connects to the
+    // same control address and becomes its own session. One long-lived
+    // sender connection per path; serve_n returns when the fleet drops
+    // its transports.
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap())
+        .map_err(|e| format!("cannot bind the loopback receiver: {e}"))?;
+    let ctrl_addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(n));
+    let specs: Vec<SocketPathSpec> = (0..n)
+        .map(|i| SocketPathSpec {
             label: format!("lo{i}"),
-            ctrl_addr: rx.ctrl_addr(),
+            ctrl_addr,
             cfg: cfg.probe.clone(),
             rate_cap: cfg.rate_cap,
-        });
-        // One long-lived sender connection per path; serve_one returns
-        // when the fleet drops its transports.
-        servers.push(thread::spawn(move || rx.serve_one()));
-    }
-    eprintln!("monitord: loopback self-test, {n} path(s), {horizon_s} s horizon");
-    monitor(&cfg, specs)?;
-    for s in servers {
-        s.join()
-            .map_err(|_| "receiver thread panicked".to_string())?
-            .map_err(|e| format!("receiver failed: {e}"))?;
-    }
+        })
+        .collect();
+    eprintln!(
+        "monitord: loopback self-test, {n} path(s) sharing one receiver \
+         ({ctrl_addr}), {horizon_s} s horizon"
+    );
+    monitor(&cfg, specs, stop)?;
+    server
+        .join()
+        .map_err(|_| "receiver thread panicked".to_string())?
+        .map_err(|e| format!("receiver failed: {e}"))?;
     Ok(())
 }
 
-/// Run the fleet, streaming JSONL records to the configured sink.
-fn monitor(cfg: &DaemonConfig, specs: Vec<SocketPathSpec>) -> Result<(), String> {
+/// Run the fleet, streaming JSONL records to the configured sink. When
+/// `stop` is requested (SIGINT/SIGTERM), new starts cease, the in-flight
+/// measurements land, and the per-path summaries below still run — the
+/// data collected so far is flushed before the clean exit.
+fn monitor(
+    cfg: &DaemonConfig,
+    specs: Vec<SocketPathSpec>,
+    stop: &ShutdownFlag,
+) -> Result<(), String> {
     let mut sink: Box<dyn Write> = match &cfg.out {
         None => Box::new(io::stdout()),
         Some(path) => Box::new(io::BufWriter::new(
@@ -161,12 +225,13 @@ fn monitor(cfg: &DaemonConfig, specs: Vec<SocketPathSpec>) -> Result<(), String>
         }
     };
 
-    let series = run_socket_fleet(
+    let series = run_socket_fleet_with_shutdown(
         specs,
         &cfg.schedule,
         &cfg.series,
         cfg.horizon,
         cfg.threads,
+        stop,
         |ev| match ev {
             FleetEvent::Sample {
                 path,
@@ -185,6 +250,9 @@ fn monitor(cfg: &DaemonConfig, specs: Vec<SocketPathSpec>) -> Result<(), String>
     )
     .map_err(|e| e.to_string())?;
 
+    if stop.is_requested() {
+        eprintln!("monitord: stopped early; summaries cover the data collected so far");
+    }
     for (p, s) in series.iter().enumerate() {
         emit(summary_line(p, s));
     }

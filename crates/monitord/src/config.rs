@@ -7,8 +7,11 @@
 //!
 //! ```text
 //! # paths to monitor: `path <label> <receiver host:port>`
+//! # (labels must be unique; addresses need not be — one multi-session
+//! # pathload_rcv serves any number of co-located paths on one port)
 //! path atl-gru 192.0.2.7:9100
 //! path atl-fra 198.51.100.3:9100
+//! path atl-fra-alt 198.51.100.3:9100
 //!
 //! period_s 30          # start-to-start spacing per path
 //! jitter_s 2           # random addition to each path's initial offset
@@ -128,16 +131,9 @@ impl DaemonConfig {
                         if cfg.paths.iter().any(|p| p.label == *label) {
                             return Err(err(format!("duplicate path label {label:?}")));
                         }
-                        // A receiver serves one control connection at a
-                        // time, so two paths sharing an address would
-                        // stall at connect; reject it here, where the
-                        // diagnosis is cheap and names the directive.
-                        if cfg.paths.iter().any(|p| p.addr == *addr) {
-                            return Err(err(format!(
-                                "duplicate receiver address {addr} (one pathload_rcv \
-                                 serves one path; give each path its own port)"
-                            )));
-                        }
+                        // Duplicate *addresses* are fine: the receiver is
+                        // session-multiplexing, so co-located paths share
+                        // one `pathload_rcv` control port by design.
                         cfg.paths.push(PathEntry {
                             label: (*label).to_string(),
                             addr: (*addr).to_string(),
@@ -290,10 +286,6 @@ max_fleets 16
                 "path p 1.2.3.4:1\npath p 1.2.3.4:2\n",
                 "duplicate path label",
             ),
-            (
-                "path a 1.2.3.4:9100\npath b 1.2.3.4:9100\n",
-                "duplicate receiver address",
-            ),
             ("path p 1.2.3.4:1\nperiod_s fast\n", "non-negative number"),
             ("path p 1.2.3.4:1\nthreads -2\n", "non-negative integer"),
             ("path p 1.2.3.4:1\nperiod_s 1 2\n", "exactly one value"),
@@ -312,6 +304,16 @@ max_fleets 16
         // The error names the offending line.
         let err = DaemonConfig::parse("path p 1.2.3.4:9100\n\nbogus 3\n").unwrap_err();
         assert_eq!(err.line, 3);
+    }
+
+    /// The receiver is session-multiplexing, so paths sharing one
+    /// `pathload_rcv` address is the intended co-located deployment and
+    /// must parse (duplicate *labels* stay an error).
+    #[test]
+    fn shared_receiver_address_is_allowed() {
+        let cfg = DaemonConfig::parse("path a 192.0.2.7:9100\npath b 192.0.2.7:9100\n").unwrap();
+        assert_eq!(cfg.paths.len(), 2);
+        assert_eq!(cfg.paths[0].addr, cfg.paths[1].addr);
     }
 
     #[test]

@@ -85,6 +85,8 @@ pub use config::{ConfigError, DaemonConfig, PathEntry};
 pub use export::{fleet_summary, write_fleet_jsonl};
 pub use scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
 pub use sim::{SimFleetMonitor, SimPathSpec};
-pub use socket::{connect_fleet, run_socket_fleet, SocketPathSpec};
+pub use socket::{connect_fleet, run_socket_fleet, run_socket_fleet_with_shutdown, SocketPathSpec};
 pub use store::{ChangeCursor, ChangeDirection, ChangeEvent, PathSeries, SeriesConfig};
-pub use thread::{run_fleet, run_fleet_with, FleetEvent, ThreadPathSpec};
+pub use thread::{
+    run_fleet, run_fleet_with, run_fleet_with_shutdown, FleetEvent, ShutdownFlag, ThreadPathSpec,
+};

@@ -221,6 +221,21 @@ impl Scheduler {
         self.state[p] = PathState::Idle;
     }
 
+    /// Stop issuing new starts (graceful shutdown): the horizon collapses
+    /// to `t0`, so every idle path is finished immediately and a path that
+    /// completes later finishes on its next `poll`. Measurements already
+    /// running are **not** interrupted — drivers let them complete and
+    /// still report them via [`Scheduler::on_complete`], so the data
+    /// collected so far stays intact.
+    pub fn shutdown(&mut self) {
+        self.horizon = self.t0;
+        for s in &mut self.state {
+            if *s == PathState::Idle {
+                *s = PathState::Finished;
+            }
+        }
+    }
+
     /// True once every path has reached the horizon and nothing runs.
     pub fn is_done(&self) -> bool {
         self.state.iter().all(|s| *s == PathState::Finished)
@@ -355,6 +370,37 @@ mod tests {
         assert!(starts.iter().all(|(_, at)| *at < TimeNs::from_secs(30)));
         // 2 paths * 3 periods within [0, 30).
         assert_eq!(starts.len(), 6);
+    }
+
+    #[test]
+    fn shutdown_before_any_start_is_done_immediately() {
+        let mut s = Scheduler::new(
+            3,
+            TimeNs::from_secs(5),
+            TimeNs::from_secs(100),
+            &cfg(10, 1, 0),
+        );
+        s.shutdown();
+        assert_eq!(s.poll(), Poll::Done);
+        assert!(s.is_done());
+        assert_eq!(s.started(), 0);
+    }
+
+    #[test]
+    fn shutdown_lets_running_measurements_complete() {
+        let mut s = Scheduler::new(2, TimeNs::ZERO, TimeNs::from_secs(100), &cfg(10, 0, 1));
+        let Poll::Start { path, at } = s.poll() else {
+            panic!("expected a start")
+        };
+        s.shutdown();
+        // The running measurement is not interrupted: the scheduler waits
+        // for its completion, then finishes without issuing new starts.
+        assert_eq!(s.poll(), Poll::Blocked);
+        assert!(!s.is_done());
+        s.on_complete(path, at + TimeNs::from_secs(3));
+        assert_eq!(s.poll(), Poll::Done);
+        assert!(s.is_done());
+        assert_eq!(s.started(), 1, "no start may be issued after shutdown");
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! UDP/TCP probes, under the same sans-IO [`Scheduler`].
 //!
 //! Each monitored path is one [`pathload_net::SocketTransport`] connected
-//! to a `pathload_rcv` receiver near that path's far end. All transports
+//! to a `pathload_rcv` receiver near that path's far end. Receivers are
+//! session-multiplexing, so paths whose far ends are co-located may all
+//! name the **same** receiver address — each connection becomes its own
+//! session, demuxed by the token in every probe packet. All transports
 //! of a fleet share **one clock epoch** ([`pathload_net::clock::MonoClock::same_epoch`]):
 //! the scheduler staggers starts across paths on a single timeline, so the
 //! per-path `elapsed()` clocks must agree on what "now" means.
@@ -26,7 +29,7 @@
 
 use crate::scheduler::ScheduleConfig;
 use crate::store::{PathSeries, SeriesConfig};
-use crate::thread::{run_fleet_with, FleetEvent, ThreadPathSpec};
+use crate::thread::{run_fleet_with_shutdown, FleetEvent, ShutdownFlag, ThreadPathSpec};
 use pathload_net::clock::MonoClock;
 use pathload_net::SocketTransport;
 use slops::{SlopsConfig, SlopsError, TransportError};
@@ -91,9 +94,35 @@ pub fn run_socket_fleet(
     threads: usize,
     observer: impl FnMut(FleetEvent<'_>),
 ) -> Result<Vec<PathSeries>, SlopsError> {
+    run_socket_fleet_with_shutdown(
+        specs,
+        sched_cfg,
+        series_cfg,
+        horizon,
+        threads,
+        &ShutdownFlag::new(),
+        observer,
+    )
+}
+
+/// [`run_socket_fleet`] plus a cooperative [`ShutdownFlag`] (see
+/// [`run_fleet_with_shutdown`]): what the `monitord` binary runs so
+/// SIGINT/SIGTERM can stop new starts, let in-flight measurements land,
+/// and still flush per-path summaries for the data collected so far.
+pub fn run_socket_fleet_with_shutdown(
+    specs: Vec<SocketPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    threads: usize,
+    stop: &ShutdownFlag,
+    observer: impl FnMut(FleetEvent<'_>),
+) -> Result<Vec<PathSeries>, SlopsError> {
     let paths = connect_fleet(specs)
         .map_err(|e| SlopsError::Transport(TransportError::Io(e.to_string())))?;
-    run_fleet_with(paths, sched_cfg, series_cfg, horizon, threads, observer)
+    run_fleet_with_shutdown(
+        paths, sched_cfg, series_cfg, horizon, threads, stop, observer,
+    )
 }
 
 #[cfg(test)]
@@ -113,23 +142,22 @@ mod tests {
         cfg
     }
 
-    /// Two loopback paths, one short monitoring run: transports share an
-    /// epoch, every path gets at least one sample, nothing errors.
+    /// Two loopback paths sharing ONE receiver address (the multi-session
+    /// receiver demuxes them), one short monitoring run: transports share
+    /// an epoch, every path gets at least one sample, nothing errors.
     #[test]
-    fn loopback_pair_is_monitored() {
-        let mut specs = Vec::new();
-        let mut servers = Vec::new();
-        for i in 0..2 {
-            let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-            let addr = rx.ctrl_addr();
-            servers.push(thread::spawn(move || rx.serve_one()));
-            specs.push(SocketPathSpec {
+    fn loopback_pair_shares_one_receiver() {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || rx.serve_n(2));
+        let specs: Vec<SocketPathSpec> = (0..2)
+            .map(|i| SocketPathSpec {
                 label: format!("lo{i}"),
                 ctrl_addr: addr,
                 cfg: gentle_cfg(),
                 rate_cap: Some(Rate::from_mbps(30.0)),
-            });
-        }
+            })
+            .collect();
         let sched = ScheduleConfig {
             period: TimeNs::from_secs(2),
             jitter: TimeNs::from_millis(100),
@@ -159,9 +187,68 @@ mod tests {
             }
         }
         assert_eq!(samples, series.iter().map(|s| s.len()).sum::<usize>());
-        for h in servers {
-            h.join().unwrap().unwrap();
-        }
+        server.join().unwrap().unwrap();
+    }
+
+    /// A shutdown request cancels a start whose worker is still idling
+    /// toward a future start instant: with path 1 staggered 5 s out and
+    /// the flag raised at ~1.5 s, the fleet returns promptly (path 1 is
+    /// never measured) instead of sleeping out the stagger and probing
+    /// after the signal.
+    #[test]
+    fn shutdown_cancels_a_dispatched_but_unstarted_measurement() {
+        use crate::thread::ShutdownFlag;
+        use std::time::{Duration, Instant};
+
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || rx.serve_n(2));
+        let specs: Vec<SocketPathSpec> = (0..2)
+            .map(|i| SocketPathSpec {
+                label: format!("lo{i}"),
+                ctrl_addr: addr,
+                cfg: gentle_cfg(),
+                rate_cap: Some(Rate::from_mbps(30.0)),
+            })
+            .collect();
+        let sched = ScheduleConfig {
+            period: TimeNs::from_secs(10), // stagger puts path 1 at +5 s
+            jitter: TimeNs::ZERO,
+            max_concurrent: 2,
+            seed: 2,
+        };
+        let stop = ShutdownFlag::new();
+        let signal = {
+            let stop = stop.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(1_500));
+                stop.request();
+            })
+        };
+        let begun = Instant::now();
+        let series = crate::socket::run_socket_fleet_with_shutdown(
+            specs,
+            &sched,
+            &SeriesConfig::default(),
+            TimeNs::from_secs(60),
+            2,
+            &stop,
+            |_| {},
+        )
+        .unwrap();
+        let elapsed = begun.elapsed();
+        signal.join().unwrap();
+        server.join().unwrap().unwrap();
+
+        // Path 0 measured once (it started immediately); path 1's start
+        // was cancelled mid-idle — no sample, no error.
+        assert_eq!(series[0].len(), 1, "path 0 measures before the signal");
+        assert_eq!(series[1].len(), 0, "path 1 must be cancelled, not measured");
+        assert_eq!(series[0].errors() + series[1].errors(), 0);
+        assert!(
+            elapsed < Duration::from_millis(4_500),
+            "shutdown waited out the stagger: {elapsed:?}"
+        );
     }
 
     /// A fleet with an unreachable receiver fails to connect, fatally.

@@ -26,7 +26,38 @@ use slops::runner::run_parallel;
 use slops::series::RangeSample;
 use slops::{Estimate, ProbeTransport, Session, SlopsConfig, SlopsError};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use units::TimeNs;
+
+/// A cooperative stop signal for a running fleet (graceful shutdown).
+///
+/// Clone it freely: all clones share one flag. Once requested, the fleet
+/// driver stops issuing new scheduler starts ([`Scheduler::shutdown`]),
+/// lets in-flight measurements complete and be recorded, and returns the
+/// per-path series collected so far — which is what a daemon flushes as
+/// summaries on SIGINT/SIGTERM. Requesting shutdown is idempotent and
+/// cannot be undone.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, un-requested flag.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Request shutdown (idempotent; callable from any thread, e.g. a
+    /// signal watcher).
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// One monitored path of a thread-backed fleet.
 pub struct ThreadPathSpec {
@@ -109,6 +140,35 @@ pub fn run_fleet_with(
     series_cfg: &SeriesConfig,
     horizon: TimeNs,
     threads: usize,
+    observer: impl FnMut(FleetEvent<'_>),
+) -> Result<Vec<PathSeries>, SlopsError> {
+    run_fleet_with_shutdown(
+        paths,
+        sched_cfg,
+        series_cfg,
+        horizon,
+        threads,
+        &ShutdownFlag::new(),
+        observer,
+    )
+}
+
+/// [`run_fleet_with`] plus a cooperative [`ShutdownFlag`]: when the flag
+/// is requested (from a signal handler, another thread, or the observer
+/// itself), the scheduler stops issuing new starts, measurements already
+/// *probing* complete and are recorded normally, and the function
+/// returns the series collected so far. A start that was already handed
+/// to a worker but is still idling toward its start instant is cancelled
+/// without being measured (neither a sample nor an error), so shutdown
+/// latency is bounded by the longest measurement in flight, not by the
+/// schedule period.
+pub fn run_fleet_with_shutdown(
+    paths: Vec<ThreadPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    threads: usize,
+    stop: &ShutdownFlag,
     mut observer: impl FnMut(FleetEvent<'_>),
 ) -> Result<Vec<PathSeries>, SlopsError> {
     assert!(!paths.is_empty(), "a fleet needs at least one path");
@@ -141,9 +201,17 @@ pub fn run_fleet_with(
     // Completions executed but not yet fed to the scheduler, keyed by the
     // tick boundary at which a tick-granular driver would learn of them
     // (ties broken by path id), carrying `(start, exact finish, outcome)`.
-    type Outcome = Result<Estimate, SlopsError>;
+    // `None` = the start was cancelled by shutdown before probing began:
+    // the scheduler still learns the completion, the series record
+    // nothing.
+    type Outcome = Option<Result<Estimate, SlopsError>>;
     let mut unfed: BTreeMap<(TimeNs, usize), (TimeNs, TimeNs, Outcome)> = BTreeMap::new();
     loop {
+        // Graceful shutdown: the stop decision itself belongs to the
+        // scheduler (it finishes idle paths, waits out running ones).
+        if stop.is_requested() {
+            sched.shutdown();
+        }
         // Issue every start the scheduler can decide with what it knows.
         let mut batch: Vec<(usize, TimeNs)> = Vec::new();
         while let Poll::Start { path, at } = sched.poll() {
@@ -161,10 +229,30 @@ pub fn run_fleet_with(
             .map(|(p, at)| {
                 let mut transport = transports[p].take().expect("path measured twice at once");
                 let session = Session::new(cfgs[p].clone());
+                let stop = stop.clone();
                 move |_idx: usize| {
-                    let now = transport.elapsed();
-                    transport.idle(at.saturating_sub(now));
-                    let outcome = session.run(transport.as_mut());
+                    // Idle toward `at` in short chunks so a shutdown
+                    // request cancels a start that has not begun probing
+                    // yet (a worker sleeping toward a start minutes away
+                    // must not outlive the signal by those minutes). The
+                    // chunks sum to exactly the single idle they replace,
+                    // so virtual-clock transports stay bit-identical.
+                    const IDLE_CHUNK: TimeNs = TimeNs::from_millis(50);
+                    let cancelled = loop {
+                        let now = transport.elapsed();
+                        if now >= at {
+                            break false;
+                        }
+                        if stop.is_requested() {
+                            break true;
+                        }
+                        transport.idle(IDLE_CHUNK.min(at - now));
+                    };
+                    let outcome = if cancelled {
+                        None
+                    } else {
+                        Some(session.run(transport.as_mut()))
+                    };
                     let finished = transport.elapsed();
                     (p, at, outcome, finished, transport)
                 }
@@ -188,7 +276,7 @@ pub fn run_fleet_with(
                 let (_, p) = *entry.key();
                 let (at, finished, outcome) = entry.remove();
                 match outcome {
-                    Ok(est) => {
+                    Some(Ok(est)) => {
                         let sample = RangeSample::from_estimate(at, &est);
                         series[p].push(sample);
                         observer(FleetEvent::Sample {
@@ -205,7 +293,7 @@ pub fn run_fleet_with(
                             });
                         }
                     }
-                    Err(error) => {
+                    Some(Err(error)) => {
                         series[p].record_error();
                         observer(FleetEvent::Failed {
                             path: p,
@@ -213,6 +301,10 @@ pub fn run_fleet_with(
                             error: &error,
                         });
                     }
+                    // Cancelled by shutdown before probing began: not a
+                    // sample, not an error — the path simply was not
+                    // measured.
+                    None => {}
                 }
                 sched.on_complete(PathId(p as u32), finished);
             }
@@ -330,6 +422,63 @@ mod tests {
             let kept: Vec<RangeSample> = s.samples().copied().collect();
             assert_eq!(mine, kept, "path {p} diverged");
         }
+    }
+
+    #[test]
+    fn preset_shutdown_flag_stops_before_any_measurement() {
+        let stop = ShutdownFlag::new();
+        stop.request();
+        assert!(stop.is_requested());
+        let series = run_fleet_with_shutdown(
+            oracle_fleet(2),
+            &ScheduleConfig::default(),
+            &SeriesConfig::default(),
+            TimeNs::from_secs(600),
+            1,
+            &stop,
+            |_| panic!("no event may fire after shutdown was requested"),
+        )
+        .unwrap();
+        assert_eq!(series.len(), 2, "series are still returned per path");
+        assert!(series.iter().all(|s| s.is_empty()), "no starts issued");
+    }
+
+    #[test]
+    fn shutdown_mid_run_flushes_what_was_collected() {
+        let sched = ScheduleConfig {
+            period: TimeNs::from_secs(10),
+            jitter: TimeNs::ZERO,
+            max_concurrent: 1,
+            seed: 5,
+        };
+        // A long horizon that would yield dozens of samples; the flag is
+        // raised by the observer at the first sample, so the run ends
+        // after at most the already-started wave.
+        let stop = ShutdownFlag::new();
+        let handle = stop.clone();
+        let mut streamed = 0usize;
+        let series = run_fleet_with_shutdown(
+            oracle_fleet(2),
+            &sched,
+            &SeriesConfig::default(),
+            TimeNs::from_secs(10_000),
+            1,
+            &stop,
+            |ev| {
+                if matches!(ev, FleetEvent::Sample { .. }) {
+                    streamed += 1;
+                    handle.request();
+                }
+            },
+        )
+        .unwrap();
+        let stored: usize = series.iter().map(|s| s.len()).sum();
+        assert_eq!(stored, streamed, "flushed series match streamed events");
+        assert!(stored >= 1, "the in-flight measurement was recorded");
+        assert!(
+            stored <= 2,
+            "only the wave in flight at shutdown may land, got {stored}"
+        );
     }
 
     #[test]

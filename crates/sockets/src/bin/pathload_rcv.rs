@@ -1,6 +1,11 @@
 //! `pathload_rcv <listen-addr>` — the pathload receiver daemon.
 //!
 //! Example: `pathload_rcv 0.0.0.0:9100`
+//!
+//! One daemon serves any number of concurrent senders: each control
+//! connection becomes an independent session, and the shared UDP probe
+//! socket is demuxed by the session token minted at `Hello`. A whole
+//! `monitord` fleet can therefore point every path at this one address.
 
 use pathload_net::Receiver;
 use std::net::SocketAddr;
@@ -28,7 +33,10 @@ fn main() {
             exit(1);
         }
     };
-    println!("pathload_rcv: control on {}", rx.ctrl_addr());
+    println!(
+        "pathload_rcv: control on {} (multi-session: any number of senders)",
+        rx.ctrl_addr()
+    );
     if let Err(e) = rx.serve_forever() {
         eprintln!("fatal: {e}");
         exit(1);

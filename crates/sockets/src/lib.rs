@@ -3,7 +3,11 @@
 //! A faithful implementation of the pathload tool's transport (§IV):
 //! UDP periodic probe streams timestamped at both ends, with a TCP control
 //! channel that announces streams, acknowledges them, and carries the
-//! receiver's per-packet records back to the sender. The sender side
+//! receiver's per-packet records back to the sender. The receiver is
+//! **session-multiplexing**: one control port and one shared UDP probe
+//! socket serve any number of concurrent senders, demuxed by the session
+//! token minted at `Hello` and carried in every probe packet (wire
+//! protocol v2). The sender side
 //! implements [`slops::ProbeTransport`], so the *same* estimation code that
 //! runs over the simulator runs over a real network: the `pathload_snd`
 //! binary calls the blocking `slops::Session::run` driver, which executes
@@ -19,8 +23,10 @@
 //! * [`pacing`] — absolute-deadline packet pacing (sleep-then-spin), the
 //!   part of a measurement tool a general-purpose runtime cannot do; this
 //!   is why the crate uses plain threads instead of an async executor.
-//! * [`receiver`] — the `pathload_rcv` side: collects probe packets,
-//!   timestamps arrivals, ships records back.
+//! * [`receiver`] — the `pathload_rcv` side: accepts concurrent sender
+//!   sessions, demuxes the shared probe socket by session token, collects
+//!   (de-duplicating, loss-tolerant), timestamps arrivals, ships records
+//!   back.
 //! * [`sender`] — the `pathload_snd` side: [`SocketTransport`].
 //! * [`driver`] — [`SocketDriver`], the explicit command/event pump of the
 //!   sans-IO `slops::SessionMachine` over this transport (the reference
@@ -46,5 +52,5 @@ pub mod receiver;
 pub mod sender;
 
 pub use driver::SocketDriver;
-pub use receiver::Receiver;
+pub use receiver::{AcceptBackoff, Receiver};
 pub use sender::SocketTransport;

@@ -8,8 +8,16 @@ use std::io::{self, Read, Write};
 /// Magic tag identifying our UDP probe packets.
 pub const PROBE_MAGIC: u32 = 0x534C_6F50; // "SLoP"
 
+/// Wire protocol version, carried in the `Hello` frame and in every probe
+/// packet. Version 2 added session multiplexing: the receiver mints a
+/// session token at `Hello` and every probe packet carries it, so one
+/// receiver (one control port, one UDP socket) serves many concurrent
+/// senders. Endpoints reject a peer speaking a different version — the
+/// formats are not compatible across versions.
+pub const PROTO_VERSION: u8 = 2;
+
 /// Fixed UDP probe header length (the rest of the packet is padding).
-pub const PROBE_HEADER_LEN: usize = 24;
+pub const PROBE_HEADER_LEN: usize = 32;
 
 /// Kind byte of a probe packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,6 +31,9 @@ pub enum ProbeKind {
 /// A decoded UDP probe packet header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProbePacket {
+    /// The sender's session token, minted by the receiver at `Hello`.
+    /// The receiver demuxes its one shared UDP socket on this field.
+    pub session: u64,
     /// Stream or train kind.
     pub kind: ProbeKind,
     /// Stream/train id.
@@ -43,13 +54,16 @@ impl ProbePacket {
             ProbeKind::Stream => 0,
             ProbeKind::Train => 1,
         };
-        buf[5..8].fill(0);
+        buf[5] = PROTO_VERSION;
+        buf[6..8].fill(0);
         buf[8..12].copy_from_slice(&self.id.to_le_bytes());
         buf[12..16].copy_from_slice(&self.idx.to_le_bytes());
         buf[16..24].copy_from_slice(&self.send_ns.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.session.to_le_bytes());
     }
 
-    /// Decode from a received datagram; `None` if it is not ours.
+    /// Decode from a received datagram; `None` if it is not ours (wrong
+    /// magic, wrong version, unknown kind, or too short).
     pub fn decode(buf: &[u8]) -> Option<ProbePacket> {
         if buf.len() < PROBE_HEADER_LEN {
             return None;
@@ -62,7 +76,11 @@ impl ProbePacket {
             1 => ProbeKind::Train,
             _ => return None,
         };
+        if buf[5] != PROTO_VERSION {
+            return None;
+        }
         Some(ProbePacket {
+            session: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
             kind,
             id: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
             idx: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
@@ -85,10 +103,17 @@ pub struct SampleWire {
 /// Control-channel messages (TCP, length-prefixed frames).
 #[derive(Clone, Debug, PartialEq)]
 pub enum CtrlMsg {
-    /// Receiver → sender on connect: the UDP port to probe.
+    /// Receiver → sender on connect: protocol version, the UDP port to
+    /// probe, and the session token minted for this control connection.
     Hello {
-        /// Receiver's UDP port.
+        /// The receiver's [`PROTO_VERSION`]; the sender disconnects on a
+        /// mismatch instead of mis-parsing probe reports.
+        version: u8,
+        /// Receiver's (shared) UDP port.
         udp_port: u16,
+        /// Session token the sender must stamp into every probe packet;
+        /// the receiver routes shared-socket datagrams by this token.
+        session: u64,
     },
     /// Sender → receiver: a stream is about to start.
     StreamAnnounce {
@@ -161,7 +186,15 @@ impl CtrlMsg {
         let mut body = Vec::with_capacity(32);
         body.push(self.tag());
         match self {
-            CtrlMsg::Hello { udp_port } => body.extend_from_slice(&udp_port.to_le_bytes()),
+            CtrlMsg::Hello {
+                version,
+                udp_port,
+                session,
+            } => {
+                body.push(*version);
+                body.extend_from_slice(&udp_port.to_le_bytes());
+                body.extend_from_slice(&session.to_le_bytes());
+            }
             CtrlMsg::StreamAnnounce {
                 id,
                 count,
@@ -231,7 +264,9 @@ impl CtrlMsg {
         };
         let msg = match tag {
             1 => CtrlMsg::Hello {
+                version: take(1)?[0],
                 udp_port: u16::from_le_bytes(take(2)?.try_into().unwrap()),
+                session: u64::from_le_bytes(take(8)?.try_into().unwrap()),
             },
             2 => CtrlMsg::StreamAnnounce {
                 id: u32::from_le_bytes(take(4)?.try_into().unwrap()),
@@ -283,6 +318,7 @@ mod tests {
     #[test]
     fn probe_packet_round_trip() {
         let p = ProbePacket {
+            session: 0xDEAD_BEEF_0042,
             kind: ProbeKind::Stream,
             id: 42,
             idx: 7,
@@ -300,6 +336,7 @@ mod tests {
         buf[0..4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
         assert_eq!(ProbePacket::decode(&buf), None);
         let p = ProbePacket {
+            session: 9,
             kind: ProbeKind::Train,
             id: 1,
             idx: 2,
@@ -308,6 +345,23 @@ mod tests {
         let mut buf = vec![0u8; 64];
         p.encode(&mut buf);
         buf[4] = 99; // invalid kind
+        assert_eq!(ProbePacket::decode(&buf), None);
+    }
+
+    #[test]
+    fn probe_packet_rejects_other_versions() {
+        let p = ProbePacket {
+            session: 1,
+            kind: ProbeKind::Stream,
+            id: 1,
+            idx: 0,
+            send_ns: 2,
+        };
+        let mut buf = vec![0u8; 64];
+        p.encode(&mut buf);
+        buf[5] = PROTO_VERSION + 1;
+        assert_eq!(ProbePacket::decode(&buf), None);
+        buf[5] = 0; // pre-versioning layout
         assert_eq!(ProbePacket::decode(&buf), None);
     }
 
@@ -320,7 +374,11 @@ mod tests {
 
     #[test]
     fn ctrl_messages_round_trip() {
-        round_trip(CtrlMsg::Hello { udp_port: 9999 });
+        round_trip(CtrlMsg::Hello {
+            version: PROTO_VERSION,
+            udp_port: 9999,
+            session: u64::MAX - 3,
+        });
         round_trip(CtrlMsg::StreamAnnounce {
             id: 5,
             count: 100,
@@ -361,7 +419,13 @@ mod tests {
     #[test]
     fn truncated_frame_is_an_error() {
         let mut buf = Vec::new();
-        CtrlMsg::Hello { udp_port: 1 }.write_to(&mut buf).unwrap();
+        CtrlMsg::Hello {
+            version: PROTO_VERSION,
+            udp_port: 1,
+            session: 7,
+        }
+        .write_to(&mut buf)
+        .unwrap();
         buf.truncate(buf.len() - 1);
         assert!(CtrlMsg::read_from(&mut buf.as_slice()).is_err());
     }

@@ -1,34 +1,132 @@
 //! The receiver side (`pathload_rcv`): timestamps probe arrivals and ships
-//! records back over the control channel.
+//! records back over the control channel — for **many concurrent senders**
+//! on one control port and one shared UDP socket.
+//!
+//! Session multiplexing works like this:
+//!
+//! * every accepted control connection becomes a *session*: the receiver
+//!   mints a session token, registers a collector channel under it, and
+//!   advertises the token (plus the shared UDP port) in the `Hello`;
+//! * the sender stamps the token into every [`ProbePacket`] it emits;
+//! * one background *demux* thread owns the shared UDP socket: it
+//!   timestamps each datagram at arrival, decodes the header, and routes
+//!   the packet to the owning session's collector by token. Datagrams
+//!   carrying an unknown (stale, never-issued, foreign) token are dropped,
+//!   so a late packet from a finished session can never contaminate a live
+//!   collection. Tokens count up from a random 64-bit base, so an off-path
+//!   attacker cannot guess a live one; collector channels are bounded, so
+//!   a datagram flood cannot grow receiver memory;
+//! * [`Receiver::serve_forever`] accepts concurrently, one thread per
+//!   session, with bounded backoff on persistent accept errors (EMFILE &
+//!   co.) so a starved listener does not hot-loop at 100% CPU.
+//!
+//! Collection is loss- and reorder-tolerant: stream packets are
+//! de-duplicated on index (a duplicated datagram is counted once), and a
+//! stream with a lost or reordered tail stops after a short silence window
+//! once its nominal duration has passed instead of blocking for the full
+//! multi-second deadline.
 
 use crate::clock::MonoClock;
-use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire};
+use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire, PROTO_VERSION};
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver as ChanReceiver, RecvTimeoutError, SyncSender};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// The pathload receiver: one TCP control listener plus one UDP probe
-/// socket.
+/// A probe packet as the demux thread hands it to a session's collector:
+/// decoded header plus the arrival timestamp (receiver clock, stamped at
+/// the socket read, before any queueing).
+#[derive(Clone, Copy, Debug)]
+struct Arrival {
+    packet: ProbePacket,
+    recv_ns: u64,
+}
+
+type Registry = Mutex<HashMap<u64, SyncSender<Arrival>>>;
+
+/// How long a collector waits on its channel per wakeup (also bounds how
+/// fast the demux thread notices shutdown).
+const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Bound on a session's collector channel. Far above any stream or train
+/// the sender announces (default stream length is 100 packets), so a
+/// datagram flood cannot grow receiver memory without bound — the demux
+/// drops for that session once full (dropped probes read as loss, which
+/// collection already tolerates) and other sessions are unaffected.
+const COLLECTOR_CAPACITY: usize = 4096;
+
+/// A stream whose nominal duration has passed is considered over after
+/// this much silence (covers a lost or reordered final packet without
+/// waiting out the full deadline).
+const STREAM_SILENCE_NS: u64 = 200_000_000;
+
+/// A back-to-back train is considered over after this much silence.
+const TRAIN_SILENCE_NS: u64 = 50_000_000;
+
+fn lock_registry(reg: &Registry) -> MutexGuard<'_, HashMap<u64, SyncSender<Arrival>>> {
+    // A poisoned registry only means some session thread panicked while
+    // holding the (insert/remove-only) lock; the map itself stays sound.
+    reg.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Session-serving state shared by the accept loop, the session threads,
+/// and the demux thread.
+struct Shared {
+    udp_port: u16,
+    clock: MonoClock,
+    registry: Registry,
+    next_token: AtomicU64,
+}
+
+/// The pathload receiver: one TCP control listener plus one **shared** UDP
+/// probe socket, serving any number of concurrent sender sessions.
 pub struct Receiver {
     listener: TcpListener,
-    udp: UdpSocket,
-    clock: MonoClock,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    demux: Option<JoinHandle<()>>,
 }
 
 impl Receiver {
     /// Bind to `addr` (use port 0 for an ephemeral port). The UDP socket
-    /// binds to the same IP with its own (ephemeral) port, which is
-    /// advertised to each sender in the `Hello`.
+    /// binds to the same IP with its own (ephemeral) port; that one port
+    /// is shared by every session and advertised in each `Hello`. The
+    /// demux thread routing its datagrams starts here and runs until the
+    /// receiver is dropped.
     pub fn bind(addr: SocketAddr) -> io::Result<Receiver> {
         let listener = TcpListener::bind(addr)?;
         let mut udp_addr = listener.local_addr()?;
         udp_addr.set_port(0);
         let udp = UdpSocket::bind(udp_addr)?;
-        udp.set_read_timeout(Some(Duration::from_millis(50)))?;
+        udp.set_read_timeout(Some(POLL_TIMEOUT))?;
+        // Tokens count up from a random 64-bit base (std's OS-seeded
+        // hasher entropy): an off-path attacker who cannot observe the
+        // control channel cannot guess a live token to spoof probe
+        // datagrams into a session's collection.
+        let token_base = RandomState::new().build_hasher().finish();
+        let shared = Arc::new(Shared {
+            udp_port: udp.local_addr()?.port(),
+            clock: MonoClock::new(),
+            registry: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(token_base),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let demux = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || demux_loop(&udp, &shared, &stop))
+        };
         Ok(Receiver {
             listener,
-            udp,
-            clock: MonoClock::new(),
+            shared,
+            stop,
+            demux: Some(demux),
         })
     }
 
@@ -37,14 +135,192 @@ impl Receiver {
         self.listener.local_addr().expect("bound listener")
     }
 
-    /// Serve exactly one sender session (blocking), then return.
+    /// Serve exactly one sender session (blocking), then return. Other
+    /// sessions may be served concurrently by other calls or threads —
+    /// the probe socket demux keeps them apart.
     pub fn serve_one(&self) -> io::Result<()> {
-        let (mut ctrl, _peer) = self.listener.accept()?;
-        ctrl.set_nodelay(true)?;
-        let udp_port = self.udp.local_addr()?.port();
-        CtrlMsg::Hello { udp_port }.write_to(&mut ctrl)?;
+        let (ctrl, _peer) = self.listener.accept()?;
+        self.shared.serve_session(ctrl)
+    }
+
+    /// Accept exactly `n` sender sessions, serve them **concurrently**
+    /// (one thread each), and return once all have finished. Errors are
+    /// reported only after every spawned session is joined — including
+    /// when a later `accept` fails, so no session is left running
+    /// detached with its outcome lost. The accept error (if any) wins
+    /// over session errors.
+    pub fn serve_n(&self, n: usize) -> io::Result<()> {
+        let mut sessions = Vec::with_capacity(n);
+        let mut accept_err = None;
+        for _ in 0..n {
+            match self.listener.accept() {
+                Ok((ctrl, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    sessions.push(thread::spawn(move || shared.serve_session(ctrl)));
+                }
+                Err(e) => {
+                    accept_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut first_err = accept_err;
+        for handle in sessions {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert_with(|| io::Error::other("session thread panicked"));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Serve sessions forever (for the `pathload_rcv` binary): accept
+    /// concurrently, one detached thread per session. Session errors are
+    /// logged and do not affect other sessions; accept errors are retried
+    /// with bounded exponential backoff (a persistent failure such as
+    /// EMFILE must not hot-loop the accept thread at 100% CPU).
+    pub fn serve_forever(&self) -> io::Result<()> {
+        let mut backoff = AcceptBackoff::new();
         loop {
-            let msg = match CtrlMsg::read_from(&mut ctrl) {
+            match self.listener.accept() {
+                Ok((ctrl, _peer)) => {
+                    backoff.on_success();
+                    let shared = Arc::clone(&self.shared);
+                    thread::spawn(move || {
+                        if let Err(e) = shared.serve_session(ctrl) {
+                            eprintln!("session error: {e}");
+                        }
+                    });
+                }
+                Err(e) => {
+                    let delay = backoff.on_error();
+                    eprintln!("accept error: {e} (retrying in {delay:?})");
+                    thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Receiver {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.demux.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Bounded exponential backoff for a failing `accept` loop: starts small
+/// (a transient error costs almost nothing), doubles per consecutive
+/// error, and caps so a persistent failure retries at a gentle steady
+/// rate instead of spinning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcceptBackoff {
+    delay: Duration,
+}
+
+impl AcceptBackoff {
+    /// Delay after the first error.
+    pub const INITIAL: Duration = Duration::from_millis(10);
+    /// Ceiling for consecutive errors.
+    pub const MAX: Duration = Duration::from_secs(1);
+
+    /// A fresh policy (next error waits [`AcceptBackoff::INITIAL`]).
+    pub fn new() -> AcceptBackoff {
+        AcceptBackoff {
+            delay: Self::INITIAL,
+        }
+    }
+
+    /// An accept succeeded: reset to the initial delay.
+    pub fn on_success(&mut self) {
+        self.delay = Self::INITIAL;
+    }
+
+    /// An accept failed: how long to sleep before retrying. Consecutive
+    /// errors double the delay up to [`AcceptBackoff::MAX`].
+    pub fn on_error(&mut self) -> Duration {
+        let delay = self.delay;
+        self.delay = (delay * 2).min(Self::MAX);
+        delay
+    }
+}
+
+impl Default for AcceptBackoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The demux loop: read the shared probe socket, stamp arrivals, route by
+/// session token. Runs until the receiver sets `stop`.
+fn demux_loop(udp: &UdpSocket, shared: &Shared, stop: &AtomicBool) {
+    let mut buf = [0u8; 2048];
+    while !stop.load(Ordering::Relaxed) {
+        match udp.recv_from(&mut buf) {
+            Ok((n, _from)) => {
+                let recv_ns = shared.clock.now_ns();
+                if let Some(packet) = ProbePacket::decode(&buf[..n]) {
+                    // Unknown token (stale session, never issued): drop.
+                    // A full collector also drops (never block the demux
+                    // — other sessions' packets are behind this one).
+                    if let Some(tx) = lock_registry(&shared.registry).get(&packet.session) {
+                        let _ = tx.try_send(Arrival { packet, recv_ns });
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => {
+                // Transient socket error: don't busy-loop on it.
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn mint_token(&self) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Serve one control connection to completion: mint a session, say
+    /// `Hello`, answer announces with collections, deregister on the way
+    /// out (any exit path).
+    fn serve_session(&self, mut ctrl: TcpStream) -> io::Result<()> {
+        ctrl.set_nodelay(true)?;
+        let token = self.mint_token();
+        let (tx, arrivals) = mpsc::sync_channel(COLLECTOR_CAPACITY);
+        lock_registry(&self.registry).insert(token, tx);
+        let result = self.session_loop(&mut ctrl, token, &arrivals);
+        lock_registry(&self.registry).remove(&token);
+        result
+    }
+
+    fn session_loop(
+        &self,
+        ctrl: &mut TcpStream,
+        token: u64,
+        arrivals: &ChanReceiver<Arrival>,
+    ) -> io::Result<()> {
+        CtrlMsg::Hello {
+            version: PROTO_VERSION,
+            udp_port: self.udp_port,
+            session: token,
+        }
+        .write_to(ctrl)?;
+        loop {
+            let msg = match CtrlMsg::read_from(ctrl) {
                 Ok(m) => m,
                 Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
                 Err(e) => return Err(e),
@@ -56,25 +332,25 @@ impl Receiver {
                     period_ns,
                     size: _,
                 } => {
-                    self.drain_udp();
-                    CtrlMsg::Ready { id }.write_to(&mut ctrl)?;
-                    let samples = self.collect_stream(id, count, period_ns);
-                    CtrlMsg::StreamReport { id, samples }.write_to(&mut ctrl)?;
+                    drain(arrivals);
+                    CtrlMsg::Ready { id }.write_to(ctrl)?;
+                    let samples = self.collect_stream(arrivals, id, count, period_ns);
+                    CtrlMsg::StreamReport { id, samples }.write_to(ctrl)?;
                 }
                 CtrlMsg::TrainAnnounce { id, count, size: _ } => {
-                    self.drain_udp();
-                    CtrlMsg::Ready { id }.write_to(&mut ctrl)?;
-                    let (received, first_ns, last_ns) = self.collect_train(id, count);
+                    drain(arrivals);
+                    CtrlMsg::Ready { id }.write_to(ctrl)?;
+                    let (received, first_ns, last_ns) = self.collect_train(arrivals, id, count);
                     CtrlMsg::TrainReport {
                         id,
                         received,
                         first_ns,
                         last_ns,
                     }
-                    .write_to(&mut ctrl)?;
+                    .write_to(ctrl)?;
                 }
                 CtrlMsg::Echo { token } => {
-                    CtrlMsg::Echo { token }.write_to(&mut ctrl)?;
+                    CtrlMsg::Echo { token }.write_to(ctrl)?;
                 }
                 CtrlMsg::Bye => return Ok(()),
                 other => {
@@ -87,113 +363,182 @@ impl Receiver {
         }
     }
 
-    /// Discard any stale datagrams from previous streams.
-    fn drain_udp(&self) {
-        let mut buf = [0u8; 2048];
-        let _ = self.udp.set_read_timeout(Some(Duration::from_micros(1)));
-        while self.udp.recv_from(&mut buf).is_ok() {}
-        let _ = self.udp.set_read_timeout(Some(Duration::from_millis(50)));
-    }
-
-    /// Collect packets of stream `id` until all `count` arrived or the
-    /// stream has clearly ended (nominal duration plus a grace period).
-    fn collect_stream(&self, id: u32, count: u32, period_ns: u64) -> Vec<SampleWire> {
+    /// Collect packets of stream `id` until all `count` **distinct**
+    /// indices arrived, or the stream has clearly ended: its nominal
+    /// duration (measured from the first arrival) has passed and a
+    /// silence window elapsed with nothing new — which covers a lost or
+    /// reordered final packet without stalling to the full deadline.
+    /// Duplicated datagrams are counted once (first arrival wins).
+    fn collect_stream(
+        &self,
+        arrivals: &ChanReceiver<Arrival>,
+        id: u32,
+        count: u32,
+        period_ns: u64,
+    ) -> Vec<SampleWire> {
         let mut samples = Vec::with_capacity(count as usize);
-        let mut buf = [0u8; 2048];
+        let mut seen = vec![false; count as usize];
         let start = self.clock.now_ns();
         // Arm-to-end budget: 2 s to start + nominal duration + 1 s grace.
         let deadline = start + 2_000_000_000 + count as u64 * period_ns + 1_000_000_000;
+        let mut first_arrival: Option<u64> = None;
+        let mut last_activity = start;
         while (samples.len() as u32) < count && self.clock.now_ns() < deadline {
-            match self.udp.recv_from(&mut buf) {
-                Ok((n, _from)) => {
-                    let recv_ns = self.clock.now_ns();
-                    if let Some(p) = ProbePacket::decode(&buf[..n]) {
-                        if p.kind == ProbeKind::Stream && p.id == id {
-                            samples.push(SampleWire {
-                                idx: p.idx,
-                                send_ns: p.send_ns,
-                                recv_ns,
-                            });
+            match arrivals.recv_timeout(POLL_TIMEOUT) {
+                Ok(Arrival { packet: p, recv_ns }) => {
+                    if p.kind != ProbeKind::Stream || p.id != id {
+                        continue; // leftover of an earlier train/stream
+                    }
+                    last_activity = recv_ns;
+                    first_arrival.get_or_insert(recv_ns);
+                    let idx = p.idx as usize;
+                    if idx >= seen.len() || seen[idx] {
+                        continue; // malformed index or duplicated datagram
+                    }
+                    seen[idx] = true;
+                    samples.push(SampleWire {
+                        idx: p.idx,
+                        send_ns: p.send_ns,
+                        recv_ns,
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(first) = first_arrival {
+                        let nominal_end = first + count as u64 * period_ns;
+                        let now = self.clock.now_ns();
+                        if now >= nominal_end
+                            && now.saturating_sub(last_activity) >= STREAM_SILENCE_NS
+                        {
+                            break; // stream over; the missing tail is lost
                         }
                     }
                 }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    // If we have seen the last index already, or nothing new
-                    // arrives after the stream should be over, stop early.
-                    if samples
-                        .last()
-                        .is_some_and(|s: &SampleWire| s.idx + 1 == count)
-                    {
-                        break;
-                    }
-                }
-                Err(_) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         samples
     }
 
-    fn collect_train(&self, id: u32, count: u32) -> (u32, u64, u64) {
+    /// Collect a back-to-back train: distinct packets of train `id`,
+    /// de-duplicated on index, until all arrived or a silence window
+    /// passed after the first arrival.
+    fn collect_train(
+        &self,
+        arrivals: &ChanReceiver<Arrival>,
+        id: u32,
+        count: u32,
+    ) -> (u32, u64, u64) {
         let mut received = 0u32;
         let mut first_ns = 0u64;
         let mut last_ns = 0u64;
-        let mut buf = [0u8; 2048];
+        let mut seen = vec![false; count as usize];
         let start = self.clock.now_ns();
         let deadline = start + 5_000_000_000;
+        let mut last_activity = start;
         while received < count && self.clock.now_ns() < deadline {
-            match self.udp.recv_from(&mut buf) {
-                Ok((n, _)) => {
-                    let recv_ns = self.clock.now_ns();
-                    if let Some(p) = ProbePacket::decode(&buf[..n]) {
-                        if p.kind == ProbeKind::Train && p.id == id {
-                            if received == 0 {
-                                first_ns = recv_ns;
-                            }
-                            last_ns = recv_ns;
-                            received += 1;
-                        }
+            match arrivals.recv_timeout(POLL_TIMEOUT) {
+                Ok(Arrival { packet: p, recv_ns }) => {
+                    if p.kind != ProbeKind::Train || p.id != id {
+                        continue;
                     }
+                    last_activity = recv_ns;
+                    let idx = p.idx as usize;
+                    if idx >= seen.len() || seen[idx] {
+                        continue;
+                    }
+                    seen[idx] = true;
+                    if received == 0 {
+                        first_ns = recv_ns;
+                    }
+                    last_ns = last_ns.max(recv_ns);
+                    received += 1;
                 }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if received > 0 {
-                        // Back-to-back train: 50 ms of silence means it ended
-                        // (possibly with losses).
+                Err(RecvTimeoutError::Timeout) => {
+                    // Back-to-back train: a silence window after the first
+                    // arrival means it ended (possibly with losses).
+                    if received > 0
+                        && self.clock.now_ns().saturating_sub(last_activity) >= TRAIN_SILENCE_NS
+                    {
                         break;
                     }
                 }
-                Err(_) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         (received, first_ns, last_ns)
     }
-
-    /// Serve sessions forever (for the `pathload_rcv` binary).
-    pub fn serve_forever(&self) -> io::Result<()> {
-        loop {
-            if let Err(e) = self.serve_one() {
-                eprintln!("session error: {e}");
-            }
-        }
-    }
 }
 
-/// Connect a control channel to a receiver and perform the hello exchange.
-/// Returns the stream and the receiver's UDP port.
-pub(crate) fn connect_ctrl(addr: SocketAddr) -> io::Result<(TcpStream, u16)> {
+/// Discard any arrivals buffered from this session's previous streams.
+fn drain(arrivals: &ChanReceiver<Arrival>) {
+    while arrivals.try_recv().is_ok() {}
+}
+
+/// Connect a control channel to a receiver and perform the hello
+/// exchange. Returns the stream, the receiver's UDP port, and the minted
+/// session token.
+pub(crate) fn connect_ctrl(addr: SocketAddr) -> io::Result<(TcpStream, u16, u64)> {
     let mut ctrl = TcpStream::connect(addr)?;
     ctrl.set_nodelay(true)?;
     ctrl.set_read_timeout(Some(Duration::from_secs(30)))?;
     match CtrlMsg::read_from(&mut ctrl)? {
-        CtrlMsg::Hello { udp_port } => Ok((ctrl, udp_port)),
+        CtrlMsg::Hello {
+            version,
+            udp_port,
+            session,
+        } => {
+            if version != PROTO_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("receiver speaks protocol v{version}, we speak v{PROTO_VERSION}"),
+                ));
+            }
+            Ok((ctrl, udp_port, session))
+        }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("expected Hello, got {other:?}"),
         )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut b = AcceptBackoff::new();
+        let mut prev = Duration::ZERO;
+        for _ in 0..20 {
+            let d = b.on_error();
+            assert!(d >= prev, "backoff shrank: {prev:?} -> {d:?}");
+            assert!(d <= AcceptBackoff::MAX, "backoff above cap: {d:?}");
+            prev = d;
+        }
+        assert_eq!(prev, AcceptBackoff::MAX, "persistent errors must cap");
+        // The whole first minute of a persistent failure costs few retries.
+        let mut b = AcceptBackoff::new();
+        assert_eq!(b.on_error(), AcceptBackoff::INITIAL);
+        assert_eq!(b.on_error(), AcceptBackoff::INITIAL * 2);
+        assert_eq!(b.on_error(), AcceptBackoff::INITIAL * 4);
+    }
+
+    #[test]
+    fn backoff_resets_on_success() {
+        let mut b = AcceptBackoff::new();
+        for _ in 0..10 {
+            b.on_error();
+        }
+        b.on_success();
+        assert_eq!(b.on_error(), AcceptBackoff::INITIAL);
+    }
+
+    #[test]
+    fn tokens_are_unique_per_receiver() {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let a = rx.shared.mint_token();
+        let b = rx.shared.mint_token();
+        assert_ne!(a, b);
     }
 }

@@ -17,6 +17,10 @@ pub struct SocketTransport {
     ctrl: TcpStream,
     udp: UdpSocket,
     clock: MonoClock,
+    /// Session token minted by the receiver at `Hello`; stamped into
+    /// every probe packet so the receiver's shared UDP socket can route
+    /// it to this session's collector.
+    session: u64,
     next_id: u32,
     /// Cap on the stream rates this host can pace reliably. Defaults to
     /// 80 Mb/s (MTU-sized packets every ~150 µs), which a commodity Linux
@@ -37,7 +41,7 @@ impl SocketTransport {
     /// [`MonoClock::same_epoch`] clones of one clock share a timeline —
     /// what a fleet scheduler staggering starts across paths requires.
     pub fn connect_with_clock(addr: SocketAddr, clock: MonoClock) -> io::Result<SocketTransport> {
-        let (ctrl, udp_port) = connect_ctrl(addr)?;
+        let (ctrl, udp_port, session) = connect_ctrl(addr)?;
         let mut peer = addr;
         peer.set_port(udp_port);
         let local: SocketAddr = match addr {
@@ -50,9 +54,15 @@ impl SocketTransport {
             ctrl,
             udp,
             clock,
+            session,
             next_id: 0,
             rate_cap: Rate::from_mbps(80.0),
         })
+    }
+
+    /// The session token the receiver minted for this connection.
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     fn io_err(e: io::Error) -> TransportError {
@@ -94,6 +104,7 @@ impl ProbeTransport for SocketTransport {
             pace_until(&self.clock, deadline);
             let send_ns = self.clock.now_ns();
             ProbePacket {
+                session: self.session,
                 kind: ProbeKind::Stream,
                 id,
                 idx: i,
@@ -145,6 +156,7 @@ impl ProbeTransport for SocketTransport {
         let mut buf = vec![0u8; size];
         for i in 0..len {
             ProbePacket {
+                session: self.session,
                 kind: ProbeKind::Train,
                 id,
                 idx: i,

@@ -1,7 +1,7 @@
 //! Fuzz-style property tests of the wire formats: arbitrary bytes must
 //! never panic the decoders, and encode/decode must round-trip.
 
-use pathload_net::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire};
+use pathload_net::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire, PROTO_VERSION};
 use proptest::prelude::*;
 
 proptest! {
@@ -22,13 +22,15 @@ proptest! {
     /// Probe header round-trips through any buffer size >= header length.
     #[test]
     fn probe_round_trip(
+        session in any::<u64>(),
         kind_train in any::<bool>(),
         id in any::<u32>(),
         idx in any::<u32>(),
         send_ns in any::<u64>(),
-        pad in 24usize..1500,
+        pad in 32usize..1500,
     ) {
         let p = ProbePacket {
+            session,
             kind: if kind_train { ProbeKind::Train } else { ProbeKind::Stream },
             id,
             idx,
@@ -61,13 +63,19 @@ proptest! {
     /// Concatenated frames decode in order (stream framing is
     /// self-delimiting).
     #[test]
-    fn frames_are_self_delimiting(port1 in any::<u16>(), port2 in any::<u16>()) {
+    fn frames_are_self_delimiting(
+        port1 in any::<u16>(),
+        port2 in any::<u16>(),
+        tok1 in any::<u64>(),
+        tok2 in any::<u64>(),
+    ) {
+        let hello = |udp_port, session| CtrlMsg::Hello { version: PROTO_VERSION, udp_port, session };
         let mut buf = Vec::new();
-        CtrlMsg::Hello { udp_port: port1 }.write_to(&mut buf).unwrap();
-        CtrlMsg::Hello { udp_port: port2 }.write_to(&mut buf).unwrap();
+        hello(port1, tok1).write_to(&mut buf).unwrap();
+        hello(port2, tok2).write_to(&mut buf).unwrap();
         let mut cursor = buf.as_slice();
-        prop_assert_eq!(CtrlMsg::read_from(&mut cursor).unwrap(), CtrlMsg::Hello { udp_port: port1 });
-        prop_assert_eq!(CtrlMsg::read_from(&mut cursor).unwrap(), CtrlMsg::Hello { udp_port: port2 });
+        prop_assert_eq!(CtrlMsg::read_from(&mut cursor).unwrap(), hello(port1, tok1));
+        prop_assert_eq!(CtrlMsg::read_from(&mut cursor).unwrap(), hello(port2, tok2));
         prop_assert!(cursor.is_empty());
     }
 }

@@ -1,8 +1,9 @@
 //! A socket-backed monitoring fleet over loopback: what the `monitord`
 //! binary does, as a library call.
 //!
-//! Three in-process `pathload_rcv`-style receivers are monitored by the
-//! socket fleet driver — real UDP probe streams, real TCP control
+//! Three paths, all against ONE in-process `pathload_rcv`-style receiver
+//! (the multi-session receiver demuxes them by session token), monitored
+//! by the socket fleet driver — real UDP probe streams, real TCP control
 //! channels, one long-lived connection per path, all sender clocks on one
 //! shared epoch — with the JSONL records a daemon would emit streamed to
 //! stdout as measurements finish.
@@ -34,19 +35,19 @@ fn main() {
     probe.grey_resolution = Rate::from_mbps(16.0);
     probe.max_fleets = 6;
 
-    let mut specs = Vec::new();
-    let mut servers = Vec::new();
-    for i in 0..3 {
-        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).expect("bind receiver");
-        eprintln!("receiver lo{i} on {}", rx.ctrl_addr());
-        specs.push(SocketPathSpec {
+    const N: usize = 3;
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).expect("bind receiver");
+    let addr = rx.ctrl_addr();
+    eprintln!("shared receiver for {N} paths on {addr}");
+    let server = thread::spawn(move || rx.serve_n(N));
+    let specs: Vec<SocketPathSpec> = (0..N)
+        .map(|i| SocketPathSpec {
             label: format!("lo{i}"),
-            ctrl_addr: rx.ctrl_addr(),
+            ctrl_addr: addr,
             cfg: probe.clone(),
             rate_cap: Some(Rate::from_mbps(40.0)),
-        });
-        servers.push(thread::spawn(move || rx.serve_one()));
-    }
+        })
+        .collect();
 
     let sched = ScheduleConfig {
         period: TimeNs::from_secs(2),
@@ -82,7 +83,5 @@ fn main() {
         println!("{}", summary_line(p, s));
     }
     eprint!("\n{}", fleet_summary(&series));
-    for h in servers {
-        h.join().expect("receiver thread").expect("receiver");
-    }
+    server.join().expect("receiver thread").expect("receiver");
 }

@@ -3,10 +3,15 @@
 //! real UDP/TCP paths through the sans-IO scheduler, with the JSONL
 //! records it would emit validated line by line.
 //!
+//! Every fleet here shares a **single** receiver address: the
+//! multi-session receiver demuxes all paths' sessions on one control port
+//! and one UDP socket, which is the intended co-located deployment.
+//!
 //! Loopback has no FIFO bottleneck, so the estimates themselves are not
 //! meaningful — what these tests pin is the deployable stack: long-lived
-//! per-path connections, shared-epoch clocks, staggered starts, streamed
-//! records that parse, and per-path series that settle into a sane range.
+//! per-path connections to one shared receiver, shared-epoch clocks,
+//! staggered starts, streamed records that parse, and per-path series
+//! that settle into a sane range.
 
 use availbw::monitord::export::{sample_line, summary_line};
 use availbw::monitord::{
@@ -95,24 +100,24 @@ fn field<'a>(rec: &'a [(String, String)], key: &str) -> Option<&'a str> {
     rec.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
 
-/// Three loopback paths through the binary's socket fleet driver: every
-/// streamed record parses as JSONL, every path converges to a sane series
-/// with no errors, and the starts are staggered on one shared timeline.
+/// Three loopback paths, all naming ONE shared receiver address, through
+/// the binary's socket fleet driver: every streamed record parses as
+/// JSONL, every path converges to a sane series with no errors, and the
+/// starts are staggered on one shared timeline.
 #[test]
 fn loopback_fleet_emits_valid_jsonl_and_converges() {
     const N: usize = 3;
-    let mut specs = Vec::new();
-    let mut servers = Vec::new();
-    for i in 0..N {
-        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-        specs.push(SocketPathSpec {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(N));
+    let specs: Vec<SocketPathSpec> = (0..N)
+        .map(|i| SocketPathSpec {
             label: format!("lo{i}"),
-            ctrl_addr: rx.ctrl_addr(),
+            ctrl_addr: addr,
             cfg: gentle_cfg(),
             rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
-        });
-        servers.push(thread::spawn(move || rx.serve_one()));
-    }
+        })
+        .collect();
     let sched = ScheduleConfig {
         period: TimeNs::from_secs(2),
         jitter: TimeNs::from_millis(200),
@@ -191,28 +196,26 @@ fn loopback_fleet_emits_valid_jsonl_and_converges() {
     first_starts.dedup();
     assert_eq!(first_starts.len(), N, "starts were not staggered");
 
-    for h in servers {
-        h.join().unwrap().unwrap();
-    }
+    server.join().unwrap().unwrap();
 }
 
-/// The concurrency cap holds over real sockets: with `max_concurrent 1`
-/// no two measurements overlap in wall-clock time, even across paths.
+/// The concurrency cap holds over real sockets even when both paths
+/// share one receiver: with `max_concurrent 1` no two measurements
+/// overlap in wall-clock time, even across paths.
 #[test]
 fn concurrency_cap_holds_on_the_wall_clock() {
     const N: usize = 2;
-    let mut specs = Vec::new();
-    let mut servers = Vec::new();
-    for i in 0..N {
-        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-        specs.push(SocketPathSpec {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(N));
+    let specs: Vec<SocketPathSpec> = (0..N)
+        .map(|i| SocketPathSpec {
             label: format!("p{i}"),
-            ctrl_addr: rx.ctrl_addr(),
+            ctrl_addr: addr,
             cfg: gentle_cfg(),
             rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
-        });
-        servers.push(thread::spawn(move || rx.serve_one()));
-    }
+        })
+        .collect();
     let sched = ScheduleConfig {
         period: TimeNs::from_millis(500), // force back-to-back pressure
         jitter: TimeNs::ZERO,
@@ -243,7 +246,5 @@ fn concurrency_cap_holds_on_the_wall_clock() {
             "measurements overlapped under cap 1: {w:?}"
         );
     }
-    for h in servers {
-        h.join().unwrap().unwrap();
-    }
+    server.join().unwrap().unwrap();
 }

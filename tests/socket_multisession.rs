@@ -1,0 +1,332 @@
+//! The session-multiplexing receiver, end to end over loopback: N
+//! concurrent senders on ONE control port and ONE shared UDP probe
+//! socket, demuxed by the session token minted at `Hello`.
+//!
+//! Alongside the full-session tests there are wire-level injection tests
+//! driven by a hand-rolled control client: they feed the receiver
+//! duplicated, reordered, truncated, and stale-session datagrams and pin
+//! the collection semantics directly (de-duplication on index, no stall
+//! on a lost final packet, stale tokens dropped).
+
+use availbw::pathload_net::proto::{CtrlMsg, ProbeKind, ProbePacket, PROTO_VERSION};
+use availbw::pathload_net::{Receiver, SocketTransport};
+use availbw::slops::{stream_params, Estimate, ProbeTransport, Session, SlopsConfig};
+use availbw::units::{Rate, TimeNs};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const RATE_CAP_MBPS: f64 = 40.0;
+
+fn gentle_cfg() -> SlopsConfig {
+    let mut cfg = SlopsConfig::default();
+    cfg.stream_len = 30;
+    cfg.fleet_len = 4;
+    cfg.min_period = TimeNs::from_millis(1);
+    cfg.resolution = Rate::from_mbps(8.0);
+    cfg.grey_resolution = Rate::from_mbps(16.0);
+    cfg.max_fleets = 6;
+    cfg
+}
+
+fn run_session(addr: SocketAddr) -> Estimate {
+    let mut t = SocketTransport::connect(addr).unwrap();
+    t.rate_cap = Rate::from_mbps(RATE_CAP_MBPS);
+    Session::new(gentle_cfg()).run(&mut t).expect("session")
+}
+
+fn assert_sane(est: &Estimate, what: &str) {
+    assert!(est.low.bps() <= est.high.bps(), "{what}: low > high");
+    assert!(!est.fleets.is_empty(), "{what}: empty fleet trace");
+    assert!(
+        est.high.mbps() <= RATE_CAP_MBPS + 8.0,
+        "{what}: estimate above the pacing cap: {}",
+        est.high
+    );
+}
+
+/// Two senders measuring **concurrently through one shared receiver**
+/// complete with the same sane estimates as two senders on dedicated
+/// receivers. Real sockets are nondeterministic, so the comparison is
+/// structural (both setups complete, converge, and respect the cap) —
+/// the same standard `tests/socket_loopback.rs` applies to one session.
+#[test]
+fn concurrent_sessions_on_shared_receiver_match_dedicated_receivers() {
+    // Shared: one receiver, two concurrent sessions.
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(2));
+    let a = thread::spawn(move || run_session(addr));
+    let b = thread::spawn(move || run_session(addr));
+    let shared = [a.join().unwrap(), b.join().unwrap()];
+    server.join().unwrap().unwrap();
+
+    // Dedicated: one receiver per sender, also concurrent.
+    let mut servers = Vec::new();
+    let mut sessions = Vec::new();
+    for _ in 0..2 {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        servers.push(thread::spawn(move || rx.serve_one()));
+        sessions.push(thread::spawn(move || run_session(addr)));
+    }
+    let dedicated: Vec<Estimate> = sessions.into_iter().map(|s| s.join().unwrap()).collect();
+    for h in servers {
+        h.join().unwrap().unwrap();
+    }
+
+    for (i, est) in shared.iter().enumerate() {
+        assert_sane(est, &format!("shared session {i}"));
+    }
+    for (i, est) in dedicated.iter().enumerate() {
+        assert_sane(est, &format!("dedicated session {i}"));
+    }
+}
+
+/// A probe stream and a probe train from *different sessions*, in flight
+/// at the same time through the shared UDP socket, do not contaminate
+/// each other's collections — even though both use id 0 (each transport
+/// numbers its own streams).
+#[test]
+fn interleaved_stream_and_train_do_not_cross_contaminate() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(2));
+
+    let mut ta = SocketTransport::connect(addr).unwrap();
+    let mut tb = SocketTransport::connect(addr).unwrap();
+    assert_ne!(
+        ta.session(),
+        tb.session(),
+        "sessions must get unique tokens"
+    );
+
+    let cfg = gentle_cfg();
+    let req = stream_params(Rate::from_mbps(1.6), 0, &cfg); // 200 B @ 1 ms
+    let count = req.count;
+    let a = thread::spawn(move || {
+        let rec = ta.send_stream(&req).unwrap();
+        drop(ta);
+        rec
+    });
+    let b = thread::spawn(move || {
+        let rec = tb.send_train(60, 600).unwrap();
+        drop(tb);
+        rec
+    });
+    let stream = a.join().unwrap();
+    let train = b.join().unwrap();
+    server.join().unwrap().unwrap();
+
+    // The stream collection saw only its own packets: no index outside
+    // the stream, no duplicates, and nearly everything arrived.
+    assert_eq!(stream.sent, count);
+    assert!(
+        stream.samples.len() as u32 <= count,
+        "stream over-collected: {} > {count}",
+        stream.samples.len()
+    );
+    assert!(
+        stream.samples.len() as u32 >= count - 5,
+        "stream lost too much on loopback: {}/{count}",
+        stream.samples.len()
+    );
+    let mut idxs: Vec<u32> = stream.samples.iter().map(|s| s.idx).collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    assert_eq!(idxs.len(), stream.samples.len(), "duplicate stream indices");
+    assert!(idxs.iter().all(|&i| i < count), "foreign index collected");
+
+    // The train counted only its own packets.
+    assert!(
+        train.received <= 60,
+        "train over-counted: {}",
+        train.received
+    );
+    assert!(
+        train.received >= 55,
+        "train lost too much: {}",
+        train.received
+    );
+}
+
+/// A hand-rolled control client: speaks just enough of the wire protocol
+/// to announce streams and inject exactly the datagrams a test wants.
+struct RawClient {
+    ctrl: TcpStream,
+    udp: UdpSocket,
+    session: u64,
+}
+
+impl RawClient {
+    fn connect(addr: SocketAddr) -> RawClient {
+        let mut ctrl = TcpStream::connect(addr).unwrap();
+        ctrl.set_nodelay(true).unwrap();
+        ctrl.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let (udp_port, session) = match CtrlMsg::read_from(&mut ctrl).unwrap() {
+            CtrlMsg::Hello {
+                version,
+                udp_port,
+                session,
+            } => {
+                assert_eq!(version, PROTO_VERSION);
+                (udp_port, session)
+            }
+            other => panic!("expected Hello, got {other:?}"),
+        };
+        let mut peer = addr;
+        peer.set_port(udp_port);
+        let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+        udp.connect(peer).unwrap();
+        RawClient { ctrl, udp, session }
+    }
+
+    /// Announce a stream and wait for `Ready`.
+    fn announce_stream(&mut self, id: u32, count: u32, period_ns: u64) {
+        CtrlMsg::StreamAnnounce {
+            id,
+            count,
+            period_ns,
+            size: 64,
+        }
+        .write_to(&mut self.ctrl)
+        .unwrap();
+        match CtrlMsg::read_from(&mut self.ctrl).unwrap() {
+            CtrlMsg::Ready { id: got } => assert_eq!(got, id),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    /// Send one probe datagram with an arbitrary (possibly stale) token.
+    fn send_probe(&self, session: u64, id: u32, idx: u32, send_ns: u64) {
+        let mut buf = [0u8; 64];
+        ProbePacket {
+            session,
+            kind: ProbeKind::Stream,
+            id,
+            idx,
+            send_ns,
+        }
+        .encode(&mut buf);
+        self.udp.send(&buf).unwrap();
+    }
+
+    fn read_report(&mut self, id: u32) -> Vec<availbw::pathload_net::proto::SampleWire> {
+        match CtrlMsg::read_from(&mut self.ctrl).unwrap() {
+            CtrlMsg::StreamReport { id: got, samples } => {
+                assert_eq!(got, id);
+                samples
+            }
+            other => panic!("expected StreamReport, got {other:?}"),
+        }
+    }
+
+    fn bye(mut self) {
+        let _ = CtrlMsg::Bye.write_to(&mut self.ctrl);
+    }
+}
+
+/// Duplicated and reordered datagrams are collected once each, and a
+/// stream missing packets (including a hole in the middle) terminates
+/// after a short silence window instead of stalling for the multi-second
+/// deadline — the regression test for the seed's double-count/stall bug
+/// cluster in `collect_stream`.
+#[test]
+fn duplicate_datagrams_are_deduplicated_and_losses_do_not_stall() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(1));
+
+    let mut client = RawClient::connect(addr);
+    const ID: u32 = 9;
+    const COUNT: u32 = 20;
+    const PERIOD_NS: u64 = 2_000_000; // 2 ms → 40 ms nominal duration
+    client.announce_stream(ID, COUNT, PERIOD_NS);
+
+    // Indices 0..20 with idx 7 lost, mildly reordered (the tail arrives
+    // before its predecessors), and EVERY datagram sent twice. The seed
+    // receiver double-counted the duplicates (19 distinct arrivals looked
+    // like 38 >= 20, terminating "complete" with idx 7 missing) — and
+    // with the last *appended* packet not being idx 19, a lost tail made
+    // it block out the whole 3 s+ deadline.
+    let sent: Vec<u32> = (0..15).chain([19, 18, 17, 16, 15]).collect();
+    for &idx in &sent {
+        if idx == 7 {
+            continue; // lost in the network
+        }
+        client.send_probe(client.session, ID, idx, 1_000 + idx as u64);
+        client.send_probe(client.session, ID, idx, 1_000 + idx as u64); // duplicate
+    }
+    let waited = Instant::now();
+    let samples = client.read_report(ID);
+    let elapsed = waited.elapsed();
+
+    // Every index exactly once, idx 7 really missing, send_ns preserved.
+    let mut idxs: Vec<u32> = samples.iter().map(|s| s.idx).collect();
+    idxs.sort_unstable();
+    let expected: Vec<u32> = (0..COUNT).filter(|&i| i != 7).collect();
+    assert_eq!(
+        idxs, expected,
+        "collection must be distinct indices minus the loss"
+    );
+    for s in &samples {
+        assert_eq!(
+            s.send_ns,
+            1_000 + s.idx as u64,
+            "sample carries wrong send_ns"
+        );
+    }
+    // And it terminated on the silence window, not the 3 s+ deadline.
+    assert!(
+        elapsed < Duration::from_millis(1_500),
+        "collection stalled for {elapsed:?} on a lossy stream"
+    );
+
+    client.bye();
+    server.join().unwrap().unwrap();
+}
+
+/// Probe datagrams carrying a stale token (a finished session's) or a
+/// never-issued token are dropped by the demux, not collected into a live
+/// session — even when id, kind, and indices match the live stream.
+#[test]
+fn stale_session_probe_packets_are_dropped() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(2));
+
+    // Session 1 connects and leaves: its token is now stale.
+    let t1 = SocketTransport::connect(addr).unwrap();
+    let stale = t1.session();
+    drop(t1);
+    thread::sleep(Duration::from_millis(100)); // let the receiver deregister it
+
+    let mut client = RawClient::connect(addr);
+    assert_ne!(client.session, stale);
+    const ID: u32 = 3;
+    const COUNT: u32 = 10;
+    const BOGUS_NS: u64 = 0xBAD0_BAD0;
+    client.announce_stream(ID, COUNT, 1_000_000);
+    for idx in 0..COUNT {
+        // Same id/kind/idx as the live stream, wrong (stale/unknown)
+        // token, poisoned send_ns so collection would be visible.
+        client.send_probe(stale, ID, idx, BOGUS_NS);
+        client.send_probe(u64::MAX, ID, idx, BOGUS_NS);
+        client.send_probe(client.session, ID, idx, 1_000 + idx as u64);
+    }
+    let samples = client.read_report(ID);
+    assert_eq!(samples.len() as u32, COUNT);
+    for s in &samples {
+        assert_eq!(
+            s.send_ns,
+            1_000 + s.idx as u64,
+            "a stale-session datagram was collected: idx {} carries {:#x}",
+            s.idx,
+            s.send_ns
+        );
+    }
+
+    client.bye();
+    server.join().unwrap().unwrap();
+}
