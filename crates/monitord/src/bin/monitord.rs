@@ -2,16 +2,24 @@
 //! sockets.
 //!
 //! ```text
-//! monitord <config-file>          monitor the fleet described by the file
-//! monitord --loopback <n> [horizon_s]
+//! monitord [--driver thread|async] <config-file>
+//!                                 monitor the fleet described by the file
+//! monitord --loopback <n> [horizon_s] [--driver thread|async]
 //!                                 self-test: monitor n in-process loopback
 //!                                 receivers for horizon_s (default 8) s
 //! ```
 //!
+//! `--driver` selects the fleet substrate: `thread` (the default) runs one
+//! blocking worker per in-flight measurement; `async` multiplexes every
+//! path on **one** event-loop thread (epoll + timer queue — the
+//! fleet-scale mode: hundreds of paths without hundreds of workers). Both
+//! take every scheduling decision from the same sans-IO scheduler and
+//! emit the same records.
+//!
 //! The config format is documented in `monitord::config` (and in the
 //! README's "Running monitord" section): `path <label> <host:port>` lines
-//! naming `pathload_rcv` receivers, plus scheduling, series, probing, and
-//! output knobs.
+//! naming `pathload_rcv` receivers — with optional per-path `key=value`
+//! probe overrides — plus scheduling, series, probing, and output knobs.
 //!
 //! Output is JSON lines: one `sample` record per finished measurement and
 //! one `change` record per flagged avail-bw shift, streamed as they
@@ -30,6 +38,8 @@
 //! the process exits 0.
 
 use monitord::export::{change_line, fleet_summary, sample_line, summary_line};
+#[cfg(unix)]
+use monitord::run_socket_fleet_async_with_shutdown;
 use monitord::{
     run_socket_fleet_with_shutdown, DaemonConfig, FleetEvent, ShutdownFlag, SocketPathSpec,
 };
@@ -81,25 +91,61 @@ fn install_signal_handlers(stop: ShutdownFlag) {
 fn install_signal_handlers(_stop: ShutdownFlag) {}
 
 const USAGE: &str = "\
-usage: monitord <config-file>
-       monitord --loopback <n-paths> [horizon-s]
+usage: monitord [--driver thread|async] <config-file>
+       monitord --loopback <n-paths> [horizon-s] [--driver thread|async]
 
 Monitors N network paths by periodic pathload measurements against
 pathload_rcv receivers, emitting JSONL sample/change/summary records to
 stdout (or the file named by the config's `out`). --loopback runs a
-seconds-bounded self-test against in-process receivers.";
+seconds-bounded self-test against in-process receivers.
+
+--driver thread   one blocking worker per in-flight measurement (default)
+--driver async    every path multiplexed on ONE event-loop thread
+                  (epoll; the fleet-scale mode)";
+
+/// Which fleet driver executes the schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Driver {
+    Thread,
+    Async,
+}
+
+/// Extract a `--driver <thread|async>` flag (anywhere on the line) from
+/// the argument list; the remaining arguments keep their order.
+fn take_driver_flag(args: &mut Vec<String>) -> Result<Driver, String> {
+    let Some(pos) = args.iter().position(|a| a == "--driver") else {
+        return Ok(Driver::Thread);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--driver wants a value: thread | async".into());
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    match value.as_str() {
+        "thread" => Ok(Driver::Thread),
+        "async" => Ok(Driver::Async),
+        other => Err(format!("unknown driver {other:?}: want thread | async")),
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stop = ShutdownFlag::new();
     install_signal_handlers(stop.clone());
+    let driver = match take_driver_flag(&mut args) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("monitord: {msg}\n{USAGE}");
+            exit(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         None | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return;
         }
-        Some("--loopback") => run_loopback(&args[1..], &stop),
-        Some(path) if args.len() == 1 => run_from_file(path, &stop),
+        Some("--loopback") => run_loopback(&args[1..], driver, &stop),
+        Some(path) if args.len() == 1 => run_from_file(path, driver, &stop),
         _ => {
             eprintln!("{USAGE}");
             exit(2);
@@ -111,7 +157,7 @@ fn main() {
     }
 }
 
-fn run_from_file(path: &str, stop: &ShutdownFlag) -> Result<(), String> {
+fn run_from_file(path: &str, driver: Driver, stop: &ShutdownFlag) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let cfg = DaemonConfig::parse(&text).map_err(|e| e.to_string())?;
     let mut specs = Vec::with_capacity(cfg.paths.len());
@@ -125,11 +171,11 @@ fn run_from_file(path: &str, stop: &ShutdownFlag) -> Result<(), String> {
         specs.push(SocketPathSpec {
             label: p.label.clone(),
             ctrl_addr: addr,
-            cfg: cfg.probe.clone(),
-            rate_cap: cfg.rate_cap,
+            cfg: cfg.probe_for(p),
+            rate_cap: cfg.rate_cap_for(p),
         });
     }
-    monitor(&cfg, specs, stop)
+    monitor(&cfg, specs, driver, stop)
 }
 
 /// Self-test mode: spawn **one** in-process loopback receiver and monitor
@@ -138,14 +184,20 @@ fn run_from_file(path: &str, stop: &ShutdownFlag) -> Result<(), String> {
 /// seconds-scale settings. The "avail-bw" of loopback is meaningless (no
 /// FIFO bottleneck) — the point is the whole daemon stack running end to
 /// end on a real network stack, bounded in time.
-fn run_loopback(args: &[String], stop: &ShutdownFlag) -> Result<(), String> {
+fn run_loopback(args: &[String], driver: Driver, stop: &ShutdownFlag) -> Result<(), String> {
+    // The async driver multiplexes on one thread, so it can sensibly
+    // drive far larger loopback fleets than thread-per-measurement.
+    let max_paths = match driver {
+        Driver::Thread => 64,
+        Driver::Async => 512,
+    };
     let n: usize = args
         .first()
         .ok_or_else(|| format!("--loopback wants a path count\n{USAGE}"))?
         .parse()
         .ok()
-        .filter(|&n| (1..=64).contains(&n))
-        .ok_or("path count must be an integer in 1..=64")?;
+        .filter(|&n| (1..=max_paths).contains(&n))
+        .ok_or_else(|| format!("path count must be an integer in 1..={max_paths}"))?;
     let horizon_s: f64 = match args.get(1) {
         None => 8.0,
         Some(v) => v
@@ -159,7 +211,13 @@ fn run_loopback(args: &[String], stop: &ShutdownFlag) -> Result<(), String> {
     cfg.horizon = TimeNs::from_secs_f64(horizon_s);
     cfg.schedule.period = TimeNs::from_secs(2);
     cfg.schedule.jitter = TimeNs::from_millis(200);
-    cfg.schedule.max_concurrent = 1; // loopback paths share the host
+    // Loopback paths share the host, so concurrency is capped. The
+    // event-loop driver exists to run big fleets, so it gets enough
+    // concurrency for every path to land a sample within the horizon.
+    cfg.schedule.max_concurrent = match driver {
+        Driver::Thread => 1,
+        Driver::Async => (n / 4).clamp(2, 8),
+    };
     cfg.series.window = TimeNs::from_secs(4);
     cfg.rate_cap = Some(Rate::from_mbps(40.0));
     // Gentle probing so one measurement lasts ~a second on a shared box.
@@ -188,9 +246,13 @@ fn run_loopback(args: &[String], stop: &ShutdownFlag) -> Result<(), String> {
         .collect();
     eprintln!(
         "monitord: loopback self-test, {n} path(s) sharing one receiver \
-         ({ctrl_addr}), {horizon_s} s horizon"
+         ({ctrl_addr}), {horizon_s} s horizon, {} driver",
+        match driver {
+            Driver::Thread => "thread",
+            Driver::Async => "async",
+        }
     );
-    monitor(&cfg, specs, stop)?;
+    monitor(&cfg, specs, driver, stop)?;
     server
         .join()
         .map_err(|_| "receiver thread panicked".to_string())?
@@ -205,6 +267,7 @@ fn run_loopback(args: &[String], stop: &ShutdownFlag) -> Result<(), String> {
 fn monitor(
     cfg: &DaemonConfig,
     specs: Vec<SocketPathSpec>,
+    driver: Driver,
     stop: &ShutdownFlag,
 ) -> Result<(), String> {
     let mut sink: Box<dyn Write> = match &cfg.out {
@@ -225,29 +288,43 @@ fn monitor(
         }
     };
 
-    let series = run_socket_fleet_with_shutdown(
-        specs,
-        &cfg.schedule,
-        &cfg.series,
-        cfg.horizon,
-        cfg.threads,
-        stop,
-        |ev| match ev {
-            FleetEvent::Sample {
-                path,
-                label,
-                sample,
-            } => emit(sample_line(path, label, &sample)),
-            FleetEvent::Change {
-                path,
-                label,
-                change,
-            } => emit(change_line(path, label, &change)),
-            FleetEvent::Failed { path, label, error } => {
-                eprintln!("monitord: measurement {path} ({label}) failed: {error}");
-            }
-        },
-    )
+    let observer = |ev: FleetEvent<'_>| match ev {
+        FleetEvent::Sample {
+            path,
+            label,
+            sample,
+        } => emit(sample_line(path, label, &sample)),
+        FleetEvent::Change {
+            path,
+            label,
+            change,
+        } => emit(change_line(path, label, &change)),
+        FleetEvent::Failed { path, label, error } => {
+            eprintln!("monitord: measurement {path} ({label}) failed: {error}");
+        }
+    };
+    let series = match driver {
+        Driver::Thread => run_socket_fleet_with_shutdown(
+            specs,
+            &cfg.schedule,
+            &cfg.series,
+            cfg.horizon,
+            cfg.threads,
+            stop,
+            observer,
+        ),
+        #[cfg(unix)]
+        Driver::Async => run_socket_fleet_async_with_shutdown(
+            specs,
+            &cfg.schedule,
+            &cfg.series,
+            cfg.horizon,
+            stop,
+            observer,
+        ),
+        #[cfg(not(unix))]
+        Driver::Async => return Err("--driver async requires a Unix host".into()),
+    }
     .map_err(|e| e.to_string())?;
 
     if stop.is_requested() {

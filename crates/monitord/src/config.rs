@@ -6,12 +6,14 @@
 //! be its only external dependency.
 //!
 //! ```text
-//! # paths to monitor: `path <label> <receiver host:port>`
+//! # paths to monitor: `path <label> <host:port> [key=value ...]`
 //! # (labels must be unique; addresses need not be — one multi-session
 //! # pathload_rcv serves any number of co-located paths on one port)
 //! path atl-gru 192.0.2.7:9100
 //! path atl-fra 198.51.100.3:9100
-//! path atl-fra-alt 198.51.100.3:9100
+//! # per-path probe overrides: a gentle DSL path probed with shorter,
+//! # slower streams than the fleet default
+//! path atl-dsl 203.0.113.9:9100 stream_len=50 rate_cap_mbps=8 resolution_mbps=0.5
 //!
 //! period_s 30          # start-to-start spacing per path
 //! jitter_s 2           # random addition to each path's initial offset
@@ -32,9 +34,19 @@
 //! max_fleets 64
 //! ```
 //!
-//! Unknown keys are errors (they are invariably typos), as are missing
-//! `path` lines. Parsing does not resolve addresses — the binary resolves
-//! each path's `host:port` when it connects, so a config referencing a
+//! The probing knobs (`stream_len`, `fleet_len`, `min_period_us`,
+//! `resolution_mbps`, `grey_resolution_mbps`, `max_fleets`,
+//! `rate_cap_mbps`) may also appear as `key=value` fields on an
+//! individual `path` line; the override beats the global directive for
+//! that path regardless of file order ([`DaemonConfig::probe_for`] /
+//! [`DaemonConfig::rate_cap_for`] resolve the merge). Heterogeneous
+//! fleets need this: a 100 Mb/s office path and an 8 Mb/s DSL tail can
+//! share one config without probing the DSL line at office rates.
+//!
+//! Unknown keys are errors (they are invariably typos), both as
+//! directives and as path overrides, as are missing `path` lines.
+//! Parsing does not resolve addresses — the binary resolves each path's
+//! `host:port` when it connects, so a config referencing a
 //! currently-unresolvable host still parses.
 
 use crate::scheduler::ScheduleConfig;
@@ -43,13 +55,69 @@ use core::fmt;
 use slops::SlopsConfig;
 use units::{Rate, TimeNs};
 
-/// One `path` directive: a label and an unresolved `host:port`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// One `path` directive: a label, an unresolved `host:port`, and any
+/// per-path probe overrides given as `key=value` fields on the line.
+#[derive(Clone, Debug, PartialEq)]
 pub struct PathEntry {
     /// Label carried into the series and every JSONL record.
     pub label: String,
     /// The path's `pathload_rcv` control address (resolved at connect).
     pub addr: String,
+    /// Per-path probe overrides (fields left `None` inherit the global
+    /// probing configuration; see [`DaemonConfig::probe_for`]).
+    pub overrides: ProbeOverrides,
+}
+
+/// Per-path overrides of the probing knobs, parsed from `key=value`
+/// fields on a `path` line. Every field is optional; `None` means
+/// "inherit the global directive".
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProbeOverrides {
+    /// Overrides the global `stream_len`.
+    pub stream_len: Option<u32>,
+    /// Overrides the global `fleet_len`.
+    pub fleet_len: Option<u32>,
+    /// Overrides the global `min_period_us`.
+    pub min_period: Option<TimeNs>,
+    /// Overrides the global `resolution_mbps`.
+    pub resolution: Option<Rate>,
+    /// Overrides the global `grey_resolution_mbps`.
+    pub grey_resolution: Option<Rate>,
+    /// Overrides the global `max_fleets`.
+    pub max_fleets: Option<u32>,
+    /// Overrides the global `rate_cap_mbps`.
+    pub rate_cap: Option<Rate>,
+}
+
+impl ProbeOverrides {
+    /// True when no field overrides anything.
+    pub fn is_empty(&self) -> bool {
+        *self == ProbeOverrides::default()
+    }
+
+    /// Apply the overrides onto a base probing configuration.
+    pub fn apply(&self, base: &SlopsConfig) -> SlopsConfig {
+        let mut cfg = base.clone();
+        if let Some(v) = self.stream_len {
+            cfg.stream_len = v;
+        }
+        if let Some(v) = self.fleet_len {
+            cfg.fleet_len = v;
+        }
+        if let Some(v) = self.min_period {
+            cfg.min_period = v;
+        }
+        if let Some(v) = self.resolution {
+            cfg.resolution = v;
+        }
+        if let Some(v) = self.grey_resolution {
+            cfg.grey_resolution = v;
+        }
+        if let Some(v) = self.max_fleets {
+            cfg.max_fleets = v;
+        }
+        cfg
+    }
 }
 
 /// A parsed `monitord` configuration.
@@ -127,19 +195,25 @@ impl DaemonConfig {
             };
             match key {
                 "path" => match rest.as_slice() {
-                    [label, addr] => {
+                    [label, addr, kvs @ ..] => {
                         if cfg.paths.iter().any(|p| p.label == *label) {
                             return Err(err(format!("duplicate path label {label:?}")));
                         }
                         // Duplicate *addresses* are fine: the receiver is
                         // session-multiplexing, so co-located paths share
                         // one `pathload_rcv` control port by design.
+                        let overrides = parse_overrides(kvs, lineno)?;
                         cfg.paths.push(PathEntry {
                             label: (*label).to_string(),
                             addr: (*addr).to_string(),
+                            overrides,
                         });
                     }
-                    _ => return Err(err("`path` wants `<label> <host:port>`".into())),
+                    _ => {
+                        return Err(err(
+                            "`path` wants `<label> <host:port> [key=value ...]`".into()
+                        ))
+                    }
                 },
                 "period_s" => cfg.schedule.period = secs(key, one()?, lineno)?,
                 "jitter_s" => cfg.schedule.jitter = secs(key, one()?, lineno)?,
@@ -187,8 +261,54 @@ impl DaemonConfig {
             line: 0,
             msg: format!("probing configuration rejected: {msg}"),
         })?;
+        // Each path's *merged* configuration must also validate — an
+        // override can individually break an otherwise-sane global.
+        for p in &cfg.paths {
+            cfg.probe_for(p).validate().map_err(|msg| ConfigError {
+                line: 0,
+                msg: format!("path {}: probing configuration rejected: {msg}", p.label),
+            })?;
+        }
         Ok(cfg)
     }
+
+    /// The effective probing configuration of one path: the global
+    /// `probe` directives with the path's `key=value` overrides applied
+    /// (overrides win regardless of file order).
+    pub fn probe_for(&self, entry: &PathEntry) -> SlopsConfig {
+        entry.overrides.apply(&self.probe)
+    }
+
+    /// The effective pacing cap of one path: the per-path
+    /// `rate_cap_mbps=` override if present, else the global directive.
+    pub fn rate_cap_for(&self, entry: &PathEntry) -> Option<Rate> {
+        entry.overrides.rate_cap.or(self.rate_cap)
+    }
+}
+
+/// Parse the `key=value` override fields of one `path` line. Unknown
+/// keys and malformed values are line-numbered errors, like directives.
+fn parse_overrides(kvs: &[&str], line: usize) -> Result<ProbeOverrides, ConfigError> {
+    let mut o = ProbeOverrides::default();
+    for kv in kvs {
+        let err = |msg: String| ConfigError { line, msg };
+        let Some((key, value)) = kv.split_once('=') else {
+            return Err(err(format!("path override `{kv}` wants `key=value`")));
+        };
+        match key {
+            "stream_len" => o.stream_len = Some(int(key, value, line)?),
+            "fleet_len" => o.fleet_len = Some(int(key, value, line)?),
+            "min_period_us" => o.min_period = Some(TimeNs::from_micros(int(key, value, line)?)),
+            "resolution_mbps" => o.resolution = Some(Rate::from_mbps(float(key, value, line)?)),
+            "grey_resolution_mbps" => {
+                o.grey_resolution = Some(Rate::from_mbps(float(key, value, line)?))
+            }
+            "max_fleets" => o.max_fleets = Some(int(key, value, line)?),
+            "rate_cap_mbps" => o.rate_cap = Some(Rate::from_mbps(float(key, value, line)?)),
+            other => return Err(err(format!("unknown path override `{other}`"))),
+        }
+    }
+    Ok(o)
 }
 
 fn float(key: &str, v: &str, line: usize) -> Result<f64, ConfigError> {
@@ -320,5 +440,71 @@ max_fleets 16
     fn invalid_probe_config_is_rejected() {
         let err = DaemonConfig::parse("path p 1.2.3.4:1\nstream_len 0\n").unwrap_err();
         assert!(err.to_string().contains("probing configuration rejected"));
+    }
+
+    /// `key=value` fields on a `path` line override the global probing
+    /// knobs for that path only — regardless of where in the file the
+    /// global directive appears.
+    #[test]
+    fn per_path_overrides_beat_globals_regardless_of_order() {
+        let cfg = DaemonConfig::parse(
+            "path fat 10.0.0.1:9100\n\
+             path dsl 10.0.0.2:9100 stream_len=40 rate_cap_mbps=8 min_period_us=900 resolution_mbps=0.5\n\
+             stream_len 100\n\
+             rate_cap_mbps 80\n",
+        )
+        .unwrap();
+        assert!(cfg.paths[0].overrides.is_empty());
+        // The untouched path inherits every global.
+        let fat = cfg.probe_for(&cfg.paths[0]);
+        assert_eq!(fat.stream_len, 100);
+        assert_eq!(cfg.rate_cap_for(&cfg.paths[0]).unwrap().mbps(), 80.0);
+        // The overridden path wins over the later global directives.
+        let dsl = cfg.probe_for(&cfg.paths[1]);
+        assert_eq!(dsl.stream_len, 40);
+        assert_eq!(dsl.min_period, TimeNs::from_micros(900));
+        assert_eq!(dsl.resolution.mbps(), 0.5);
+        assert_eq!(cfg.rate_cap_for(&cfg.paths[1]).unwrap().mbps(), 8.0);
+        // Knobs not overridden still inherit.
+        assert_eq!(dsl.fleet_len, fat.fleet_len);
+    }
+
+    #[test]
+    fn bad_path_overrides_are_line_numbered_errors() {
+        for (text, needle) in [
+            (
+                "path a 1.2.3.4:1\npath b 1.2.3.4:2 warp_speed=9\n",
+                "unknown path override `warp_speed`",
+            ),
+            (
+                "path a 1.2.3.4:1\npath b 1.2.3.4:2 stream_len\n",
+                "wants `key=value`",
+            ),
+            (
+                "path a 1.2.3.4:1\npath b 1.2.3.4:2 stream_len=lots\n",
+                "non-negative integer",
+            ),
+            (
+                "path a 1.2.3.4:1\npath b 1.2.3.4:2 rate_cap_mbps=-4\n",
+                "non-negative number",
+            ),
+        ] {
+            let err = DaemonConfig::parse(text).unwrap_err();
+            assert_eq!(err.line, 2, "{text:?} => {err}");
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?} => {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    /// A merged (global + override) configuration that fails validation
+    /// is rejected at parse time, naming the path.
+    #[test]
+    fn invalid_merged_override_config_is_rejected() {
+        let err = DaemonConfig::parse("path p 1.2.3.4:1 stream_len=0\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("path p"), "{msg}");
+        assert!(msg.contains("probing configuration rejected"), "{msg}");
     }
 }

@@ -1,0 +1,430 @@
+//! The event-loop fleet driver: hundreds of socket paths on **one
+//! thread**.
+//!
+//! [`run_socket_fleet_async`] hosts N non-blocking
+//! [`pathload_net::EventedSession`]s plus the unchanged sans-IO
+//! [`Scheduler`] on a single [`pathload_net::mux::EventLoop`]. Where the
+//! thread-backed driver ([`crate::thread`]) burns one blocking worker per
+//! in-flight measurement — capping a daemon at tens of paths — this driver
+//! registers every session's control TCP and probe UDP sockets with one
+//! epoll instance and turns every deadline the blocking stack *sleeps* on
+//! (scheduler start instants, packet pacing, inter-stream idles) into a
+//! timer entry on the loop's queue.
+//!
+//! Both repo invariants hold by construction:
+//!
+//! * **estimation logic lives in the machine** — `EventedSession` is a
+//!   pure command/event pump of `slops::SessionMachine` (see
+//!   `docs/DRIVERS.md`);
+//! * **scheduling policy lives in the scheduler** — every start is taken
+//!   from [`Scheduler::poll`] (the start instant becomes a timer entry)
+//!   and every completion is fed back through [`Scheduler::on_complete`]
+//!   the moment the loop observes it. Completions arrive one at a time on
+//!   an event loop, so the tick-grouped replay the batching thread driver
+//!   needs (`docs/DRIVERS.md` gotchas) is satisfied trivially.
+//!
+//! The observer surface ([`FleetEvent`]), shutdown handling
+//! ([`ShutdownFlag`]: pending starts are cancelled, in-flight measurements
+//! land), series stores and JSONL export are all shared with the other
+//! drivers unchanged — `monitord --driver async` is the same daemon on a
+//! different substrate.
+//!
+//! Like every wall-clock driver, the schedule is best effort: a start
+//! instant may already be in the past when its timer pops (the measurement
+//! then starts immediately), and the exact tick grid is not asserted.
+
+use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
+use crate::socket::{connect_transports, SocketPathSpec};
+use crate::store::{ChangeCursor, PathSeries, SeriesConfig};
+use crate::thread::{FleetEvent, ShutdownFlag};
+use pathload_net::mux::{EventLoop, MuxEvent};
+use pathload_net::{EventedSession, SessionTokens, SocketTransport};
+use slops::series::RangeSample;
+use slops::{ProbeTransport, SlopsConfig, SlopsError, TransportError};
+use std::time::Duration;
+use units::TimeNs;
+
+/// Upper bound on one `EventLoop::wait`, so the loop re-checks the
+/// shutdown flag and scheduler state even when nothing is happening.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Token layout: kind in the top byte, a per-path generation in the
+/// middle (timers cannot be cancelled, so a stale entry must never be
+/// mistaken for a live session's), the path index at the bottom.
+const TOK_CTRL: u64 = 1;
+const TOK_PROBE: u64 = 2;
+const TOK_TIMER: u64 = 3;
+const TOK_START: u64 = 4;
+
+fn tok(kind: u64, generation: u64, path: usize) -> u64 {
+    (kind << 56) | ((generation & 0xFF_FFFF) << 32) | path as u64
+}
+
+fn untok(token: u64) -> (u64, u64, usize) {
+    (
+        token >> 56,
+        (token >> 32) & 0xFF_FFFF,
+        (token & 0xFFFF_FFFF) as usize,
+    )
+}
+
+/// Where one path of the fleet currently is.
+enum Slot {
+    /// Connected, no measurement scheduled.
+    Idle(SocketTransport),
+    /// The scheduler issued a start at `at`; a timer entry is armed.
+    Pending {
+        transport: SocketTransport,
+        at: TimeNs,
+    },
+    /// A measurement is in flight on the event loop.
+    Active {
+        session: Box<EventedSession>,
+        at: TimeNs,
+    },
+    /// Transient placeholder during transitions (never observed).
+    Moving,
+}
+
+impl Slot {
+    fn take(&mut self) -> Slot {
+        std::mem::replace(self, Slot::Moving)
+    }
+}
+
+fn io_err(e: std::io::Error) -> SlopsError {
+    SlopsError::Transport(TransportError::Io(e.to_string()))
+}
+
+/// Run a socket-backed monitoring fleet on one event-loop thread:
+/// connect every path, then measure each periodically (staggered,
+/// jittered, capped — the same [`ScheduleConfig`] semantics as the
+/// thread driver) until `horizon` of wall-clock time has passed since the
+/// fleet connected, streaming a [`FleetEvent`] per stored sample,
+/// failure, and flagged change.
+///
+/// Returns the per-path series in path order. Connection failures are
+/// fatal; failures of individual measurements after that are counted on
+/// the path's series and monitoring continues.
+pub fn run_socket_fleet_async(
+    specs: Vec<SocketPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    observer: impl FnMut(FleetEvent<'_>),
+) -> Result<Vec<PathSeries>, SlopsError> {
+    run_socket_fleet_async_with_shutdown(
+        specs,
+        sched_cfg,
+        series_cfg,
+        horizon,
+        &ShutdownFlag::new(),
+        observer,
+    )
+}
+
+/// [`run_socket_fleet_async`] plus a cooperative [`ShutdownFlag`]: when
+/// requested, the scheduler stops issuing starts, pending (not yet begun)
+/// starts are cancelled without being measured, in-flight measurements
+/// land and are recorded, and the series collected so far are returned —
+/// the same contract as [`crate::thread::run_fleet_with_shutdown`].
+pub fn run_socket_fleet_async_with_shutdown(
+    specs: Vec<SocketPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    stop: &ShutdownFlag,
+    mut observer: impl FnMut(FleetEvent<'_>),
+) -> Result<Vec<PathSeries>, SlopsError> {
+    assert!(!specs.is_empty(), "a fleet needs at least one path");
+    for s in &specs {
+        s.cfg.validate().map_err(SlopsError::BadConfig)?;
+    }
+    let (epoch, connected) = connect_transports(specs).map_err(io_err)?;
+    let mut lp = EventLoop::new(epoch.same_epoch()).map_err(io_err)?;
+
+    // The fleet epoch: the latest transport clock (all share one epoch).
+    let t0 = connected
+        .iter()
+        .map(|(_, t)| t.elapsed())
+        .max()
+        .expect("non-empty fleet");
+    let n = connected.len();
+    let mut sched = Scheduler::new(n, t0, horizon, sched_cfg);
+    let mut series: Vec<PathSeries> = connected
+        .iter()
+        .map(|(spec, _)| PathSeries::new(spec.label.clone(), series_cfg, t0))
+        .collect();
+    let mut cfgs: Vec<SlopsConfig> = Vec::with_capacity(n);
+    let mut slots: Vec<Slot> = Vec::with_capacity(n);
+    for (spec, transport) in connected {
+        cfgs.push(spec.cfg);
+        slots.push(Slot::Idle(transport));
+    }
+    // Bumped whenever a path's session or pending start retires, so the
+    // lazily-cancelled timer entries of earlier lives are ignored.
+    let mut generation: Vec<u64> = vec![0; n];
+    let mut change_cursors = vec![ChangeCursor::new(); n];
+    let mut shutdown_applied = false;
+
+    // One path's completed measurement: record it, notify, feed the
+    // scheduler — identical bookkeeping to the thread driver's feed loop.
+    macro_rules! complete {
+        ($p:expr, $at:expr, $outcome:expr, $finished:expr) => {{
+            let p = $p;
+            match $outcome {
+                Ok(est) => {
+                    let sample = RangeSample::from_estimate($at, &est);
+                    series[p].push(sample);
+                    observer(FleetEvent::Sample {
+                        path: p,
+                        label: series[p].label(),
+                        sample,
+                    });
+                    let changes = series[p].changes();
+                    for change in change_cursors[p].fresh(&changes) {
+                        observer(FleetEvent::Change {
+                            path: p,
+                            label: series[p].label(),
+                            change: *change,
+                        });
+                    }
+                }
+                Err(error) => {
+                    series[p].record_error();
+                    observer(FleetEvent::Failed {
+                        path: p,
+                        label: series[p].label(),
+                        error: &error,
+                    });
+                }
+            }
+            generation[p] += 1;
+            sched.on_complete(PathId(p as u32), $finished);
+        }};
+    }
+
+    let mut events: Vec<MuxEvent> = Vec::new();
+    loop {
+        // Graceful shutdown: the stop decision itself is scheduler
+        // policy; pending (unstarted) timers are cancelled lazily by the
+        // generation bump, active sessions run to completion.
+        if stop.is_requested() && !shutdown_applied {
+            shutdown_applied = true;
+            sched.shutdown();
+            for p in 0..n {
+                match slots[p].take() {
+                    Slot::Pending { transport, .. } => {
+                        let now = transport.elapsed();
+                        slots[p] = Slot::Idle(transport);
+                        generation[p] += 1;
+                        sched.on_complete(PathId(p as u32), now);
+                    }
+                    other => slots[p] = other,
+                }
+            }
+        }
+
+        // Issue every start the scheduler can decide: each becomes a
+        // timer entry at its start instant (possibly already past — the
+        // timer then pops on the next wait, i.e. start immediately).
+        while let Poll::Start { path, at } = sched.poll() {
+            let p = path.0 as usize;
+            let Slot::Idle(transport) = slots[p].take() else {
+                unreachable!("the scheduler never starts a busy path");
+            };
+            slots[p] = Slot::Pending { transport, at };
+            lp.arm_timer(at.as_nanos(), tok(TOK_START, generation[p], p));
+        }
+
+        if sched.is_done() && slots.iter().all(|s| matches!(s, Slot::Idle(_))) {
+            break;
+        }
+
+        events.clear();
+        lp.wait(&mut events, WAIT_SLICE).map_err(io_err)?;
+        for &ev in &events {
+            let token = match ev {
+                MuxEvent::Io(r) => r.token,
+                MuxEvent::Timer { token } => token,
+            };
+            let (kind, generation_tag, p) = untok(token);
+            if p >= n || generation_tag != (generation[p] & 0xFF_FFFF) {
+                continue; // stale timer or retired session
+            }
+            match kind {
+                TOK_START => match slots[p].take() {
+                    // Begin the measurement scheduled for this path.
+                    Slot::Pending { transport, at } => {
+                        let tokens = SessionTokens {
+                            ctrl: tok(TOK_CTRL, generation[p], p),
+                            probe: tok(TOK_PROBE, generation[p], p),
+                            timer: tok(TOK_TIMER, generation[p], p),
+                        };
+                        match EventedSession::new(transport, cfgs[p].clone(), tokens) {
+                            Ok(mut session) => match session.register(&lp) {
+                                Ok(()) => {
+                                    slots[p] = Slot::Active {
+                                        session: Box::new(session),
+                                        at,
+                                    };
+                                }
+                                Err(e) => {
+                                    let transport = session.abort(&lp);
+                                    let finished = transport.elapsed();
+                                    slots[p] = Slot::Idle(transport);
+                                    complete!(
+                                        p,
+                                        at,
+                                        Err::<slops::Estimate, _>(io_err(e)),
+                                        finished
+                                    );
+                                }
+                            },
+                            Err((transport, error)) => {
+                                let finished = transport.elapsed();
+                                slots[p] = Slot::Idle(transport);
+                                complete!(p, at, Err::<slops::Estimate, _>(error), finished);
+                            }
+                        }
+                    }
+                    other => slots[p] = other, // cancelled or already begun
+                },
+                TOK_CTRL | TOK_PROBE | TOK_TIMER => match slots[p].take() {
+                    Slot::Active { mut session, at } => {
+                        session.on_event(&mut lp, &ev);
+                        if session.is_finished() {
+                            let (transport, outcome) = session.finish(&lp);
+                            let finished = transport.elapsed();
+                            slots[p] = Slot::Idle(transport);
+                            complete!(p, at, outcome, finished);
+                        } else {
+                            slots[p] = Slot::Active { session, at };
+                        }
+                    }
+                    other => slots[p] = other,
+                },
+                _ => {}
+            }
+        }
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathload_net::Receiver;
+    use std::thread;
+    use units::Rate;
+
+    fn gentle_cfg() -> SlopsConfig {
+        let mut cfg = SlopsConfig::default();
+        cfg.stream_len = 20;
+        cfg.fleet_len = 3;
+        cfg.min_period = TimeNs::from_millis(1);
+        cfg.resolution = Rate::from_mbps(10.0);
+        cfg.grey_resolution = Rate::from_mbps(20.0);
+        cfg.max_fleets = 4;
+        cfg
+    }
+
+    /// Two loopback paths sharing ONE receiver address, multiplexed on a
+    /// single event-loop thread: every path gets at least one sample,
+    /// nothing errors, and streamed events match the stored series.
+    #[test]
+    fn loopback_pair_on_one_event_loop_thread() {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || rx.serve_n(2));
+        let specs: Vec<SocketPathSpec> = (0..2)
+            .map(|i| SocketPathSpec {
+                label: format!("lo{i}"),
+                ctrl_addr: addr,
+                cfg: gentle_cfg(),
+                rate_cap: Some(Rate::from_mbps(30.0)),
+            })
+            .collect();
+        let sched = ScheduleConfig {
+            period: TimeNs::from_secs(2),
+            jitter: TimeNs::from_millis(100),
+            max_concurrent: 1,
+            seed: 1,
+        };
+        let mut samples = 0usize;
+        let series = run_socket_fleet_async(
+            specs,
+            &sched,
+            &SeriesConfig::default(),
+            TimeNs::from_secs(4),
+            |ev| {
+                if matches!(ev, FleetEvent::Sample { .. }) {
+                    samples += 1;
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert!(!s.is_empty(), "{}: no samples", s.label());
+            assert_eq!(s.errors(), 0, "{}: errored", s.label());
+            for r in s.samples() {
+                assert!(r.low.bps() <= r.high.bps());
+            }
+        }
+        assert_eq!(samples, series.iter().map(|s| s.len()).sum::<usize>());
+        server.join().unwrap().unwrap();
+    }
+
+    /// A preset shutdown flag stops the fleet before any measurement.
+    #[test]
+    fn preset_shutdown_flag_stops_before_any_measurement() {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || rx.serve_n(1));
+        let stop = ShutdownFlag::new();
+        stop.request();
+        let specs = vec![SocketPathSpec {
+            label: "lo".into(),
+            ctrl_addr: addr,
+            cfg: gentle_cfg(),
+            rate_cap: None,
+        }];
+        let series = run_socket_fleet_async_with_shutdown(
+            specs,
+            &ScheduleConfig::default(),
+            &SeriesConfig::default(),
+            TimeNs::from_secs(600),
+            &stop,
+            |_| panic!("no event may fire after shutdown was requested"),
+        )
+        .unwrap();
+        assert_eq!(series.len(), 1);
+        assert!(series[0].is_empty(), "no starts issued");
+        server.join().unwrap().unwrap();
+    }
+
+    /// An unreachable receiver is a fatal connect error, as in the
+    /// thread driver.
+    #[test]
+    fn unreachable_receiver_is_a_connect_error() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let specs = vec![SocketPathSpec {
+            label: "dead".into(),
+            ctrl_addr: dead,
+            cfg: gentle_cfg(),
+            rate_cap: None,
+        }];
+        let err = run_socket_fleet_async(
+            specs,
+            &ScheduleConfig::default(),
+            &SeriesConfig::default(),
+            TimeNs::from_secs(1),
+            |_| {},
+        );
+        assert!(matches!(err, Err(SlopsError::Transport(_))));
+    }
+}

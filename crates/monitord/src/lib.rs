@@ -26,6 +26,10 @@
 //! * [`socket`] — the socket-backed driver: real paths probed over
 //!   `pathload-net` UDP/TCP transports (one long-lived connection per
 //!   path, all sharing a clock epoch), through the same scheduler.
+//! * [`evented`] — the event-loop socket driver: the same real paths, but
+//!   multiplexed as non-blocking `pathload_net::EventedSession`s on ONE
+//!   epoll thread (`monitord --driver async`) instead of one blocking
+//!   worker per in-flight measurement — the fleet-scale deployment mode.
 //! * [`config`] — the `monitord` binary's line-based configuration.
 //! * [`export`] — JSON-lines daemon output and a human fleet summary.
 //!
@@ -74,6 +78,10 @@
 #![warn(missing_docs)]
 
 pub mod config;
+// The event-loop driver is Unix-only (raw-fd registration); everything
+// else, including the thread-backed socket driver, stays portable.
+#[cfg(unix)]
+pub mod evented;
 pub mod export;
 pub mod scheduler;
 pub mod sim;
@@ -81,7 +89,9 @@ pub mod socket;
 pub mod store;
 pub mod thread;
 
-pub use config::{ConfigError, DaemonConfig, PathEntry};
+pub use config::{ConfigError, DaemonConfig, PathEntry, ProbeOverrides};
+#[cfg(unix)]
+pub use evented::{run_socket_fleet_async, run_socket_fleet_async_with_shutdown};
 pub use export::{fleet_summary, write_fleet_jsonl};
 pub use scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
 pub use sim::{SimFleetMonitor, SimPathSpec};

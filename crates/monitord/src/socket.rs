@@ -52,28 +52,42 @@ pub struct SocketPathSpec {
 }
 
 /// Connect one [`SocketTransport`] per path, all sharing a single clock
+/// epoch. Returns the epoch clock (so an event loop can read the same
+/// timeline) and the connected `(spec, transport)` pairs in path order.
+/// Shared by the thread-backed ([`connect_fleet`]) and event-loop
+/// ([`crate::evented::run_socket_fleet_async`]) drivers.
+pub(crate) fn connect_transports(
+    specs: Vec<SocketPathSpec>,
+) -> io::Result<(MonoClock, Vec<(SocketPathSpec, SocketTransport)>)> {
+    let epoch = MonoClock::new();
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let mut transport =
+            SocketTransport::connect_with_clock(spec.ctrl_addr, epoch.same_epoch())?;
+        if let Some(cap) = spec.rate_cap {
+            transport.rate_cap = cap;
+        }
+        out.push((spec, transport));
+    }
+    Ok((epoch, out))
+}
+
+/// Connect one [`SocketTransport`] per path, all sharing a single clock
 /// epoch, and package them for the thread-backed fleet driver.
 ///
 /// The control connections are long-lived: each receiver serves this
 /// fleet's path for the whole monitoring run (every periodic measurement
 /// reuses the same control channel and UDP socket).
 pub fn connect_fleet(specs: Vec<SocketPathSpec>) -> io::Result<Vec<ThreadPathSpec>> {
-    let epoch = MonoClock::new();
-    specs
+    let (_epoch, connected) = connect_transports(specs)?;
+    Ok(connected
         .into_iter()
-        .map(|spec| {
-            let mut transport =
-                SocketTransport::connect_with_clock(spec.ctrl_addr, epoch.same_epoch())?;
-            if let Some(cap) = spec.rate_cap {
-                transport.rate_cap = cap;
-            }
-            Ok(ThreadPathSpec {
-                label: spec.label,
-                cfg: spec.cfg,
-                transport: Box::new(transport),
-            })
+        .map(|(spec, transport)| ThreadPathSpec {
+            label: spec.label,
+            cfg: spec.cfg,
+            transport: Box::new(transport),
         })
-        .collect()
+        .collect())
 }
 
 /// Run a socket-backed monitoring fleet to completion: connect every

@@ -22,7 +22,17 @@
 //!   *different epochs* on purpose: SLoPS needs only relative OWDs.
 //! * [`pacing`] — absolute-deadline packet pacing (sleep-then-spin), the
 //!   part of a measurement tool a general-purpose runtime cannot do; this
-//!   is why the crate uses plain threads instead of an async executor.
+//!   is why the crate uses plain threads — or its own readiness loop —
+//!   instead of an async executor.
+//! * [`mux`] — the readiness event loop: an epoll [`mux::Poller`] plus a
+//!   deadline [`mux::TimerQueue`] (pacing deadlines as timer entries),
+//!   combined in [`mux::EventLoop`]. No executor dependency: epoll is
+//!   called straight through the C library `std` already links.
+//! * [`evented`] — [`EventedSession`], the non-blocking driver of the
+//!   sans-IO machine over this transport: commands go out on
+//!   writability/timer expiry, events come back on readability, so one
+//!   thread can multiplex hundreds of concurrent sessions (the
+//!   `monitord --driver async` fleet).
 //! * [`receiver`] — the `pathload_rcv` side: accepts concurrent sender
 //!   sessions, demuxes the shared probe socket by session token, collects
 //!   (de-duplicating, loss-tolerant), timestamps arrivals, ships records
@@ -41,16 +51,26 @@
 //! pathload_snd 127.0.0.1:9100
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one exception is the FFI block in `mux::sys`
+// wrapping the epoll syscalls (std links libc but exposes no poller), and
+// it opts in explicitly with `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod driver;
+// The evented driver registers raw fds (`std::os::fd`), a Unix-only
+// surface; the blocking driver stays fully portable.
+#[cfg(unix)]
+pub mod evented;
+pub mod mux;
 pub mod pacing;
 pub mod proto;
 pub mod receiver;
 pub mod sender;
 
 pub use driver::SocketDriver;
+#[cfg(unix)]
+pub use evented::{EventedSession, SessionTokens};
 pub use receiver::{AcceptBackoff, Receiver};
 pub use sender::SocketTransport;

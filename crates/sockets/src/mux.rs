@@ -1,0 +1,605 @@
+//! The readiness event loop: epoll plus a deadline timer queue.
+//!
+//! This is the substrate of the **async** socket driver: one thread, one
+//! [`Poller`], hundreds of registered sockets, and a [`TimerQueue`] whose
+//! entries are the pacing deadlines that `pacing::pace_until` realizes by
+//! sleeping in the blocking driver. [`EventLoop`] combines the two and
+//! hands the caller a stream of [`MuxEvent`]s — I/O readiness keyed by the
+//! registration token, and expired timers keyed by the token they were
+//! armed with.
+//!
+//! The poller is epoll, called directly through the C library that `std`
+//! already links on Linux — the workspace's no-new-deps rule applies to an
+//! async executor exactly as it does to a config framework, and a
+//! measurement tool needs none of an executor's machinery: no tasks, no
+//! wakers, just readiness and deadlines. On non-Linux targets the module
+//! compiles but [`Poller::new`] returns `Unsupported`; the blocking
+//! thread-per-path driver remains fully portable.
+//!
+//! Timer precision: `epoll_wait` takes milliseconds, which is far too
+//! coarse for probe pacing (periods go down to 100 µs). [`EventLoop::wait`]
+//! therefore sleeps in epoll only up to [`SPIN_WINDOW_NS`] short of the
+//! earliest deadline and spins the remainder — the same sleep-then-spin
+//! technique as `pacing::pace_until`, applied to a whole fleet's merged
+//! deadline queue instead of one blocking thread per stream.
+
+use crate::clock::MonoClock;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io;
+use std::time::Duration;
+
+/// The raw file descriptor type the poller registers.
+///
+/// The real `std::os::fd::RawFd` on Unix; a placeholder alias elsewhere
+/// so this module (and the `Poller` API surface) still compiles on
+/// targets where the poller can never be constructed.
+#[cfg(unix)]
+pub use std::os::fd::RawFd;
+#[cfg(not(unix))]
+#[allow(missing_docs)]
+pub type RawFd = i32;
+
+/// How close to the earliest timer deadline the epoll sleep may get; the
+/// remainder is spun (matches `pacing::SPIN_WINDOW_NS`).
+pub const SPIN_WINDOW_NS: u64 = 300_000;
+
+/// What a registered file descriptor wants to be woken for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable.
+    pub readable: bool,
+    /// Wake when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but dormant (errors/hangups are still reported).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One I/O readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct IoReady {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (or in an error/hangup state).
+    pub readable: bool,
+    /// The fd is writable (or in an error/hangup state).
+    pub writable: bool,
+}
+
+/// One event out of the loop: readiness or an expired timer.
+#[derive(Clone, Copy, Debug)]
+pub enum MuxEvent {
+    /// A registered fd became ready.
+    Io(IoReady),
+    /// A timer armed with [`EventLoop::arm_timer`] expired.
+    Timer {
+        /// The token the timer was armed with.
+        token: u64,
+    },
+}
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)] // FFI onto the epoll syscalls of the libc std links.
+mod sys {
+    use std::io;
+    use std::os::fd::RawFd;
+
+    // `struct epoll_event` is packed on x86-64 (the kernel ABI predates
+    // the alignment rules) and naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn create() -> io::Result<i32> {
+        match unsafe { epoll_create1(EPOLL_CLOEXEC) } {
+            -1 => Err(io::Error::last_os_error()),
+            fd => Ok(fd),
+        }
+    }
+
+    pub fn ctl(
+        epfd: i32,
+        op_add_mod_del: i32,
+        fd: RawFd,
+        events: u32,
+        data: u64,
+    ) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        let op = match op_add_mod_del {
+            0 => EPOLL_CTL_ADD,
+            1 => EPOLL_CTL_MOD,
+            _ => EPOLL_CTL_DEL,
+        };
+        match unsafe { epoll_ctl(epfd, op, fd, &mut ev) } {
+            0 => Ok(()),
+            _ => Err(io::Error::last_os_error()),
+        }
+    }
+
+    pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe {
+            close(fd);
+        }
+    }
+}
+
+/// A readiness poller over epoll. Register fds with a `u64` token; `wait`
+/// reports which tokens became ready. Error/hangup conditions are
+/// reported as both readable and writable, so handlers attempt the I/O
+/// and surface the real `io::Error`.
+#[derive(Debug)]
+pub struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: i32,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// A fresh epoll instance.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::create()?,
+        })
+    }
+
+    fn events_of(interest: Interest) -> u32 {
+        let mut ev = 0;
+        if interest.readable {
+            ev |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            ev |= sys::EPOLLOUT;
+        }
+        ev
+    }
+
+    /// Register `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::ctl(self.epfd, 0, fd, Self::events_of(interest), token)
+    }
+
+    /// Change a registered fd's interest (and/or token).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::ctl(self.epfd, 1, fd, Self::events_of(interest), token)
+    }
+
+    /// Remove a registered fd.
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        sys::ctl(self.epfd, 2, fd, 0, 0)
+    }
+
+    /// Wait up to `timeout` (`None` = forever) and append readiness
+    /// notifications to `out`. Returns how many were appended.
+    pub fn wait(&self, out: &mut Vec<IoReady>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => i32::try_from(d.as_millis()).unwrap_or(i32::MAX),
+        };
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        let n = sys::wait(self.epfd, &mut buf, timeout_ms)?;
+        for ev in &buf[..n] {
+            let bits = ev.events;
+            let err = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            out.push(IoReady {
+                token: ev.data,
+                readable: bits & sys::EPOLLIN != 0 || err,
+                writable: bits & sys::EPOLLOUT != 0 || err,
+            });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Poller {
+    /// Unsupported on this platform: the async driver is Linux-only; the
+    /// blocking thread-per-path driver remains fully portable.
+    pub fn new() -> io::Result<Poller> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the epoll event loop requires Linux; use the blocking (thread) driver",
+        ))
+    }
+
+    /// See [`Poller::new`]: unreachable off Linux.
+    pub fn add(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+
+    /// See [`Poller::new`]: unreachable off Linux.
+    pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+
+    /// See [`Poller::new`]: unreachable off Linux.
+    pub fn remove(&self, _fd: RawFd) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+
+    /// See [`Poller::new`]: unreachable off Linux.
+    pub fn wait(&self, _out: &mut Vec<IoReady>, _timeout: Option<Duration>) -> io::Result<usize> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+}
+
+/// A queue of one-shot deadline timers on a [`MonoClock`] timeline.
+///
+/// Entries are `(deadline, token)`; ties expire in arming order. There is
+/// no cancel — callers that stop caring about a timer simply ignore its
+/// token when it fires (lazy cancellation), which keeps the queue a plain
+/// binary heap.
+#[derive(Debug, Default)]
+pub struct TimerQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    seq: u64,
+}
+
+impl TimerQueue {
+    /// An empty queue.
+    pub fn new() -> TimerQueue {
+        TimerQueue::default()
+    }
+
+    /// Arm a one-shot timer for `deadline_ns` (clock nanoseconds) carrying
+    /// `token`.
+    pub fn arm(&mut self, deadline_ns: u64, token: u64) {
+        self.seq += 1;
+        self.heap.push(Reverse((deadline_ns, self.seq, token)));
+    }
+
+    /// The earliest pending deadline, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((d, _, _))| *d)
+    }
+
+    /// Pop the earliest timer if it has expired by `now_ns`.
+    pub fn pop_expired(&mut self, now_ns: u64) -> Option<u64> {
+        match self.heap.peek() {
+            Some(Reverse((d, _, _))) if *d <= now_ns => {
+                let Reverse((_, _, token)) = self.heap.pop().expect("peeked");
+                Some(token)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The event loop: a [`Poller`] and a [`TimerQueue`] on one [`MonoClock`].
+///
+/// One instance multiplexes a whole fleet: every session's control TCP and
+/// probe UDP sockets are registered here, every pacing deadline and
+/// scheduler start instant is a timer entry, and the host drains
+/// [`EventLoop::wait`] in a loop, routing each [`MuxEvent`] by token.
+#[derive(Debug)]
+pub struct EventLoop {
+    poller: Poller,
+    timers: TimerQueue,
+    clock: MonoClock,
+}
+
+impl EventLoop {
+    /// A fresh loop reading time from `clock` (the fleet's shared epoch,
+    /// so timer deadlines and `TimeNs` instants agree).
+    pub fn new(clock: MonoClock) -> io::Result<EventLoop> {
+        Ok(EventLoop {
+            poller: Poller::new()?,
+            timers: TimerQueue::new(),
+            clock,
+        })
+    }
+
+    /// The loop's clock (shared epoch).
+    pub fn clock(&self) -> &MonoClock {
+        &self.clock
+    }
+
+    /// Register `fd` under `token`.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.poller.add(fd, token, interest)
+    }
+
+    /// Change a registered fd's interest.
+    pub fn set_interest(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.poller.modify(fd, token, interest)
+    }
+
+    /// Remove a registered fd.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.poller.remove(fd)
+    }
+
+    /// Arm a one-shot timer at `deadline_ns` on the loop's clock. There is
+    /// no cancel: ignore the token when it no longer matters.
+    pub fn arm_timer(&mut self, deadline_ns: u64, token: u64) {
+        self.timers.arm(deadline_ns, token);
+    }
+
+    /// Pending timer count (diagnostics).
+    pub fn timers_pending(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Wait for the next batch of events and append them to `out`:
+    /// expired timers (earliest first) and I/O readiness. Blocks at most
+    /// `max_wait` even with no timers pending, so hosts can re-check
+    /// shutdown flags. May return with `out` empty (timeout); never
+    /// returns I/O the caller didn't register or timers it didn't arm.
+    ///
+    /// Deadlines within [`SPIN_WINDOW_NS`] are spun for rather than slept
+    /// for — epoll's millisecond timeout is too coarse for probe pacing.
+    pub fn wait(&mut self, out: &mut Vec<MuxEvent>, max_wait: Duration) -> io::Result<()> {
+        let now = self.clock.now_ns();
+        // Already-expired timers: deliver without touching epoll (but
+        // still collect instantly-ready I/O so a busy timer treadmill
+        // cannot starve socket readiness).
+        let mut any_timer = false;
+        while let Some(token) = self.timers.pop_expired(now) {
+            out.push(MuxEvent::Timer { token });
+            any_timer = true;
+        }
+        if any_timer {
+            let mut io_ready = Vec::new();
+            self.poller.wait(&mut io_ready, Some(Duration::ZERO))?;
+            out.extend(io_ready.into_iter().map(MuxEvent::Io));
+            return Ok(());
+        }
+
+        // Sleep in epoll until just short of the earliest deadline.
+        let budget_ns = match self.timers.next_deadline() {
+            Some(d) => (d - now).saturating_sub(SPIN_WINDOW_NS),
+            None => u64::MAX,
+        };
+        let timeout = Duration::from_nanos(budget_ns).min(max_wait);
+        let mut io_ready = Vec::new();
+        // Millisecond floor: never sleep past `deadline - spin window`.
+        let timeout_ms = Duration::from_millis(timeout.as_millis() as u64);
+        self.poller.wait(&mut io_ready, Some(timeout_ms))?;
+        if !io_ready.is_empty() {
+            out.extend(io_ready.into_iter().map(MuxEvent::Io));
+            // Deliver timers that expired while we slept, too.
+            let now = self.clock.now_ns();
+            while let Some(token) = self.timers.pop_expired(now) {
+                out.push(MuxEvent::Timer { token });
+            }
+            return Ok(());
+        }
+
+        // No I/O: if a deadline is imminent, spin it down (µs-accurate),
+        // then deliver whatever expired.
+        if let Some(d) = self.timers.next_deadline() {
+            if d.saturating_sub(self.clock.now_ns()) <= SPIN_WINDOW_NS {
+                while self.clock.now_ns() < d {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let now = self.clock.now_ns();
+        while let Some(token) = self.timers.pop_expired(now) {
+            out.push(MuxEvent::Timer { token });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_queue_orders_by_deadline_then_arming_order() {
+        let mut q = TimerQueue::new();
+        q.arm(300, 3);
+        q.arm(100, 1);
+        q.arm(100, 2);
+        q.arm(200, 9);
+        assert_eq!(q.next_deadline(), Some(100));
+        assert_eq!(q.pop_expired(99), None, "not yet expired");
+        assert_eq!(q.pop_expired(100), Some(1), "ties fire in arming order");
+        assert_eq!(q.pop_expired(100), Some(2));
+        assert_eq!(q.pop_expired(100), None);
+        assert_eq!(q.pop_expired(1_000), Some(9));
+        assert_eq!(q.pop_expired(1_000), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[cfg(target_os = "linux")]
+    mod linux {
+        use super::super::*;
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        #[test]
+        fn poller_reports_readability_by_token() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut tx = TcpStream::connect(addr).unwrap();
+            let (rx, _) = listener.accept().unwrap();
+            rx.set_nonblocking(true).unwrap();
+
+            let poller = Poller::new().unwrap();
+            poller.add(rx.as_raw_fd(), 77, Interest::READ).unwrap();
+
+            let mut out = Vec::new();
+            poller
+                .wait(&mut out, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(out.is_empty(), "nothing written yet");
+
+            tx.write_all(b"ping").unwrap();
+            let mut out = Vec::new();
+            poller.wait(&mut out, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].token, 77);
+            assert!(out[0].readable);
+        }
+
+        #[test]
+        fn poller_interest_can_be_modified_and_removed() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut tx = TcpStream::connect(addr).unwrap();
+            let (rx, _) = listener.accept().unwrap();
+            rx.set_nonblocking(true).unwrap();
+
+            let poller = Poller::new().unwrap();
+            poller.add(rx.as_raw_fd(), 1, Interest::NONE).unwrap();
+            tx.write_all(b"x").unwrap();
+            let mut out = Vec::new();
+            poller
+                .wait(&mut out, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(out.is_empty(), "dormant interest must not wake");
+
+            poller.modify(rx.as_raw_fd(), 2, Interest::READ).unwrap();
+            let mut out = Vec::new();
+            poller.wait(&mut out, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].token, 2, "token travels with the modify");
+
+            poller.remove(rx.as_raw_fd()).unwrap();
+            let mut out = Vec::new();
+            poller
+                .wait(&mut out, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(out.is_empty(), "removed fd must not wake");
+        }
+
+        #[test]
+        fn event_loop_fires_timers_near_their_deadlines() {
+            let clock = MonoClock::new();
+            let mut lp = EventLoop::new(clock.clone()).unwrap();
+            let t0 = clock.now_ns();
+            lp.arm_timer(t0 + 2_000_000, 1); // 2 ms
+            lp.arm_timer(t0 + 4_000_000, 2); // 4 ms
+            let mut fired = Vec::new();
+            while fired.len() < 2 {
+                let mut out = Vec::new();
+                lp.wait(&mut out, Duration::from_millis(50)).unwrap();
+                for ev in out {
+                    if let MuxEvent::Timer { token } = ev {
+                        fired.push((token, clock.now_ns()));
+                    }
+                }
+            }
+            assert_eq!(fired[0].0, 1);
+            assert_eq!(fired[1].0, 2);
+            for (token, at) in &fired {
+                let deadline = t0 + 2_000_000 * *token;
+                assert!(*at >= deadline, "timer {token} fired early");
+                assert!(
+                    *at - deadline < 20_000_000,
+                    "timer {token} fired {} ns late",
+                    *at - deadline
+                );
+            }
+        }
+
+        #[test]
+        fn event_loop_interleaves_timers_and_io() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut tx = TcpStream::connect(addr).unwrap();
+            let (rx, _) = listener.accept().unwrap();
+            rx.set_nonblocking(true).unwrap();
+
+            let clock = MonoClock::new();
+            let mut lp = EventLoop::new(clock.clone()).unwrap();
+            lp.register(rx.as_raw_fd(), 10, Interest::READ).unwrap();
+            lp.arm_timer(clock.now_ns() + 3_000_000, 20);
+            tx.write_all(b"now").unwrap();
+
+            let (mut saw_io, mut saw_timer) = (false, false);
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            while (!saw_io || !saw_timer) && std::time::Instant::now() < deadline {
+                let mut out = Vec::new();
+                lp.wait(&mut out, Duration::from_millis(50)).unwrap();
+                for ev in out {
+                    match ev {
+                        MuxEvent::Io(r) => {
+                            assert_eq!(r.token, 10);
+                            saw_io = true;
+                        }
+                        MuxEvent::Timer { token } => {
+                            assert_eq!(token, 20);
+                            saw_timer = true;
+                        }
+                    }
+                }
+            }
+            assert!(saw_io && saw_timer);
+        }
+    }
+}

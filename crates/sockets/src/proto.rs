@@ -165,7 +165,21 @@ pub enum CtrlMsg {
     },
     /// Session end.
     Bye,
+    /// Receiver → sender **instead of** `Hello`: the connection is
+    /// refused. Versioned like `Hello` so a sender can always tell a
+    /// policy refusal (e.g. [`DENY_AT_CAPACITY`]) apart from a protocol
+    /// mismatch, and knows which protocol the refusing receiver speaks.
+    Deny {
+        /// The receiver's [`PROTO_VERSION`].
+        version: u8,
+        /// Why the session was refused (a `DENY_*` constant).
+        code: u8,
+    },
 }
+
+/// [`CtrlMsg::Deny`] code: the receiver is at its concurrent-session
+/// capacity; retry later or point the path at another receiver.
+pub const DENY_AT_CAPACITY: u8 = 1;
 
 impl CtrlMsg {
     fn tag(&self) -> u8 {
@@ -178,6 +192,7 @@ impl CtrlMsg {
             CtrlMsg::TrainReport { .. } => 6,
             CtrlMsg::Echo { .. } => 7,
             CtrlMsg::Bye => 8,
+            CtrlMsg::Deny { .. } => 9,
         }
     }
 
@@ -234,6 +249,10 @@ impl CtrlMsg {
             }
             CtrlMsg::Echo { token } => body.extend_from_slice(&token.to_le_bytes()),
             CtrlMsg::Bye => {}
+            CtrlMsg::Deny { version, code } => {
+                body.push(*version);
+                body.push(*code);
+            }
         }
         w.write_all(&(body.len() as u32).to_le_bytes())?;
         w.write_all(&body)
@@ -305,6 +324,10 @@ impl CtrlMsg {
                 token: u64::from_le_bytes(take(8)?.try_into().unwrap()),
             },
             8 => CtrlMsg::Bye,
+            9 => CtrlMsg::Deny {
+                version: take(1)?[0],
+                code: take(1)?[0],
+            },
             _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "unknown tag")),
         };
         Ok(msg)
@@ -414,6 +437,10 @@ mod tests {
         });
         round_trip(CtrlMsg::Echo { token: u64::MAX });
         round_trip(CtrlMsg::Bye);
+        round_trip(CtrlMsg::Deny {
+            version: PROTO_VERSION,
+            code: DENY_AT_CAPACITY,
+        });
     }
 
     #[test]

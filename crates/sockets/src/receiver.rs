@@ -27,13 +27,13 @@
 //! multi-second deadline.
 
 use crate::clock::MonoClock;
-use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire, PROTO_VERSION};
+use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire, DENY_AT_CAPACITY, PROTO_VERSION};
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver as ChanReceiver, RecvTimeoutError, SyncSender};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
@@ -61,6 +61,15 @@ const POLL_TIMEOUT: Duration = Duration::from_millis(50);
 /// collection already tolerates) and other sessions are unaffected.
 const COLLECTOR_CAPACITY: usize = 4096;
 
+/// Upper bound on the `count` a single announce may name. Collection
+/// allocates per-stream state proportional to `count` (the seen-index
+/// set, the sample vector), so without a cap one malicious
+/// `StreamAnnounce { count: u32::MAX, .. }` frame would make the receiver
+/// allocate gigabytes. Far above any real configuration (default stream
+/// length is 100 packets); an announce beyond it is a protocol error that
+/// closes the offending session — other sessions are unaffected.
+pub const MAX_ANNOUNCE_COUNT: u32 = 1 << 16;
+
 /// A stream whose nominal duration has passed is considered over after
 /// this much silence (covers a lost or reordered final packet without
 /// waiting out the full deadline).
@@ -82,6 +91,11 @@ struct Shared {
     clock: MonoClock,
     registry: Registry,
     next_token: AtomicU64,
+    /// Concurrent-session cap; 0 = unlimited. When full, a new control
+    /// connection is refused with a versioned `Deny` instead of `Hello`.
+    /// (Atomic only so [`Receiver::with_max_sessions`] can set it after
+    /// the demux thread already shares the struct.)
+    max_sessions: AtomicUsize,
 }
 
 /// The pathload receiver: one TCP control listener plus one **shared** UDP
@@ -115,6 +129,7 @@ impl Receiver {
             clock: MonoClock::new(),
             registry: Mutex::new(HashMap::new()),
             next_token: AtomicU64::new(token_base),
+            max_sessions: AtomicUsize::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let demux = {
@@ -133,6 +148,20 @@ impl Receiver {
     /// The control-channel address senders should connect to.
     pub fn ctrl_addr(&self) -> SocketAddr {
         self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Cap concurrent sessions at `max` (`0` = unlimited, the default).
+    ///
+    /// A receiver serving a fleet cannot accept sessions unboundedly:
+    /// every session costs a serving thread, a collector channel, and
+    /// demux-registry space. Beyond the cap a new control connection is
+    /// answered with a **versioned [`CtrlMsg::Deny`]** (code
+    /// [`DENY_AT_CAPACITY`]) instead of `Hello` — the sender gets a clean
+    /// "receiver at capacity" error instead of a hung or half-open
+    /// session, and sessions already running are untouched.
+    pub fn with_max_sessions(self, max: usize) -> Receiver {
+        self.shared.max_sessions.store(max, Ordering::SeqCst);
+        self
     }
 
     /// Serve exactly one sender session (blocking), then return. Other
@@ -296,12 +325,29 @@ impl Shared {
 
     /// Serve one control connection to completion: mint a session, say
     /// `Hello`, answer announces with collections, deregister on the way
-    /// out (any exit path).
+    /// out (any exit path). A receiver at its session cap refuses the
+    /// connection with a versioned `Deny` instead (see
+    /// [`Receiver::with_max_sessions`]).
     fn serve_session(&self, mut ctrl: TcpStream) -> io::Result<()> {
         ctrl.set_nodelay(true)?;
         let token = self.mint_token();
         let (tx, arrivals) = mpsc::sync_channel(COLLECTOR_CAPACITY);
-        lock_registry(&self.registry).insert(token, tx);
+        {
+            // Check-and-insert under one lock, so racing accepts cannot
+            // both squeeze into the last slot.
+            let mut registry = lock_registry(&self.registry);
+            let max = self.max_sessions.load(Ordering::SeqCst);
+            if max != 0 && registry.len() >= max {
+                drop(registry);
+                CtrlMsg::Deny {
+                    version: PROTO_VERSION,
+                    code: DENY_AT_CAPACITY,
+                }
+                .write_to(&mut ctrl)?;
+                return Ok(());
+            }
+            registry.insert(token, tx);
+        }
         let result = self.session_loop(&mut ctrl, token, &arrivals);
         lock_registry(&self.registry).remove(&token);
         result
@@ -332,12 +378,14 @@ impl Shared {
                     period_ns,
                     size: _,
                 } => {
+                    check_count(count)?;
                     drain(arrivals);
                     CtrlMsg::Ready { id }.write_to(ctrl)?;
                     let samples = self.collect_stream(arrivals, id, count, period_ns);
                     CtrlMsg::StreamReport { id, samples }.write_to(ctrl)?;
                 }
                 CtrlMsg::TrainAnnounce { id, count, size: _ } => {
+                    check_count(count)?;
                     drain(arrivals);
                     CtrlMsg::Ready { id }.write_to(ctrl)?;
                     let (received, first_ns, last_ns) = self.collect_train(arrivals, id, count);
@@ -474,6 +522,20 @@ fn drain(arrivals: &ChanReceiver<Arrival>) {
     while arrivals.try_recv().is_ok() {}
 }
 
+/// Bound per-session collection memory: refuse an announce whose `count`
+/// would make the receiver allocate absurd per-stream state (see
+/// [`MAX_ANNOUNCE_COUNT`]). The offending session is closed with a
+/// protocol error; other sessions are unaffected.
+fn check_count(count: u32) -> io::Result<()> {
+    if count > MAX_ANNOUNCE_COUNT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("announced count {count} exceeds the {MAX_ANNOUNCE_COUNT} cap"),
+        ));
+    }
+    Ok(())
+}
+
 /// Connect a control channel to a receiver and perform the hello
 /// exchange. Returns the stream, the receiver's UDP port, and the minted
 /// session token.
@@ -494,6 +556,16 @@ pub(crate) fn connect_ctrl(addr: SocketAddr) -> io::Result<(TcpStream, u16, u64)
                 ));
             }
             Ok((ctrl, udp_port, session))
+        }
+        CtrlMsg::Deny { version, code } => {
+            let reason = match code {
+                DENY_AT_CAPACITY => "receiver at its concurrent-session capacity",
+                _ => "connection refused by receiver policy",
+            };
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("{reason} (receiver speaks protocol v{version})"),
+            ))
         }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -540,5 +612,68 @@ mod tests {
         let a = rx.shared.mint_token();
         let b = rx.shared.mint_token();
         assert_ne!(a, b);
+    }
+
+    /// Two receiver incarnations mint from different random bases: a
+    /// token from one can essentially never be live on the other, so
+    /// probes stamped with a pre-restart token are dropped by the demux
+    /// instead of contaminating the restarted receiver's sessions.
+    #[test]
+    fn token_bases_differ_across_receiver_incarnations() {
+        let a = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let base_a = a.shared.mint_token();
+        drop(a);
+        let b = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let base_b = b.shared.mint_token();
+        assert_ne!(base_a, base_b, "restarted receiver reused its token base");
+    }
+
+    /// Beyond `with_max_sessions`, a connection is refused with a
+    /// versioned `Deny` that `connect_ctrl` turns into a clean error;
+    /// sessions already running are untouched.
+    #[test]
+    fn session_cap_refuses_with_versioned_deny() {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap())
+            .unwrap()
+            .with_max_sessions(1);
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || {
+            // First session occupies the only slot; second is denied.
+            rx.serve_n(2)
+        });
+        let first = connect_ctrl(addr).expect("first session fits");
+        let err = connect_ctrl(addr).expect_err("second session must be denied");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        let msg = err.to_string();
+        assert!(msg.contains("capacity"), "{msg}");
+        assert!(
+            msg.contains(&format!("v{PROTO_VERSION}")),
+            "deny must carry the receiver's protocol version: {msg}"
+        );
+        drop(first);
+        server.join().unwrap().unwrap();
+    }
+
+    /// An announce whose count would allocate absurd per-stream state is
+    /// refused (the session closes with a protocol error).
+    #[test]
+    fn oversized_announce_is_rejected() {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || rx.serve_one());
+        let (mut ctrl, _port, _session) = connect_ctrl(addr).unwrap();
+        CtrlMsg::StreamAnnounce {
+            id: 1,
+            count: u32::MAX,
+            period_ns: 1_000_000,
+            size: 64,
+        }
+        .write_to(&mut ctrl)
+        .unwrap();
+        let err = server
+            .join()
+            .unwrap()
+            .expect_err("announce must be refused");
+        assert!(err.to_string().contains("cap"), "{err}");
     }
 }

@@ -13,6 +13,7 @@ use std::net::{SocketAddr, TcpStream, UdpSocket};
 use units::{Rate, TimeNs};
 
 /// SLoPS probing over real UDP/TCP sockets.
+#[derive(Debug)]
 pub struct SocketTransport {
     ctrl: TcpStream,
     udp: UdpSocket,
@@ -65,11 +66,47 @@ impl SocketTransport {
         self.session
     }
 
-    fn io_err(e: io::Error) -> TransportError {
-        TransportError::Io(e.to_string())
+    /// Switch both sockets (control TCP and probe UDP) between blocking
+    /// and non-blocking mode.
+    ///
+    /// The blocking [`ProbeTransport`] methods of this type assume
+    /// blocking mode; in non-blocking mode the transport is driven by an
+    /// [`EventedSession`](crate::evented::EventedSession) registered with
+    /// a [`mux::EventLoop`](crate::mux::EventLoop) instead.
+    pub fn set_nonblocking(&mut self, nonblocking: bool) -> io::Result<()> {
+        self.ctrl.set_nonblocking(nonblocking)?;
+        self.udp.set_nonblocking(nonblocking)
     }
 
-    fn expect_ready(&mut self, id: u32) -> Result<(), TransportError> {
+    /// The control TCP stream (for event-loop registration and
+    /// non-blocking frame I/O by the evented driver).
+    pub(crate) fn ctrl(&self) -> &TcpStream {
+        &self.ctrl
+    }
+
+    /// The probe UDP socket (for event-loop registration and non-blocking
+    /// sends by the evented driver).
+    pub(crate) fn udp(&self) -> &UdpSocket {
+        &self.udp
+    }
+
+    /// The sender clock.
+    pub(crate) fn clock(&self) -> &MonoClock {
+        &self.clock
+    }
+
+    /// Allocate the next stream/train id.
+    pub(crate) fn next_stream_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn io_err(e: io::Error) -> TransportError {
+        TransportError::Io(ctrl_error_text(&e))
+    }
+
+    pub(crate) fn expect_ready(&mut self, id: u32) -> Result<(), TransportError> {
         match CtrlMsg::read_from(&mut self.ctrl).map_err(Self::io_err)? {
             CtrlMsg::Ready { id: got } if got == id => Ok(()),
             other => Err(TransportError::Io(format!(
@@ -79,10 +116,57 @@ impl SocketTransport {
     }
 }
 
+/// Assemble a [`StreamRecord`] from the receiver's per-packet report and
+/// the **actual** send instants recorded while pacing (indexed by packet
+/// index). Shared by the blocking transport and the evented driver so
+/// both build byte-identical records from the same wire data.
+pub(crate) fn stream_record(
+    sent: u32,
+    actual_send: &[u64],
+    samples: &[crate::proto::SampleWire],
+) -> StreamRecord {
+    let first_send = actual_send.first().copied().unwrap_or(0);
+    let records = samples
+        .iter()
+        .map(|s| PacketSample {
+            idx: s.idx,
+            send_offset: TimeNs::from_nanos(
+                actual_send
+                    .get(s.idx as usize)
+                    .map_or(0, |t| t.saturating_sub(first_send)),
+            ),
+            owd_ns: s.recv_ns as i64 - s.send_ns as i64,
+        })
+        .collect();
+    StreamRecord {
+        sent,
+        samples: records,
+    }
+}
+
+/// Human diagnosis of a dead control channel. An abrupt EOF or reset on
+/// the control TCP stream almost always means the receiver process went
+/// away (crashed, or restarted — a restarted receiver mints session
+/// tokens from a fresh random base, so the old connection *and* the old
+/// token are both unusable). The session must fail cleanly here, at the
+/// control channel, rather than limp on reporting silently-empty streams;
+/// reconnecting performs a fresh `Hello` and obtains a live token.
+pub(crate) fn ctrl_error_text(e: &io::Error) -> String {
+    match e.kind() {
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => format!(
+            "control channel closed by receiver (receiver gone or restarted; \
+             reconnect for a fresh Hello and session token): {e}"
+        ),
+        _ => e.to_string(),
+    }
+}
+
 impl ProbeTransport for SocketTransport {
     fn send_stream(&mut self, req: &StreamRequest) -> Result<StreamRecord, TransportError> {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = self.next_stream_id();
         let size = (req.packet_size as usize).max(PROBE_HEADER_LEN);
         CtrlMsg::StreamAnnounce {
             id,
@@ -117,23 +201,7 @@ impl ProbeTransport for SocketTransport {
 
         match CtrlMsg::read_from(&mut self.ctrl).map_err(Self::io_err)? {
             CtrlMsg::StreamReport { id: got, samples } if got == id => {
-                let first_send = actual_send.first().copied().unwrap_or(0);
-                let records = samples
-                    .iter()
-                    .map(|s| PacketSample {
-                        idx: s.idx,
-                        send_offset: TimeNs::from_nanos(
-                            actual_send
-                                .get(s.idx as usize)
-                                .map_or(0, |t| t.saturating_sub(first_send)),
-                        ),
-                        owd_ns: s.recv_ns as i64 - s.send_ns as i64,
-                    })
-                    .collect();
-                Ok(StreamRecord {
-                    sent: req.count,
-                    samples: records,
-                })
+                Ok(stream_record(req.count, &actual_send, &samples))
             }
             other => Err(TransportError::Io(format!(
                 "expected StreamReport({id}), got {other:?}"
@@ -142,8 +210,7 @@ impl ProbeTransport for SocketTransport {
     }
 
     fn send_train(&mut self, len: u32, size: u32) -> Result<TrainRecord, TransportError> {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = self.next_stream_id();
         let size = (size as usize).max(PROBE_HEADER_LEN);
         CtrlMsg::TrainAnnounce {
             id,

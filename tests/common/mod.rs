@@ -1,0 +1,66 @@
+//! Helpers shared by the socket-facing integration tests.
+
+/// Parse one flat JSONL record (`{"k":"str",...,"k":123}`) into pairs.
+/// Only what the export layer emits: string and number values, no
+/// nesting. Returns `None` on any malformed syntax.
+pub fn parse_flat_json(line: &str) -> Option<Vec<(String, String)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        // Key: a quoted string.
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next()? {
+                '\\' => {
+                    key.push(chars.next()?);
+                }
+                '"' => break,
+                c => key.push(c),
+            }
+        }
+        if chars.next()? != ':' {
+            return None;
+        }
+        // Value: a quoted string or a bare number.
+        let mut value = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next()? {
+                    '\\' => {
+                        value.push(chars.next()?);
+                    }
+                    '"' => break,
+                    c => value.push(c),
+                }
+            }
+        } else {
+            while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                value.push(chars.next()?);
+            }
+            value.parse::<f64>().ok()?; // must be a number
+        }
+        fields.push((key, value));
+        match chars.next()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(fields)
+}
+
+/// Look a key up in a parsed flat record.
+pub fn field<'a>(rec: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    rec.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}

@@ -1,0 +1,334 @@
+//! The async (event-loop) socket driver, end to end over loopback.
+//!
+//! Three layers are pinned here, matching the DRIVERS.md checklist for a
+//! new driver:
+//!
+//! 1. **the hand-stepped contract test** — an [`EventedSession`] driven
+//!    one event-loop wait at a time, with the machine's `poll() == None`
+//!    invariant asserted while every command is in flight;
+//! 2. **a big fleet** — ≥32 loopback paths multiplexed on ONE event-loop
+//!    thread against ONE shared multi-session receiver, with every JSONL
+//!    line the daemon would emit parsed and checked;
+//! 3. **thread-vs-async structural equivalence** — both fleet drivers run
+//!    the same seeded schedule; per-path sample counts, the tick-grid
+//!    start offsets, and the record schema must agree. (Real sockets are
+//!    nondeterministic, so the estimates themselves are not compared —
+//!    the same standard as `tests/socket_loopback.rs`.)
+
+// The evented driver is Unix-only (raw-fd registration with epoll).
+#![cfg(unix)]
+
+use availbw::monitord::export::{sample_line, summary_line};
+use availbw::monitord::{
+    run_socket_fleet_async, run_socket_fleet_with_shutdown, FleetEvent, ScheduleConfig,
+    SeriesConfig, ShutdownFlag, SocketPathSpec,
+};
+use availbw::pathload_net::clock::MonoClock;
+use availbw::pathload_net::mux::{EventLoop, MuxEvent};
+use availbw::pathload_net::{EventedSession, Receiver, SessionTokens, SocketTransport};
+use availbw::slops::series::RangeSample;
+use availbw::slops::SlopsConfig;
+use availbw::units::{Rate, TimeNs};
+use std::thread;
+use std::time::{Duration, Instant};
+
+mod common;
+use common::{field, parse_flat_json};
+
+const RATE_CAP_MBPS: f64 = 30.0;
+
+/// The tests here are wall-clock sensitive (schedules, pacing) and CPU
+/// hungry (32 concurrent loopback paths); running them in parallel on a
+/// small CI box makes measurements overrun their periods. Serialize them.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Gentle probing so a loopback measurement lasts well under a second.
+fn gentle_cfg() -> SlopsConfig {
+    let mut cfg = SlopsConfig::default();
+    cfg.stream_len = 20;
+    cfg.fleet_len = 3;
+    cfg.min_period = TimeNs::from_millis(1);
+    cfg.resolution = Rate::from_mbps(10.0);
+    cfg.grey_resolution = Rate::from_mbps(20.0);
+    cfg.max_fleets = 4;
+    cfg
+}
+
+/// The DRIVERS.md hand-stepped contract test, evented edition: one
+/// session over real loopback sockets, the event loop drained one wait
+/// at a time, and between every batch of events the machine invariant is
+/// asserted — `poll()` returns `None` exactly while the driver is
+/// executing a command. The session must still converge to a sane
+/// estimate with a driver-stamped `elapsed`.
+#[test]
+fn hand_stepped_evented_session_honors_the_machine_contract() {
+    let _serial = serialized();
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_one());
+
+    let clock = MonoClock::new();
+    let mut transport = SocketTransport::connect_with_clock(addr, clock.same_epoch()).unwrap();
+    transport.rate_cap = Rate::from_mbps(RATE_CAP_MBPS);
+    let tokens = SessionTokens {
+        ctrl: 1,
+        probe: 2,
+        timer: 3,
+    };
+    let mut session = EventedSession::new(transport, gentle_cfg(), tokens)
+        .map_err(|(_, e)| e)
+        .unwrap();
+    let mut lp = EventLoop::new(clock.same_epoch()).unwrap();
+    session.register(&lp).unwrap();
+
+    let started = Instant::now();
+    let mut events: Vec<MuxEvent> = Vec::new();
+    let mut saw_in_flight = false;
+    while !session.is_finished() {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "session did not terminate"
+        );
+        if session.command_in_flight() {
+            saw_in_flight = true;
+            let machine = session
+                .machine_mut()
+                .expect("a machine exists once commands execute");
+            assert!(
+                machine.poll().is_none(),
+                "poll() must be None while a command is in flight"
+            );
+            assert!(!machine.is_finished());
+        }
+        events.clear();
+        lp.wait(&mut events, Duration::from_millis(50)).unwrap();
+        for ev in &events {
+            session.on_event(&mut lp, ev);
+        }
+    }
+    assert!(saw_in_flight, "the loop never observed a command in flight");
+
+    let (transport, outcome) = session.finish(&lp);
+    let est = outcome.expect("loopback session succeeds");
+    assert!(est.low.bps() <= est.high.bps());
+    assert!(!est.fleets.is_empty(), "empty fleet trace");
+    assert!(est.elapsed > TimeNs::ZERO, "driver must stamp elapsed");
+    assert!(
+        est.high.mbps() <= RATE_CAP_MBPS + 8.0,
+        "estimate above the pacing cap: {}",
+        est.high
+    );
+    drop(transport);
+    server.join().unwrap().unwrap();
+}
+
+/// A ≥32-path loopback fleet on the async driver: one event-loop thread,
+/// one shared multi-session receiver, every path sampled before the
+/// horizon, no errors, and every JSONL line the daemon would emit parses
+/// with the right shape.
+#[test]
+fn thirty_two_path_fleet_on_one_event_loop_thread() {
+    let _serial = serialized();
+    const N: usize = 32;
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(N));
+    let specs: Vec<SocketPathSpec> = (0..N)
+        .map(|i| SocketPathSpec {
+            label: format!("lo{i}"),
+            ctrl_addr: addr,
+            cfg: gentle_cfg(),
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        })
+        .collect();
+    let sched = ScheduleConfig {
+        period: TimeNs::from_secs(5),
+        jitter: TimeNs::from_millis(200),
+        max_concurrent: 8,
+        seed: 7,
+    };
+
+    // Collect the JSONL lines exactly as the binary would emit them.
+    let mut lines: Vec<String> = Vec::new();
+    let series = run_socket_fleet_async(
+        specs,
+        &sched,
+        &SeriesConfig::default(),
+        TimeNs::from_secs(6),
+        |ev| match ev {
+            FleetEvent::Sample {
+                path,
+                label,
+                sample,
+            } => lines.push(sample_line(path, label, &sample)),
+            FleetEvent::Failed { path, error, .. } => {
+                panic!("path {path} failed on loopback: {error}")
+            }
+            FleetEvent::Change { .. } => {} // possible, not asserted
+        },
+    )
+    .unwrap();
+    for (p, s) in series.iter().enumerate() {
+        lines.push(summary_line(p, s));
+    }
+
+    let mut samples_seen = [0usize; N];
+    let mut summaries_seen = [0usize; N];
+    for line in &lines {
+        let rec = parse_flat_json(line).unwrap_or_else(|| panic!("bad JSONL: {line}"));
+        match field(&rec, "type") {
+            Some("sample") => {
+                let p: usize = field(&rec, "path").unwrap().parse().unwrap();
+                assert!(p < N, "{line}");
+                assert_eq!(field(&rec, "label").unwrap(), format!("lo{p}"));
+                let low: f64 = field(&rec, "low_bps").unwrap().parse().unwrap();
+                let high: f64 = field(&rec, "high_bps").unwrap().parse().unwrap();
+                assert!(0.0 <= low && low <= high, "{line}");
+                let dur: f64 = field(&rec, "duration_ns").unwrap().parse().unwrap();
+                assert!(dur > 0.0, "{line}");
+                samples_seen[p] += 1;
+            }
+            Some("summary") => {
+                let p: usize = field(&rec, "path").unwrap().parse().unwrap();
+                assert_eq!(field(&rec, "errors").unwrap(), "0", "{line}");
+                summaries_seen[p] += 1;
+            }
+            other => panic!("unexpected record type {other:?}: {line}"),
+        }
+    }
+
+    assert_eq!(series.len(), N);
+    for (p, s) in series.iter().enumerate() {
+        assert!(
+            samples_seen[p] >= 1,
+            "path {p} was never measured within the horizon"
+        );
+        assert_eq!(summaries_seen[p], 1, "path {p}: wrong summary count");
+        assert_eq!(s.len(), samples_seen[p], "path {p}: streamed != stored");
+        assert_eq!(s.errors(), 0, "path {p} errored");
+    }
+    server.join().unwrap().unwrap();
+}
+
+/// Run one fleet driver over a dedicated shared receiver and return the
+/// per-path `(started, duration)` samples plus the JSONL lines.
+fn run_driver(
+    use_async: bool,
+    n: usize,
+    sched: &ScheduleConfig,
+    horizon: TimeNs,
+) -> (Vec<Vec<RangeSample>>, Vec<String>) {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(n));
+    let specs: Vec<SocketPathSpec> = (0..n)
+        .map(|i| SocketPathSpec {
+            label: format!("p{i}"),
+            ctrl_addr: addr,
+            cfg: gentle_cfg(),
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        })
+        .collect();
+    let mut lines = Vec::new();
+    let observer = |ev: FleetEvent<'_>| {
+        if let FleetEvent::Sample {
+            path,
+            label,
+            sample,
+        } = ev
+        {
+            lines.push(sample_line(path, label, &sample));
+        }
+    };
+    let series = if use_async {
+        run_socket_fleet_async(specs, sched, &SeriesConfig::default(), horizon, observer).unwrap()
+    } else {
+        run_socket_fleet_with_shutdown(
+            specs,
+            sched,
+            &SeriesConfig::default(),
+            horizon,
+            2,
+            &ShutdownFlag::new(),
+            observer,
+        )
+        .unwrap()
+    };
+    server.join().unwrap().unwrap();
+    let samples = series
+        .iter()
+        .map(|s| s.samples().copied().collect())
+        .collect();
+    (samples, lines)
+}
+
+/// Thread-vs-async structural equivalence: the two drivers take every
+/// start from the same sans-IO scheduler, so for the same seed they must
+/// issue the same tick-grid schedule — per-path sample counts equal, and
+/// each sample's start offset (relative to the fleet's first start, which
+/// removes the wall-clock epoch difference between the two runs) equal to
+/// the tick. The JSONL schema must match field-for-field.
+#[test]
+fn thread_and_async_drivers_issue_the_same_schedule() {
+    let _serial = serialized();
+    const N: usize = 2;
+    let sched = ScheduleConfig {
+        period: TimeNs::from_secs(3),
+        jitter: TimeNs::from_millis(200),
+        max_concurrent: N, // never the binding constraint here
+        seed: 99,
+    };
+    let horizon = TimeNs::from_secs(7);
+    let (thread_samples, thread_lines) = run_driver(false, N, &sched, horizon);
+    let (async_samples, async_lines) = run_driver(true, N, &sched, horizon);
+
+    // Same per-path sample counts.
+    let counts = |s: &Vec<Vec<RangeSample>>| s.iter().map(|p| p.len()).collect::<Vec<_>>();
+    assert_eq!(
+        counts(&thread_samples),
+        counts(&async_samples),
+        "drivers measured different sample counts"
+    );
+
+    // Same scheduler tick schedule: start offsets relative to the fleet's
+    // first start are pure functions of (seed, n, period, tick grid) as
+    // long as no measurement overruns its period, so they are identical
+    // across drivers even though the two runs' wall-clock epochs differ.
+    let offsets = |s: &Vec<Vec<RangeSample>>| {
+        let t0 = s
+            .iter()
+            .flat_map(|p| p.iter().map(|r| r.started))
+            .min()
+            .expect("non-empty run");
+        s.iter()
+            .map(|p| p.iter().map(|r| r.started - t0).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        offsets(&thread_samples),
+        offsets(&async_samples),
+        "drivers diverged from the shared scheduler's tick schedule"
+    );
+
+    // Same record schema: identical key sequences on every sample line.
+    let keys = |line: &String| {
+        parse_flat_json(line)
+            .unwrap_or_else(|| panic!("bad JSONL: {line}"))
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect::<Vec<_>>()
+    };
+    let thread_keys: Vec<_> = thread_lines.iter().map(keys).collect();
+    let async_keys: Vec<_> = async_lines.iter().map(keys).collect();
+    assert!(!thread_keys.is_empty());
+    assert_eq!(thread_keys[0], async_keys[0], "record schema diverged");
+    for k in thread_keys.iter().chain(async_keys.iter()) {
+        assert_eq!(*k, thread_keys[0], "schema must be uniform across lines");
+    }
+}

@@ -22,6 +22,9 @@ use availbw::slops::SlopsConfig;
 use availbw::units::{Rate, TimeNs};
 use std::thread;
 
+mod common;
+use common::{field, parse_flat_json};
+
 /// Gentle probing so a loopback measurement lasts about a second.
 fn gentle_cfg() -> SlopsConfig {
     let mut cfg = SlopsConfig::default();
@@ -35,70 +38,6 @@ fn gentle_cfg() -> SlopsConfig {
 }
 
 const RATE_CAP_MBPS: f64 = 40.0;
-
-/// Parse one flat JSONL record (`{"k":"str",...,"k":123}`) into pairs.
-/// Only what the export layer emits: string and number values, no
-/// nesting. Returns `None` on any malformed syntax.
-fn parse_flat_json(line: &str) -> Option<Vec<(String, String)>> {
-    let mut chars = line.trim().chars().peekable();
-    let mut fields = Vec::new();
-    if chars.next()? != '{' {
-        return None;
-    }
-    loop {
-        // Key: a quoted string.
-        if chars.next()? != '"' {
-            return None;
-        }
-        let mut key = String::new();
-        loop {
-            match chars.next()? {
-                '\\' => {
-                    key.push(chars.next()?);
-                }
-                '"' => break,
-                c => key.push(c),
-            }
-        }
-        if chars.next()? != ':' {
-            return None;
-        }
-        // Value: a quoted string or a bare number.
-        let mut value = String::new();
-        if chars.peek() == Some(&'"') {
-            chars.next();
-            loop {
-                match chars.next()? {
-                    '\\' => {
-                        value.push(chars.next()?);
-                    }
-                    '"' => break,
-                    c => value.push(c),
-                }
-            }
-        } else {
-            while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
-            {
-                value.push(chars.next()?);
-            }
-            value.parse::<f64>().ok()?; // must be a number
-        }
-        fields.push((key, value));
-        match chars.next()? {
-            ',' => continue,
-            '}' => break,
-            _ => return None,
-        }
-    }
-    if chars.next().is_some() {
-        return None; // trailing garbage
-    }
-    Some(fields)
-}
-
-fn field<'a>(rec: &'a [(String, String)], key: &str) -> Option<&'a str> {
-    rec.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
-}
 
 /// Three loopback paths, all naming ONE shared receiver address, through
 /// the binary's socket fleet driver: every streamed record parses as

@@ -287,6 +287,108 @@ fn duplicate_datagrams_are_deduplicated_and_losses_do_not_stall() {
     server.join().unwrap().unwrap();
 }
 
+/// Token recycling across receiver **restarts**: a restarted receiver
+/// mints tokens from a fresh random 64-bit base, so a token issued by the
+/// previous incarnation is (with overwhelming probability) never live on
+/// the new one. Probes a sender still stamps with its pre-restart token
+/// are silently dropped by the restarted receiver's demux — they can
+/// never contaminate the new incarnation's sessions — while the sender's
+/// *reconnect* performs a fresh `Hello` and gets a live token that
+/// collects normally.
+#[test]
+fn receiver_restart_invalidates_pre_restart_tokens() {
+    // Incarnation 1 issues a token, then goes away entirely.
+    let stale = {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || rx.serve_n(1));
+        let client = RawClient::connect(addr);
+        let stale = client.session;
+        client.bye();
+        server.join().unwrap().unwrap();
+        stale
+    };
+
+    // Incarnation 2 ("the restart"): the reconnecting sender's fresh
+    // Hello mints a token from the new random base.
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(1));
+    let mut client = RawClient::connect(addr);
+    assert_ne!(
+        client.session, stale,
+        "restarted receiver re-minted a pre-restart token"
+    );
+
+    const ID: u32 = 5;
+    const COUNT: u32 = 10;
+    const BOGUS_NS: u64 = 0xDEAD_0000;
+    client.announce_stream(ID, COUNT, 1_000_000);
+    for idx in 0..COUNT {
+        // The pre-restart token, poisoned so collection would be visible.
+        client.send_probe(stale, ID, idx, BOGUS_NS);
+        // The live post-restart token.
+        client.send_probe(client.session, ID, idx, 1_000 + idx as u64);
+    }
+    let samples = client.read_report(ID);
+    assert_eq!(samples.len() as u32, COUNT);
+    for s in &samples {
+        assert_eq!(
+            s.send_ns,
+            1_000 + s.idx as u64,
+            "a pre-restart-token datagram was collected: idx {} carries {:#x}",
+            s.idx,
+            s.send_ns
+        );
+    }
+    client.bye();
+    server.join().unwrap().unwrap();
+}
+
+/// Receiver restart, sender side: a transport whose receiver died
+/// mid-session must fail with a **clean control-channel error** that
+/// names the situation and the recovery (reconnect → fresh `Hello` and
+/// token) — not an opaque read failure, and never silently-empty stream
+/// reports.
+#[test]
+fn dead_receiver_mid_session_yields_a_clean_restart_error() {
+    use availbw::slops::stream_params;
+
+    // A hand-rolled "receiver" that speaks a valid v2 Hello and then
+    // crashes (drops the connection) on the first announce — exactly what
+    // a sender observes across a receiver restart.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let udp_port = udp.local_addr().unwrap().port();
+    let server = thread::spawn(move || {
+        let (mut ctrl, _) = listener.accept().unwrap();
+        CtrlMsg::Hello {
+            version: PROTO_VERSION,
+            udp_port,
+            session: 42,
+        }
+        .write_to(&mut ctrl)
+        .unwrap();
+        // Read the announce, then die without replying.
+        let _ = CtrlMsg::read_from(&mut ctrl).unwrap();
+    });
+
+    let mut t = SocketTransport::connect(addr).unwrap();
+    let req = stream_params(Rate::from_mbps(1.6), 0, &gentle_cfg());
+    let err = t.send_stream(&req).expect_err("the receiver is gone");
+    let msg = format!("{err:?}");
+    assert!(
+        msg.contains("restarted"),
+        "control-channel death must diagnose a possible restart: {msg}"
+    );
+    assert!(
+        msg.contains("Hello"),
+        "the error must name the recovery (reconnect for a fresh Hello): {msg}"
+    );
+    server.join().unwrap();
+}
+
 /// Probe datagrams carrying a stale token (a finished session's) or a
 /// never-issued token are dropped by the demux, not collected into a live
 /// session — even when id, kind, and indices match the live stream.
