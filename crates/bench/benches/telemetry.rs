@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the observability layer (ROADMAP item
+//! 5 / PR 7): `SessionMachine` step throughput, the event loop's
+//! `TimerQueue`, and the telemetry registry's overhead on an
+//! instrumented session relative to an uninstrumented one.
+//!
+//! Results are committed as `BENCH_7.json` at the repo root (op-count
+//! and throughput metrics only; absolute times carry the single-core
+//! container caveat from ARCHITECTURE.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monitord::FleetTelemetry;
+use pathload_net::mux::TimerQueue;
+use slops::testutil::OracleTransport;
+use slops::{Session, SlopsConfig};
+use std::hint::black_box;
+use units::Rate;
+
+/// Every machine bench runs the paper's default configuration
+/// (100-packet streams, 12-stream fleets): the per-stream trend work and
+/// the per-stream trace events stay in their production ratio, so the
+/// instrumented/uninstrumented delta measures the real relative
+/// overhead.
+fn bench_cfg() -> SlopsConfig {
+    SlopsConfig::default()
+}
+
+fn bench_machine(c: &mut Criterion) {
+    // One full sans-IO measurement against the deterministic oracle:
+    // every poll/on_event step, the trend classification, and the rate
+    // search — no I/O, no sleeping (the oracle answers instantly).
+    c.bench_function("session_machine_full_run", |b| {
+        let session = Session::new(bench_cfg());
+        b.iter(|| {
+            let mut t = OracleTransport::new(Rate::from_mbps(47.0), 3);
+            black_box(session.run(&mut t).unwrap())
+        })
+    });
+}
+
+fn bench_machine_instrumented(c: &mut Criterion) {
+    // The same measurement with the production telemetry attached: the
+    // machine minting trace events and the driver relaying them into a
+    // labeled registry sink. The per-iteration delta against
+    // `session_machine_full_run` is the registry overhead BENCH_7.json
+    // commits (<5% required).
+    c.bench_function("session_machine_full_run_instrumented", |b| {
+        let telemetry = FleetTelemetry::new();
+        let session = Session::new(bench_cfg()).with_trace_sink(telemetry.trace_sink("bench"));
+        b.iter(|| {
+            let mut t = OracleTransport::new(Rate::from_mbps(47.0), 3);
+            black_box(session.run(&mut t).unwrap())
+        })
+    });
+}
+
+fn bench_timer_queue(c: &mut Criterion) {
+    // The event loop's timer heap under fleet-scale churn: 1k arms with
+    // interleaved deadlines, then drain in deadline order.
+    c.bench_function("timer_queue_arm_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = TimerQueue::new();
+            for i in 0..1000u64 {
+                q.arm((i * 7919) % 1000, i);
+            }
+            let mut popped = 0u64;
+            while q.pop_expired(u64::MAX).is_some() {
+                popped += 1;
+            }
+            black_box(popped)
+        })
+    });
+}
+
+fn bench_registry_primitives(c: &mut Criterion) {
+    // The hot-path primitives drivers call per packet / per wakeup.
+    let registry = telemetry::Registry::new();
+    let counter = registry.counter("bench_total", &[("path", "lo0")]);
+    let hist = registry.histogram("bench_ns", &[("path", "lo0")]);
+    c.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    c.bench_function("histogram_observe", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.observe(black_box(v >> 40))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_machine,
+    bench_machine_instrumented,
+    bench_timer_queue,
+    bench_registry_primitives
+);
+criterion_main!(benches);

@@ -25,6 +25,26 @@ pub enum FleetOutcome {
     AbortedLossy,
 }
 
+impl FleetOutcome {
+    /// Every verdict, for pre-sizing label vocabularies.
+    pub const ALL: [FleetOutcome; 4] = [
+        FleetOutcome::AboveAvailBw,
+        FleetOutcome::BelowAvailBw,
+        FleetOutcome::Grey,
+        FleetOutcome::AbortedLossy,
+    ];
+
+    /// Stable snake_case name (trace events, JSONL, metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetOutcome::AboveAvailBw => "above_avail_bw",
+            FleetOutcome::BelowAvailBw => "below_avail_bw",
+            FleetOutcome::Grey => "grey",
+            FleetOutcome::AbortedLossy => "aborted_lossy",
+        }
+    }
+}
+
 /// Per-fleet record kept in the session trace (one per fleet).
 #[derive(Clone, Debug, PartialEq)]
 pub struct FleetTrace {

@@ -45,6 +45,7 @@ use crate::session::{Estimate, Termination};
 use crate::stream::{stream_params, StreamRequest};
 use crate::transport::{StreamRecord, TrainRecord};
 use crate::trend::StreamClass;
+use telemetry::TraceEvent;
 use units::{Rate, TimeNs};
 
 /// What the driver must do next.
@@ -137,6 +138,19 @@ struct FleetState {
     losses: Vec<f64>,
 }
 
+/// Every phase name a [`TraceEvent::Phase`] transition can carry, for
+/// pre-sizing label vocabularies (same strings as `State::name`).
+pub const PHASE_NAMES: [&str; 8] = [
+    "Start",
+    "AwaitTrain",
+    "FleetHead",
+    "NextStream",
+    "AwaitStream",
+    "NeedIdle",
+    "AwaitTick",
+    "Done",
+];
+
 /// Where the machine is in the session protocol.
 #[derive(Clone, Debug)]
 enum State {
@@ -187,6 +201,11 @@ pub struct SessionMachine {
     stream_id: u32,
     budget_exhausted: bool,
     state: State,
+    /// Trace events minted since the last [`SessionMachine::take_trace`].
+    /// Plain data, no IO: drivers drain this after every `poll`/`on_event`
+    /// and forward to their `TraceSink`. Bounded by the session itself
+    /// (a handful of events per stream).
+    trace: Vec<TraceEvent>,
 }
 
 impl SessionMachine {
@@ -216,7 +235,33 @@ impl SessionMachine {
             stream_id: 0,
             budget_exhausted: false,
             state: State::Start,
+            trace: Vec::new(),
         })
+    }
+
+    /// Move to `to`, minting the [`TraceEvent::Phase`] transition.
+    fn set_state(&mut self, to: State) {
+        self.trace.push(TraceEvent::Phase {
+            from: self.state.name(),
+            to: to.name(),
+        });
+        self.state = to;
+    }
+
+    /// Drain the trace events accumulated since the last call.
+    ///
+    /// The machine only ever *appends* trace events; it is the driver's
+    /// job to drain them (after each `poll` / `on_event`) and forward each
+    /// one to its `telemetry::TraceSink`. Because the events are minted
+    /// here — never in a driver — the trace is identical across drivers
+    /// for the same event sequence.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Trace events accumulated and not yet drained (tests, diagnostics).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
     }
 
     /// The machine's configuration.
@@ -249,12 +294,12 @@ impl SessionMachine {
             match &self.state {
                 State::Start => match self.cfg.initial {
                     InitialRate::Train { len, size } => {
-                        self.state = State::AwaitTrain;
+                        self.set_state(State::AwaitTrain);
                         return Some(Command::SendTrain { len, size });
                     }
                     InitialRate::FixedMax(r) => {
                         self.init_search(r.min(self.ceiling));
-                        self.state = State::FleetHead;
+                        self.set_state(State::FleetHead);
                     }
                 },
                 State::FleetHead => {
@@ -281,7 +326,7 @@ impl SessionMachine {
                                 classes: Vec::with_capacity(self.cfg.fleet_len as usize),
                                 losses: Vec::with_capacity(self.cfg.fleet_len as usize),
                             });
-                            self.state = State::NextStream;
+                            self.set_state(State::NextStream);
                         }
                     }
                 }
@@ -290,12 +335,12 @@ impl SessionMachine {
                     let mut req = fleet.proto;
                     req.stream_id = self.stream_id;
                     self.stream_id += 1;
-                    self.state = State::AwaitStream;
+                    self.set_state(State::AwaitStream);
                     return Some(Command::SendStream(req));
                 }
                 State::NeedIdle => {
                     let idle = self.fleet.as_ref().expect("fleet in progress").idle;
-                    self.state = State::AwaitTick;
+                    self.set_state(State::AwaitTick);
                     return Some(Command::Idle(idle));
                 }
                 State::AwaitTrain | State::AwaitStream | State::AwaitTick => return None,
@@ -314,12 +359,12 @@ impl SessionMachine {
                     None => self.ceiling,
                 };
                 self.init_search(rmax0);
-                self.state = State::FleetHead;
+                self.set_state(State::FleetHead);
                 Ok(())
             }
             (State::AwaitStream, Event::StreamDone(rec)) => {
                 self.absorb_stream(&rec);
-                self.state = State::NeedIdle;
+                self.set_state(State::NeedIdle);
                 Ok(())
             }
             (State::AwaitStream, Event::StreamLost) => {
@@ -327,7 +372,14 @@ impl SessionMachine {
                 let fleet = self.fleet.as_mut().expect("fleet in progress");
                 fleet.losses.push(1.0);
                 fleet.classes.push(StreamClass::Unusable);
-                self.state = State::NeedIdle;
+                let sent = fleet.proto.count;
+                self.trace.push(TraceEvent::Stream {
+                    id: u64::from(self.stream_id - 1),
+                    sent,
+                    received: 0,
+                    verdict: StreamClass::Unusable.name(),
+                });
+                self.set_state(State::NeedIdle);
                 Ok(())
             }
             (State::AwaitTick, Event::Tick(_now)) => {
@@ -340,9 +392,9 @@ impl SessionMachine {
                     .is_some_and(|&l| l > self.cfg.loss_abort_stream);
                 if aborted || fleet.losses.len() as u32 >= self.cfg.fleet_len {
                     self.close_fleet();
-                    self.state = State::FleetHead;
+                    self.set_state(State::FleetHead);
                 } else {
-                    self.state = State::NextStream;
+                    self.set_state(State::NextStream);
                 }
                 Ok(())
             }
@@ -371,21 +423,32 @@ impl SessionMachine {
         // differs from the prototype, and validation ignores it.
         let req = fleet.proto;
         let spacing = crate::validation::check_spacing(rec, &req, self.cfg.spacing_tolerance);
-        if !crate::validation::spacing_acceptable(&spacing, self.cfg.spacing_max_violations) {
-            // A stream whose sender could not hold the nominal spacing did
-            // not probe at its nominal rate: discard it (§IV).
-            fleet.classes.push(StreamClass::Unusable);
-        } else {
-            fleet
-                .classes
-                .push(crate::trend::classify_stream(rec, &self.cfg));
-        }
+        let class =
+            if !crate::validation::spacing_acceptable(&spacing, self.cfg.spacing_max_violations) {
+                // A stream whose sender could not hold the nominal spacing did
+                // not probe at its nominal rate: discard it (§IV).
+                StreamClass::Unusable
+            } else {
+                crate::trend::classify_stream(rec, &self.cfg)
+            };
+        fleet.classes.push(class);
+        self.trace.push(TraceEvent::Stream {
+            id: u64::from(self.stream_id - 1),
+            sent: rec.sent,
+            received: rec.samples.len() as u32,
+            verdict: class.name(),
+        });
     }
 
     /// Classify the finished fleet and record its verdict in the search.
     fn close_fleet(&mut self) {
         let fleet = self.fleet.take().expect("fleet in progress");
         let outcome = classify_fleet(&fleet.classes, &fleet.losses, &self.cfg);
+        self.trace.push(TraceEvent::FleetVerdict {
+            rate_bps: fleet.rate.bps().round() as u64,
+            streams: fleet.classes.len() as u32,
+            verdict: outcome.name(),
+        });
         self.fleets.push(FleetTrace {
             rate: fleet.rate,
             stream_classes: fleet.classes,
@@ -411,14 +474,23 @@ impl SessionMachine {
         } else {
             Termination::Resolution
         };
-        self.state = State::Done(Box::new(Estimate {
+        let grey = search.grey_bounds();
+        let fleets = self.fleets.len() as u32;
+        let est = Estimate {
             low,
             high,
-            grey: search.grey_bounds(),
+            grey,
             termination,
             fleets: std::mem::take(&mut self.fleets),
             elapsed: TimeNs::ZERO,
-        }));
+        };
+        self.set_state(State::Done(Box::new(est)));
+        self.trace.push(TraceEvent::SessionDone {
+            low_bps: low.bps().round() as u64,
+            high_bps: high.bps().round() as u64,
+            termination: termination.name(),
+            fleets,
+        });
     }
 }
 
@@ -498,6 +570,50 @@ mod tests {
         assert_eq!(est.termination, Termination::Resolution);
         assert!(m.is_finished());
         assert!(m.estimate().is_some());
+    }
+
+    /// `PHASE_NAMES` is the published vocabulary of `Phase` trace labels:
+    /// every transition a full session mints must use a listed name, and
+    /// a full session visits every listed name.
+    #[test]
+    fn phase_names_pin_the_trace_vocabulary() {
+        let mut m = machine();
+        let mut trace = Vec::new();
+        loop {
+            let cmd = m.poll().expect("machine never pends in this loop");
+            trace.extend(m.take_trace());
+            let done = matches!(cmd, Command::Finish(_));
+            if !done {
+                let ev = match cmd {
+                    Command::SendTrain { .. } => Event::TrainDone(train_record()),
+                    Command::SendStream(req) => {
+                        Event::StreamDone(if req.actual_rate().mbps() > 40.0 {
+                            ramp_record(&req)
+                        } else {
+                            flat_record(&req)
+                        })
+                    }
+                    Command::Idle(_) => Event::Tick(TimeNs::ZERO),
+                    Command::Finish(_) => unreachable!(),
+                };
+                m.on_event(ev).unwrap();
+                trace.extend(m.take_trace());
+            } else {
+                break;
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &trace {
+            if let TraceEvent::Phase { from, to } = e {
+                assert!(PHASE_NAMES.contains(from), "unlisted phase {from:?}");
+                assert!(PHASE_NAMES.contains(to), "unlisted phase {to:?}");
+                seen.insert(*to);
+            }
+        }
+        seen.insert("Start"); // the initial state is transitioned from, not to
+        for name in PHASE_NAMES {
+            assert!(seen.contains(name), "phase {name:?} never visited");
+        }
     }
 
     #[test]

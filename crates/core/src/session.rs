@@ -21,6 +21,8 @@ use crate::error::SlopsError;
 use crate::fleet::FleetTrace;
 use crate::machine::{Command, Event, SessionMachine};
 use crate::transport::ProbeTransport;
+use std::sync::Arc;
+use telemetry::TraceSink;
 use units::{Rate, TimeNs};
 
 /// Why the session stopped.
@@ -34,6 +36,26 @@ pub enum Termination {
     TransportCeiling,
     /// The fleet budget ran out before the resolutions were met.
     FleetBudget,
+}
+
+impl Termination {
+    /// Every termination cause, for pre-sizing label vocabularies.
+    pub const ALL: [Termination; 4] = [
+        Termination::Resolution,
+        Termination::GreyResolution,
+        Termination::TransportCeiling,
+        Termination::FleetBudget,
+    ];
+
+    /// Stable snake_case name (trace events, JSONL, metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Termination::Resolution => "resolution",
+            Termination::GreyResolution => "grey_resolution",
+            Termination::TransportCeiling => "transport_ceiling",
+            Termination::FleetBudget => "fleet_budget",
+        }
+    }
 }
 
 /// The result of a measurement session.
@@ -66,20 +88,49 @@ impl Estimate {
 }
 
 /// A configured measurement session; cheap to clone and reuse.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Session {
     cfg: SlopsConfig,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl core::fmt::Debug for Session {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Session")
+            .field("cfg", &self.cfg)
+            .field("sink", &self.sink.as_ref().map(|_| "TraceSink"))
+            .finish()
+    }
 }
 
 impl Session {
     /// Create a session with the given configuration.
     pub fn new(cfg: SlopsConfig) -> Session {
-        Session { cfg }
+        Session { cfg, sink: None }
+    }
+
+    /// Forward the machine's trace events to `sink` during
+    /// [`Session::run`]. The driver only relays: every event is minted by
+    /// the [`SessionMachine`] itself.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Session {
+        self.sink = Some(sink);
+        self
     }
 
     /// The session's configuration.
     pub fn config(&self) -> &SlopsConfig {
         &self.cfg
+    }
+
+    /// Drain and forward (or drop, when no sink is attached) the trace
+    /// the machine minted since the last call.
+    fn forward_trace(&self, machine: &mut SessionMachine) {
+        let events = machine.take_trace();
+        if let Some(sink) = &self.sink {
+            for e in &events {
+                sink.record(e);
+            }
+        }
     }
 
     /// Run one measurement over `transport`.
@@ -103,6 +154,7 @@ impl Session {
             let cmd = machine
                 .poll()
                 .expect("blocking driver always answers each command before polling again");
+            self.forward_trace(&mut machine);
             let event = match cmd {
                 Command::SendTrain { len, size } => {
                     Event::TrainDone(transport.send_train(len, size)?)
@@ -121,6 +173,7 @@ impl Session {
             machine
                 .on_event(event)
                 .expect("the machine accepts the event answering its own command");
+            self.forward_trace(&mut machine);
         }
     }
 }

@@ -36,6 +36,26 @@ pub enum StreamClass {
     Unusable,
 }
 
+impl StreamClass {
+    /// Every classification, for pre-sizing label vocabularies.
+    pub const ALL: [StreamClass; 4] = [
+        StreamClass::Increasing,
+        StreamClass::NonIncreasing,
+        StreamClass::Ambiguous,
+        StreamClass::Unusable,
+    ];
+
+    /// Stable snake_case name (trace events, JSONL, metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamClass::Increasing => "increasing",
+            StreamClass::NonIncreasing => "non_increasing",
+            StreamClass::Ambiguous => "ambiguous",
+            StreamClass::Unusable => "unusable",
+        }
+    }
+}
+
 /// Three-way verdict of a single statistic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Verdict {

@@ -2,9 +2,10 @@
 //! sockets.
 //!
 //! ```text
-//! monitord [--driver thread|async] <config-file>
+//! monitord [--driver thread|async] [--metrics <addr>] <config-file>
 //!                                 monitor the fleet described by the file
 //! monitord --loopback <n> [horizon_s] [--driver thread|async]
+//!          [--metrics <addr>]
 //!                                 self-test: monitor n in-process loopback
 //!                                 receivers for horizon_s (default 8) s
 //! ```
@@ -32,16 +33,25 @@
 //! name the same `pathload_rcv` address; `--loopback` exercises exactly
 //! that, running all n paths against **one** shared in-process receiver.
 //!
+//! `--metrics <host:port>` (or the config's `metrics` directive; the flag
+//! wins) serves a live Prometheus-text snapshot of the fleet's telemetry
+//! registry for the whole run — pacing-error histograms, machine trace
+//! counters, scheduler gauges, and (in loopback mode) the receiver's
+//! demux counters. The same registry feeds periodic JSONL `telemetry`
+//! records and the end-of-run stderr digest, so the three surfaces cannot
+//! disagree.
+//!
 //! On SIGINT/SIGTERM the daemon shuts down gracefully: no new
 //! measurements start, the one in flight completes and is recorded, the
 //! per-path summaries for everything collected so far are flushed, and
 //! the process exits 0.
 
-use monitord::export::{change_line, fleet_summary, sample_line, summary_line};
+use monitord::export::{change_line, fleet_summary, sample_line, summary_line, telemetry_line};
 #[cfg(unix)]
-use monitord::run_socket_fleet_async_with_shutdown;
+use monitord::run_socket_fleet_async_with_telemetry;
 use monitord::{
-    run_socket_fleet_with_shutdown, DaemonConfig, FleetEvent, ShutdownFlag, SocketPathSpec,
+    run_socket_fleet_with_telemetry, DaemonConfig, FleetEvent, FleetTelemetry, ShutdownFlag,
+    SocketPathSpec,
 };
 use pathload_net::Receiver;
 use std::fs;
@@ -50,7 +60,7 @@ use std::net::ToSocketAddrs;
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use units::{Rate, TimeNs};
 
 /// Set by the (async-signal-safe) handler; bridged to the fleet's
@@ -91,8 +101,9 @@ fn install_signal_handlers(stop: ShutdownFlag) {
 fn install_signal_handlers(_stop: ShutdownFlag) {}
 
 const USAGE: &str = "\
-usage: monitord [--driver thread|async] <config-file>
+usage: monitord [--driver thread|async] [--metrics <addr>] <config-file>
        monitord --loopback <n-paths> [horizon-s] [--driver thread|async]
+                [--metrics <addr>]
 
 Monitors N network paths by periodic pathload measurements against
 pathload_rcv receivers, emitting JSONL sample/change/summary records to
@@ -101,7 +112,10 @@ seconds-bounded self-test against in-process receivers.
 
 --driver thread   one blocking worker per in-flight measurement (default)
 --driver async    every path multiplexed on ONE event-loop thread
-                  (epoll; the fleet-scale mode)";
+                  (epoll; the fleet-scale mode)
+--metrics <addr>  serve a live Prometheus-text snapshot of the fleet's
+                  telemetry registry at http://<addr>/metrics (overrides
+                  the config's `metrics` directive)";
 
 /// Which fleet driver executes the schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,6 +142,20 @@ fn take_driver_flag(args: &mut Vec<String>) -> Result<Driver, String> {
     }
 }
 
+/// Extract a `--metrics <host:port>` flag (anywhere on the line) from the
+/// argument list; the remaining arguments keep their order.
+fn take_metrics_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--metrics") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--metrics wants a listen address, e.g. 127.0.0.1:9091".into());
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stop = ShutdownFlag::new();
@@ -139,13 +167,20 @@ fn main() {
             exit(2);
         }
     };
+    let metrics_flag = match take_metrics_flag(&mut args) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("monitord: {msg}\n{USAGE}");
+            exit(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         None | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return;
         }
-        Some("--loopback") => run_loopback(&args[1..], driver, &stop),
-        Some(path) if args.len() == 1 => run_from_file(path, driver, &stop),
+        Some("--loopback") => run_loopback(&args[1..], driver, metrics_flag, &stop),
+        Some(path) if args.len() == 1 => run_from_file(path, driver, metrics_flag, &stop),
         _ => {
             eprintln!("{USAGE}");
             exit(2);
@@ -157,7 +192,12 @@ fn main() {
     }
 }
 
-fn run_from_file(path: &str, driver: Driver, stop: &ShutdownFlag) -> Result<(), String> {
+fn run_from_file(
+    path: &str,
+    driver: Driver,
+    metrics_flag: Option<String>,
+    stop: &ShutdownFlag,
+) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let cfg = DaemonConfig::parse(&text).map_err(|e| e.to_string())?;
     let mut specs = Vec::with_capacity(cfg.paths.len());
@@ -175,7 +215,16 @@ fn run_from_file(path: &str, driver: Driver, stop: &ShutdownFlag) -> Result<(), 
             rate_cap: cfg.rate_cap_for(p),
         });
     }
-    monitor(&cfg, specs, driver, stop)
+    let metrics_addr = metrics_flag.or_else(|| cfg.metrics.clone());
+    let telemetry = FleetTelemetry::new();
+    monitor(
+        &cfg,
+        specs,
+        driver,
+        &telemetry,
+        metrics_addr.as_deref(),
+        stop,
+    )
 }
 
 /// Self-test mode: spawn **one** in-process loopback receiver and monitor
@@ -184,7 +233,12 @@ fn run_from_file(path: &str, driver: Driver, stop: &ShutdownFlag) -> Result<(), 
 /// seconds-scale settings. The "avail-bw" of loopback is meaningless (no
 /// FIFO bottleneck) — the point is the whole daemon stack running end to
 /// end on a real network stack, bounded in time.
-fn run_loopback(args: &[String], driver: Driver, stop: &ShutdownFlag) -> Result<(), String> {
+fn run_loopback(
+    args: &[String],
+    driver: Driver,
+    metrics_flag: Option<String>,
+    stop: &ShutdownFlag,
+) -> Result<(), String> {
     // The async driver multiplexes on one thread, so it can sensibly
     // drive far larger loopback fleets than thread-per-measurement.
     let max_paths = match driver {
@@ -235,6 +289,10 @@ fn run_loopback(args: &[String], driver: Driver, stop: &ShutdownFlag) -> Result<
     let rx = Receiver::bind("127.0.0.1:0".parse().unwrap())
         .map_err(|e| format!("cannot bind the loopback receiver: {e}"))?;
     let ctrl_addr = rx.ctrl_addr();
+    // The receiver shares the fleet's registry, so a `--metrics` scrape
+    // of the loopback run also exposes the demux/drop counters.
+    let telemetry = FleetTelemetry::new();
+    rx.register_metrics(telemetry.registry());
     let server = thread::spawn(move || rx.serve_n(n));
     let specs: Vec<SocketPathSpec> = (0..n)
         .map(|i| SocketPathSpec {
@@ -252,13 +310,24 @@ fn run_loopback(args: &[String], driver: Driver, stop: &ShutdownFlag) -> Result<
             Driver::Async => "async",
         }
     );
-    monitor(&cfg, specs, driver, stop)?;
+    monitor(
+        &cfg,
+        specs,
+        driver,
+        &telemetry,
+        metrics_flag.as_deref(),
+        stop,
+    )?;
     server
         .join()
         .map_err(|_| "receiver thread panicked".to_string())?
         .map_err(|e| format!("receiver failed: {e}"))?;
     Ok(())
 }
+
+/// How often the observer interleaves a JSONL `telemetry` record with
+/// the sample/change stream.
+const TELEMETRY_EVERY: Duration = Duration::from_secs(2);
 
 /// Run the fleet, streaming JSONL records to the configured sink. When
 /// `stop` is requested (SIGINT/SIGTERM), new starts cease, the in-flight
@@ -268,8 +337,21 @@ fn monitor(
     cfg: &DaemonConfig,
     specs: Vec<SocketPathSpec>,
     driver: Driver,
+    telemetry: &FleetTelemetry,
+    metrics_addr: Option<&str>,
     stop: &ShutdownFlag,
 ) -> Result<(), String> {
+    // The scrape endpoint serves live snapshots of the same registry the
+    // drivers write; the handle keeps it serving until the run ends.
+    let _metrics_server = match metrics_addr {
+        Some(addr) => {
+            let srv = telemetry::MetricsServer::bind(addr, telemetry.registry().clone())
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            eprintln!("monitord: metrics at http://{}/metrics", srv.local_addr());
+            Some(srv)
+        }
+        None => None,
+    };
     let mut sink: Box<dyn Write> = match &cfg.out {
         None => Box::new(io::stdout()),
         Some(path) => Box::new(io::BufWriter::new(
@@ -288,38 +370,47 @@ fn monitor(
         }
     };
 
-    let observer = |ev: FleetEvent<'_>| match ev {
-        FleetEvent::Sample {
-            path,
-            label,
-            sample,
-        } => emit(sample_line(path, label, &sample)),
-        FleetEvent::Change {
-            path,
-            label,
-            change,
-        } => emit(change_line(path, label, &change)),
-        FleetEvent::Failed { path, label, error } => {
-            eprintln!("monitord: measurement {path} ({label}) failed: {error}");
+    let mut last_telemetry = Instant::now();
+    let observer = |ev: FleetEvent<'_>| {
+        match ev {
+            FleetEvent::Sample {
+                path,
+                label,
+                sample,
+            } => emit(sample_line(path, label, &sample)),
+            FleetEvent::Change {
+                path,
+                label,
+                change,
+            } => emit(change_line(path, label, &change)),
+            FleetEvent::Failed { path, label, error } => {
+                eprintln!("monitord: measurement {path} ({label}) failed: {error}");
+            }
+        }
+        if last_telemetry.elapsed() >= TELEMETRY_EVERY {
+            last_telemetry = Instant::now();
+            emit(telemetry_line(telemetry));
         }
     };
     let series = match driver {
-        Driver::Thread => run_socket_fleet_with_shutdown(
+        Driver::Thread => run_socket_fleet_with_telemetry(
             specs,
             &cfg.schedule,
             &cfg.series,
             cfg.horizon,
             cfg.threads,
             stop,
+            Some(telemetry),
             observer,
         ),
         #[cfg(unix)]
-        Driver::Async => run_socket_fleet_async_with_shutdown(
+        Driver::Async => run_socket_fleet_async_with_telemetry(
             specs,
             &cfg.schedule,
             &cfg.series,
             cfg.horizon,
             stop,
+            Some(telemetry),
             observer,
         ),
         #[cfg(not(unix))]
@@ -333,6 +424,10 @@ fn monitor(
     for (p, s) in series.iter().enumerate() {
         emit(summary_line(p, s));
     }
+    // One final telemetry record so the stream's last snapshot matches
+    // the digest below — both read the same registry.
+    emit(telemetry_line(telemetry));
     eprint!("{}", fleet_summary(&series));
+    eprint!("{}", telemetry.digest());
     Ok(())
 }

@@ -24,6 +24,7 @@
 //! threads 0            # worker threads (0 = one per CPU)
 //! out -                # JSONL sink: `-` for stdout, else a file path
 //! rate_cap_mbps 80     # pacing ceiling of the sender transports
+//! metrics 127.0.0.1:9091  # serve a Prometheus-text snapshot here
 //!
 //! # probing knobs (defaults are the paper's; override for gentle paths)
 //! stream_len 100
@@ -135,6 +136,9 @@ pub struct DaemonConfig {
     pub threads: usize,
     /// JSONL sink: `None` for stdout, `Some(path)` for a file.
     pub out: Option<String>,
+    /// Metrics scrape address (`metrics <host:port>`): serve a
+    /// Prometheus-text registry snapshot here for the whole run.
+    pub metrics: Option<String>,
     /// Probing configuration applied to every path.
     pub probe: SlopsConfig,
     /// Pacing ceiling of the sender transports, if overridden.
@@ -150,6 +154,7 @@ impl Default for DaemonConfig {
             horizon: TimeNs::from_secs(3600),
             threads: 0,
             out: None,
+            metrics: None,
             probe: SlopsConfig::default(),
             rate_cap: None,
         }
@@ -230,6 +235,7 @@ impl DaemonConfig {
                 "rate_cap_mbps" => {
                     cfg.rate_cap = Some(Rate::from_mbps(float(key, one()?, lineno)?))
                 }
+                "metrics" => cfg.metrics = Some(one()?.to_string()),
                 "stream_len" => cfg.probe.stream_len = int(key, one()?, lineno)?,
                 "fleet_len" => cfg.probe.fleet_len = int(key, one()?, lineno)?,
                 "min_period_us" => {
@@ -395,6 +401,14 @@ max_fleets 16
     fn out_dash_means_stdout() {
         let cfg = DaemonConfig::parse("path p 10.0.0.1:9100\nout -\n").unwrap();
         assert!(cfg.out.is_none());
+    }
+
+    #[test]
+    fn metrics_directive_sets_the_scrape_address() {
+        let cfg = DaemonConfig::parse("path p 10.0.0.1:9100\nmetrics 127.0.0.1:9091\n").unwrap();
+        assert_eq!(cfg.metrics.as_deref(), Some("127.0.0.1:9091"));
+        let cfg = DaemonConfig::parse("path p 10.0.0.1:9100\n").unwrap();
+        assert!(cfg.metrics.is_none());
     }
 
     #[test]

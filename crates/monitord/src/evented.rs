@@ -33,6 +33,7 @@
 //! instant may already be in the past when its timer pops (the measurement
 //! then starts immediately), and the exact tick grid is not asserted.
 
+use crate::metrics::FleetTelemetry;
 use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
 use crate::socket::{connect_transports, SocketPathSpec};
 use crate::store::{ChangeCursor, PathSeries, SeriesConfig};
@@ -41,7 +42,9 @@ use pathload_net::mux::{EventLoop, MuxEvent};
 use pathload_net::{EventedSession, SessionTokens, SocketTransport};
 use slops::series::RangeSample;
 use slops::{ProbeTransport, SlopsConfig, SlopsError, TransportError};
+use std::sync::Arc;
 use std::time::Duration;
+use telemetry::{Histogram, TraceSink};
 use units::TimeNs;
 
 /// Upper bound on one `EventLoop::wait`, so the loop re-checks the
@@ -134,14 +137,50 @@ pub fn run_socket_fleet_async_with_shutdown(
     series_cfg: &SeriesConfig,
     horizon: TimeNs,
     stop: &ShutdownFlag,
+    observer: impl FnMut(FleetEvent<'_>),
+) -> Result<Vec<PathSeries>, SlopsError> {
+    run_socket_fleet_async_with_telemetry(
+        specs, sched_cfg, series_cfg, horizon, stop, None, observer,
+    )
+}
+
+/// [`run_socket_fleet_async_with_shutdown`] plus an optional
+/// [`FleetTelemetry`] hub: every session's machine trace is forwarded to
+/// the hub's per-path sinks, per-packet pacing error goes to the same
+/// `pacing_error_ns{path="…"}` histograms the thread driver fills, and the
+/// event loop reports its wakeup count and timer lag
+/// (`eventloop_wakeups_total`, `eventloop_timer_lag_ns`).
+pub fn run_socket_fleet_async_with_telemetry(
+    specs: Vec<SocketPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    stop: &ShutdownFlag,
+    telemetry: Option<&FleetTelemetry>,
     mut observer: impl FnMut(FleetEvent<'_>),
 ) -> Result<Vec<PathSeries>, SlopsError> {
     assert!(!specs.is_empty(), "a fleet needs at least one path");
     for s in &specs {
         s.cfg.validate().map_err(SlopsError::BadConfig)?;
     }
-    let (epoch, connected) = connect_transports(specs).map_err(io_err)?;
+    // Per-path instruments, built before the specs are consumed. The
+    // pacing histograms live on the EventedSession (which paces probes
+    // itself); the transport-level ones the thread driver uses would
+    // never fire here.
+    let instruments: Option<Vec<(Arc<dyn TraceSink>, Histogram)>> = telemetry.map(|t| {
+        specs
+            .iter()
+            .map(|s| (t.trace_sink(&s.label), t.pacing_histogram(&s.label)))
+            .collect()
+    });
+    let (epoch, connected) = connect_transports(specs, None).map_err(io_err)?;
     let mut lp = EventLoop::new(epoch.same_epoch()).map_err(io_err)?;
+    if let Some(t) = telemetry {
+        lp.set_metrics(
+            t.registry().counter("eventloop_wakeups_total", &[]),
+            t.registry().histogram("eventloop_timer_lag_ns", &[]),
+        );
+    }
 
     // The fleet epoch: the latest transport clock (all share one epoch).
     let t0 = connected
@@ -237,6 +276,10 @@ pub fn run_socket_fleet_async_with_shutdown(
             lp.arm_timer(at.as_nanos(), tok(TOK_START, generation[p], p));
         }
 
+        if let Some(t) = telemetry {
+            t.observe_scheduler(&sched, TimeNs::from_nanos(epoch.now_ns()));
+        }
+
         if sched.is_done() && slots.iter().all(|s| matches!(s, Slot::Idle(_))) {
             break;
         }
@@ -262,25 +305,32 @@ pub fn run_socket_fleet_async_with_shutdown(
                             timer: tok(TOK_TIMER, generation[p], p),
                         };
                         match EventedSession::new(transport, cfgs[p].clone(), tokens) {
-                            Ok(mut session) => match session.register(&lp) {
-                                Ok(()) => {
-                                    slots[p] = Slot::Active {
-                                        session: Box::new(session),
-                                        at,
-                                    };
+                            Ok(mut session) => {
+                                if let Some(instruments) = &instruments {
+                                    let (sink, hist) = &instruments[p];
+                                    session.set_trace_sink(Arc::clone(sink));
+                                    session.set_pacing_histogram(hist.clone());
                                 }
-                                Err(e) => {
-                                    let transport = session.abort(&lp);
-                                    let finished = transport.elapsed();
-                                    slots[p] = Slot::Idle(transport);
-                                    complete!(
-                                        p,
-                                        at,
-                                        Err::<slops::Estimate, _>(io_err(e)),
-                                        finished
-                                    );
+                                match session.register(&lp) {
+                                    Ok(()) => {
+                                        slots[p] = Slot::Active {
+                                            session: Box::new(session),
+                                            at,
+                                        };
+                                    }
+                                    Err(e) => {
+                                        let transport = session.abort(&lp);
+                                        let finished = transport.elapsed();
+                                        slots[p] = Slot::Idle(transport);
+                                        complete!(
+                                            p,
+                                            at,
+                                            Err::<slops::Estimate, _>(io_err(e)),
+                                            finished
+                                        );
+                                    }
                                 }
-                            },
+                            }
                             Err((transport, error)) => {
                                 let finished = transport.elapsed();
                                 slots[p] = Slot::Idle(transport);

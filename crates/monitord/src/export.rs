@@ -5,6 +5,7 @@
 //! is hand-rolled: records are flat, the workspace is offline, and a
 //! serialization framework would be the only external dependency in it.
 
+use crate::metrics::FleetTelemetry;
 use crate::store::{ChangeDirection, ChangeEvent, PathSeries};
 use slops::series::RangeSample;
 use std::io::{self, Write};
@@ -75,6 +76,30 @@ pub fn summary_line(path: usize, series: &PathSeries) -> String {
         st.mean_rho,
         st.p75_rho,
         series.changes().len(),
+    )
+}
+
+/// The `telemetry` record: a point-in-time snapshot of the fleet's
+/// observability state — scheduler gauges plus per-path pacing-error
+/// quantiles — read from the same [`FleetTelemetry`] registry the scrape
+/// endpoint serves, so the JSONL stream and the endpoint cannot disagree.
+pub fn telemetry_line(t: &FleetTelemetry) -> String {
+    let (running, backlog, started, overruns) = t.scheduler_snapshot();
+    let pacing = t
+        .pacing_quantiles()
+        .iter()
+        .map(|(label, p50, p99, packets)| {
+            format!(
+                "{{\"label\":\"{}\",\"p50_ns\":{p50},\"p99_ns\":{p99},\"packets\":{packets}}}",
+                escape(label)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"type\":\"telemetry\",\"scheduler\":{{\"running\":{running},\
+         \"backlog\":{backlog},\"started\":{started},\"overruns\":{overruns}}},\
+         \"pacing\":[{pacing}]}}"
     )
 }
 
@@ -178,6 +203,19 @@ mod tests {
         assert!(lines[4].contains("\"direction\":\"down\""));
         assert!(lines[5].contains("\"errors\":1"));
         assert!(lines[5].contains("atl\\\"gru"));
+    }
+
+    #[test]
+    fn telemetry_line_snapshots_the_registry() {
+        let t = FleetTelemetry::new();
+        let h = t.pacing_histogram("lo\"0");
+        h.observe(700);
+        h.observe(1300);
+        let line = telemetry_line(&t);
+        assert!(line.starts_with("{\"type\":\"telemetry\""), "{line}");
+        assert!(line.contains("\"label\":\"lo\\\"0\""), "{line}");
+        assert!(line.contains("\"packets\":2"), "{line}");
+        assert!(line.contains("\"scheduler\":{\"running\":0"), "{line}");
     }
 
     #[test]

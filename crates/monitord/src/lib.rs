@@ -83,6 +83,7 @@ pub mod config;
 #[cfg(unix)]
 pub mod evented;
 pub mod export;
+pub mod metrics;
 pub mod scheduler;
 pub mod sim;
 pub mod socket;
@@ -91,12 +92,20 @@ pub mod thread;
 
 pub use config::{ConfigError, DaemonConfig, PathEntry, ProbeOverrides};
 #[cfg(unix)]
-pub use evented::{run_socket_fleet_async, run_socket_fleet_async_with_shutdown};
-pub use export::{fleet_summary, write_fleet_jsonl};
+pub use evented::{
+    run_socket_fleet_async, run_socket_fleet_async_with_shutdown,
+    run_socket_fleet_async_with_telemetry,
+};
+pub use export::{fleet_summary, telemetry_line, write_fleet_jsonl};
+pub use metrics::FleetTelemetry;
 pub use scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
 pub use sim::{SimFleetMonitor, SimPathSpec};
-pub use socket::{connect_fleet, run_socket_fleet, run_socket_fleet_with_shutdown, SocketPathSpec};
+pub use socket::{
+    connect_fleet, connect_fleet_with_telemetry, run_socket_fleet, run_socket_fleet_with_shutdown,
+    run_socket_fleet_with_telemetry, SocketPathSpec,
+};
 pub use store::{ChangeCursor, ChangeDirection, ChangeEvent, PathSeries, SeriesConfig};
 pub use thread::{
-    run_fleet, run_fleet_with, run_fleet_with_shutdown, FleetEvent, ShutdownFlag, ThreadPathSpec,
+    run_fleet, run_fleet_with, run_fleet_with_shutdown, run_fleet_with_telemetry, FleetEvent,
+    ShutdownFlag, ThreadPathSpec,
 };

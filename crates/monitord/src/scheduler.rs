@@ -108,6 +108,9 @@ pub struct Scheduler {
     slot_of: Vec<usize>,
     /// Measurements started so far (for reporting).
     started: u64,
+    /// Measurements that completed past their successor's due instant
+    /// (the run was longer than the period and pushed its own schedule).
+    overruns: u64,
 }
 
 impl Scheduler {
@@ -142,6 +145,7 @@ impl Scheduler {
             slots: vec![Some(t0); slots],
             slot_of: vec![usize::MAX; n_paths],
             started: 0,
+            overruns: 0,
         }
     }
 
@@ -219,6 +223,11 @@ impl Scheduler {
         self.slot_of[p] = usize::MAX;
         self.own_free[p] = finished_at;
         self.state[p] = PathState::Idle;
+        // `due[p]` was advanced to start + period at issue time; finishing
+        // past it means this run alone delayed the path's next start.
+        if finished_at > self.due[p] {
+            self.overruns += 1;
+        }
     }
 
     /// Stop issuing new starts (graceful shutdown): the horizon collapses
@@ -244,6 +253,31 @@ impl Scheduler {
     /// Measurements started so far.
     pub fn started(&self) -> u64 {
         self.started
+    }
+
+    /// Measurements currently running (the fleet's active-session count).
+    /// Deterministic — a pure function of the completions fed back — so
+    /// every driver mirrors the very same value into its gauges.
+    pub fn running(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s == PathState::Running)
+            .count()
+    }
+
+    /// Idle paths whose next start is due at or before `now` — the depth
+    /// of the wait queue a driver would see if it polled at `now` (paths
+    /// held back by the concurrency cap or their own previous run).
+    pub fn backlog(&self, now: TimeNs) -> usize {
+        (0..self.due.len())
+            .filter(|&p| self.state[p] == PathState::Idle && self.due[p] <= now)
+            .count()
+    }
+
+    /// Completions observed so far that landed past the path's next due
+    /// start (the measurement ran longer than the period).
+    pub fn overruns(&self) -> u64 {
+        self.overruns
     }
 
     /// The scheduling epoch `t0`.
@@ -401,6 +435,34 @@ mod tests {
         assert_eq!(s.poll(), Poll::Done);
         assert!(s.is_done());
         assert_eq!(s.started(), 1, "no start may be issued after shutdown");
+    }
+
+    /// The telemetry accessors (`running`, `backlog`, `overruns`) are pure
+    /// functions of the fed-back completions, so thread and async drivers
+    /// mirror identical gauge values.
+    #[test]
+    fn telemetry_accessors_track_the_schedule() {
+        let mut s = Scheduler::new(3, TimeNs::ZERO, TimeNs::from_secs(100), &cfg(10, 0, 1));
+        assert_eq!(s.running(), 0);
+        assert_eq!(s.backlog(TimeNs::ZERO), 1, "path 0 is due at t0");
+        assert_eq!(s.backlog(TimeNs::from_secs(7)), 3, "all staggers passed");
+        let Poll::Start { path, at } = s.poll() else {
+            panic!("expected a start")
+        };
+        assert_eq!(s.running(), 1);
+        assert_eq!(s.poll(), Poll::Blocked, "cap 1 holds the rest back");
+        // Finish after the path's next due instant (period 10 s, run 12 s):
+        // one overrun.
+        assert_eq!(s.overruns(), 0);
+        s.on_complete(path, at + TimeNs::from_secs(12));
+        assert_eq!(s.running(), 0);
+        assert_eq!(s.overruns(), 1);
+        // A short run is not an overrun.
+        let Poll::Start { path, at } = s.poll() else {
+            panic!("expected a start")
+        };
+        s.on_complete(path, at + TimeNs::from_secs(2));
+        assert_eq!(s.overruns(), 1);
     }
 
     #[test]

@@ -27,9 +27,10 @@
 //!
 //! [`Scheduler`]: crate::scheduler::Scheduler
 
+use crate::metrics::FleetTelemetry;
 use crate::scheduler::ScheduleConfig;
 use crate::store::{PathSeries, SeriesConfig};
-use crate::thread::{run_fleet_with_shutdown, FleetEvent, ShutdownFlag, ThreadPathSpec};
+use crate::thread::{run_fleet_with_telemetry, FleetEvent, ShutdownFlag, ThreadPathSpec};
 use pathload_net::clock::MonoClock;
 use pathload_net::SocketTransport;
 use slops::{SlopsConfig, SlopsError, TransportError};
@@ -58,6 +59,7 @@ pub struct SocketPathSpec {
 /// ([`crate::evented::run_socket_fleet_async`]) drivers.
 pub(crate) fn connect_transports(
     specs: Vec<SocketPathSpec>,
+    telemetry: Option<&FleetTelemetry>,
 ) -> io::Result<(MonoClock, Vec<(SocketPathSpec, SocketTransport)>)> {
     let epoch = MonoClock::new();
     let mut out = Vec::with_capacity(specs.len());
@@ -66,6 +68,9 @@ pub(crate) fn connect_transports(
             SocketTransport::connect_with_clock(spec.ctrl_addr, epoch.same_epoch())?;
         if let Some(cap) = spec.rate_cap {
             transport.rate_cap = cap;
+        }
+        if let Some(t) = telemetry {
+            transport.set_pacing_histogram(t.pacing_histogram(&spec.label));
         }
         out.push((spec, transport));
     }
@@ -79,7 +84,17 @@ pub(crate) fn connect_transports(
 /// fleet's path for the whole monitoring run (every periodic measurement
 /// reuses the same control channel and UDP socket).
 pub fn connect_fleet(specs: Vec<SocketPathSpec>) -> io::Result<Vec<ThreadPathSpec>> {
-    let (_epoch, connected) = connect_transports(specs)?;
+    connect_fleet_with_telemetry(specs, None)
+}
+
+/// [`connect_fleet`] plus an optional [`FleetTelemetry`] hub: each
+/// transport's per-packet pacing error is observed into the hub's
+/// `pacing_error_ns{path="…"}` histogram.
+pub fn connect_fleet_with_telemetry(
+    specs: Vec<SocketPathSpec>,
+    telemetry: Option<&FleetTelemetry>,
+) -> io::Result<Vec<ThreadPathSpec>> {
+    let (_epoch, connected) = connect_transports(specs, telemetry)?;
     Ok(connected
         .into_iter()
         .map(|(spec, transport)| ThreadPathSpec {
@@ -120,7 +135,7 @@ pub fn run_socket_fleet(
 }
 
 /// [`run_socket_fleet`] plus a cooperative [`ShutdownFlag`] (see
-/// [`run_fleet_with_shutdown`]): what the `monitord` binary runs so
+/// [`crate::thread::run_fleet_with_shutdown`]): what the `monitord` binary runs so
 /// SIGINT/SIGTERM can stop new starts, let in-flight measurements land,
 /// and still flush per-path summaries for the data collected so far.
 pub fn run_socket_fleet_with_shutdown(
@@ -132,10 +147,30 @@ pub fn run_socket_fleet_with_shutdown(
     stop: &ShutdownFlag,
     observer: impl FnMut(FleetEvent<'_>),
 ) -> Result<Vec<PathSeries>, SlopsError> {
-    let paths = connect_fleet(specs)
+    run_socket_fleet_with_telemetry(
+        specs, sched_cfg, series_cfg, horizon, threads, stop, None, observer,
+    )
+}
+
+/// [`run_socket_fleet_with_shutdown`] plus an optional [`FleetTelemetry`]
+/// hub: pacing-error histograms on every transport, machine trace events
+/// forwarded per path, scheduler gauges mirrored live — everything a
+/// `monitord --metrics` scrape serves mid-run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_socket_fleet_with_telemetry(
+    specs: Vec<SocketPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    threads: usize,
+    stop: &ShutdownFlag,
+    telemetry: Option<&FleetTelemetry>,
+    observer: impl FnMut(FleetEvent<'_>),
+) -> Result<Vec<PathSeries>, SlopsError> {
+    let paths = connect_fleet_with_telemetry(specs, telemetry)
         .map_err(|e| SlopsError::Transport(TransportError::Io(e.to_string())))?;
-    run_fleet_with_shutdown(
-        paths, sched_cfg, series_cfg, horizon, threads, stop, observer,
+    run_fleet_with_telemetry(
+        paths, sched_cfg, series_cfg, horizon, threads, stop, telemetry, observer,
     )
 }
 

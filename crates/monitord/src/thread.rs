@@ -20,6 +20,7 @@
 //! when its job runs; the driver then starts immediately (best effort) —
 //! the stagger and cap remain, the precise grid does not.
 
+use crate::metrics::FleetTelemetry;
 use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
 use crate::store::{ChangeCursor, ChangeEvent, PathSeries, SeriesConfig};
 use slops::runner::run_parallel;
@@ -28,6 +29,7 @@ use slops::{Estimate, ProbeTransport, Session, SlopsConfig, SlopsError};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use telemetry::TraceSink;
 use units::TimeNs;
 
 /// A cooperative stop signal for a running fleet (graceful shutdown).
@@ -169,6 +171,27 @@ pub fn run_fleet_with_shutdown(
     horizon: TimeNs,
     threads: usize,
     stop: &ShutdownFlag,
+    observer: impl FnMut(FleetEvent<'_>),
+) -> Result<Vec<PathSeries>, SlopsError> {
+    run_fleet_with_telemetry(
+        paths, sched_cfg, series_cfg, horizon, threads, stop, None, observer,
+    )
+}
+
+/// [`run_fleet_with_shutdown`] plus an optional [`FleetTelemetry`] hub:
+/// per-path machine trace events are forwarded to the hub's sinks (the
+/// driver only relays — every event is minted by the sans-IO machine) and
+/// the scheduler's deterministic accessors are mirrored into its gauges
+/// after every feed, so a scrape mid-run sees live values.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_with_telemetry(
+    paths: Vec<ThreadPathSpec>,
+    sched_cfg: &ScheduleConfig,
+    series_cfg: &SeriesConfig,
+    horizon: TimeNs,
+    threads: usize,
+    stop: &ShutdownFlag,
+    telemetry: Option<&FleetTelemetry>,
     mut observer: impl FnMut(FleetEvent<'_>),
 ) -> Result<Vec<PathSeries>, SlopsError> {
     assert!(!paths.is_empty(), "a fleet needs at least one path");
@@ -187,6 +210,10 @@ pub fn run_fleet_with_shutdown(
         .iter()
         .map(|p| PathSeries::new(p.label.clone(), series_cfg, t0))
         .collect();
+    // One machine-trace sink per path; the sink travels to the worker
+    // inside the (cheaply cloned) Session.
+    let sinks: Option<Vec<Arc<dyn TraceSink>>> =
+        telemetry.map(|t| paths.iter().map(|p| t.trace_sink(&p.label)).collect());
     let mut cfgs: Vec<SlopsConfig> = Vec::with_capacity(paths.len());
     let mut transports: Vec<Option<Box<dyn ProbeTransport + Send>>> = Vec::new();
     for p in paths {
@@ -206,6 +233,9 @@ pub fn run_fleet_with_shutdown(
     // nothing.
     type Outcome = Option<Result<Estimate, SlopsError>>;
     let mut unfed: BTreeMap<(TimeNs, usize), (TimeNs, TimeNs, Outcome)> = BTreeMap::new();
+    // Latest fleet-clock instant the driver has learned of (via fed
+    // completion ticks); what the backlog gauge is evaluated at.
+    let mut fleet_now = t0;
     loop {
         // Graceful shutdown: the stop decision itself belongs to the
         // scheduler (it finishes idle paths, waits out running ones).
@@ -228,7 +258,10 @@ pub fn run_fleet_with_shutdown(
             .into_iter()
             .map(|(p, at)| {
                 let mut transport = transports[p].take().expect("path measured twice at once");
-                let session = Session::new(cfgs[p].clone());
+                let mut session = Session::new(cfgs[p].clone());
+                if let Some(sinks) = &sinks {
+                    session = session.with_trace_sink(Arc::clone(&sinks[p]));
+                }
                 let stop = stop.clone();
                 move |_idx: usize| {
                     // Idle toward `at` in short chunks so a shutdown
@@ -269,6 +302,7 @@ pub fn run_fleet_with_shutdown(
         // diverge (e.g. when a measurement overruns its period, the fast
         // path must be rescheduled while the slow one is still running).
         if let Some(&(tick, _)) = unfed.keys().next() {
+            fleet_now = fleet_now.max(tick);
             while let Some(entry) = unfed.first_entry() {
                 if entry.key().0 != tick {
                     break;
@@ -309,6 +343,12 @@ pub fn run_fleet_with_shutdown(
                 sched.on_complete(PathId(p as u32), finished);
             }
         }
+        if let Some(t) = telemetry {
+            t.observe_scheduler(&sched, fleet_now);
+        }
+    }
+    if let Some(t) = telemetry {
+        t.observe_scheduler(&sched, fleet_now);
     }
     Ok(series)
 }

@@ -28,6 +28,7 @@ use slops::{
     Estimate, PacketSample, SlopsConfig, SlopsError, StreamRecord, StreamRequest, TrainRecord,
 };
 use std::sync::Arc;
+use telemetry::TraceSink;
 use units::{Rate, TimeNs};
 
 /// Timer-token kinds (high byte of the token).
@@ -79,6 +80,8 @@ enum Exec {
 /// the result with [`SessionApp::estimate`] or [`run_session`].
 pub struct SessionApp {
     machine: SessionMachine,
+    /// Where the machine's trace events are forwarded (`None`: dropped).
+    sink: Option<Arc<dyn TraceSink>>,
     /// Forward route to this app; set by [`install_session`].
     route: Option<Arc<RouteSpec>>,
     /// Endpoint clock model (offset + quantization).
@@ -106,12 +109,30 @@ impl SessionApp {
         self.result.take()
     }
 
+    /// Forward the machine's trace events to `sink` from now on. The app
+    /// only relays: every event is minted inside the sans-IO machine, so
+    /// the trace matches the other drivers' byte for byte.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Drain and forward (or drop, without a sink) the machine's trace.
+    fn forward_trace(&mut self) {
+        let events = self.machine.take_trace();
+        if let Some(sink) = &self.sink {
+            for e in &events {
+                sink.record(e);
+            }
+        }
+    }
+
     /// Poll the machine once and execute the command it emits.
     fn advance(&mut self, ctx: &mut Ctx<'_>) {
         let cmd = self
             .machine
             .poll()
             .expect("SessionApp always answers the previous command before advancing");
+        self.forward_trace();
         match cmd {
             Command::SendTrain { len, size } => {
                 let now = ctx.now();
@@ -174,6 +195,7 @@ impl SessionApp {
         self.machine
             .on_event(event)
             .expect("SessionApp feeds only the event answering its own command");
+        self.forward_trace();
         self.advance(ctx);
     }
 
@@ -421,6 +443,7 @@ pub fn install_session_at(
         .expect("non-empty chain");
     let app = SessionApp {
         machine,
+        sink: None,
         route: None,
         clock: ClockModel::default(),
         narrowest,

@@ -33,10 +33,14 @@ use slops::machine::{Command, Event, SessionMachine};
 use slops::{Estimate, ProbeTransport, SlopsConfig, SlopsError, TransportError};
 use std::io;
 use std::net::SocketAddr;
+use std::sync::Arc;
+use telemetry::TraceSink;
 
 /// A blocking socket driver for the sans-IO measurement machine.
 pub struct SocketDriver {
     transport: SocketTransport,
+    /// Where the machine's trace events are forwarded (`None`: dropped).
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl SocketDriver {
@@ -44,6 +48,7 @@ impl SocketDriver {
     pub fn connect(addr: SocketAddr) -> io::Result<SocketDriver> {
         Ok(SocketDriver {
             transport: SocketTransport::connect(addr)?,
+            sink: None,
         })
     }
 
@@ -53,12 +58,33 @@ impl SocketDriver {
     pub fn connect_with_clock(addr: SocketAddr, clock: MonoClock) -> io::Result<SocketDriver> {
         Ok(SocketDriver {
             transport: SocketTransport::connect_with_clock(addr, clock)?,
+            sink: None,
         })
     }
 
     /// Wrap an already-connected transport.
     pub fn from_transport(transport: SocketTransport) -> SocketDriver {
-        SocketDriver { transport }
+        SocketDriver {
+            transport,
+            sink: None,
+        }
+    }
+
+    /// Forward the machine's trace events to `sink` during
+    /// [`SocketDriver::run`]. The driver only relays: every event is
+    /// minted by the sans-IO machine (see `docs/OBSERVABILITY.md`).
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Drain and forward (or drop, without a sink) the machine's trace.
+    fn forward_trace(&self, machine: &mut SessionMachine) {
+        let events = machine.take_trace();
+        if let Some(sink) = &self.sink {
+            for e in &events {
+                sink.record(e);
+            }
+        }
     }
 
     /// The underlying transport (e.g. to adjust its `rate_cap`).
@@ -109,6 +135,7 @@ impl SocketDriver {
             let cmd = machine
                 .poll()
                 .expect("blocking driver answers each command before polling again");
+            self.forward_trace(&mut machine);
             if let Command::Finish(est) = cmd {
                 let mut est = *est;
                 est.elapsed = self.transport.elapsed().saturating_sub(start);
@@ -118,6 +145,7 @@ impl SocketDriver {
             machine
                 .on_event(event)
                 .expect("the machine accepts the event answering its own command");
+            self.forward_trace(&mut machine);
         }
     }
 }

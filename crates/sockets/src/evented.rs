@@ -38,6 +38,8 @@ use slops::machine::{Command, Event, SessionMachine};
 use slops::{Estimate, ProbeTransport, SlopsConfig, SlopsError, StreamRequest, TransportError};
 use std::io::{self, Read, Write};
 use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use telemetry::{Histogram, TraceSink};
 use units::TimeNs;
 
 /// Number of control-channel echoes in the RTT phase (median taken).
@@ -134,6 +136,16 @@ enum AfterReady {
     },
 }
 
+/// A shared trace sink with a `Debug` impl (the trait object itself has
+/// none), so the session struct can keep deriving `Debug`.
+struct SinkHandle(Arc<dyn TraceSink>);
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
 /// One measurement session driven by an event loop. See the module docs.
 #[derive(Debug)]
 pub struct EventedSession {
@@ -151,6 +163,11 @@ pub struct EventedSession {
     exec: Exec,
     outcome: Option<Result<Estimate, SlopsError>>,
     registered: bool,
+    /// Where the machine's trace events are forwarded (`None`: dropped).
+    sink: Option<SinkHandle>,
+    /// Per-packet pacing error (ns past each packet's send deadline);
+    /// `None`: not recorded.
+    pacing_hist: Option<Histogram>,
 }
 
 impl EventedSession {
@@ -189,6 +206,8 @@ impl EventedSession {
             },
             outcome: None,
             registered: false,
+            sink: None,
+            pacing_hist: None,
         };
         session
             .queue_ctrl(None, &CtrlMsg::Echo { token: 0 })
@@ -226,6 +245,32 @@ impl EventedSession {
     /// The tokens this session was built with.
     pub fn tokens(&self) -> SessionTokens {
         self.tokens
+    }
+
+    /// Forward the machine's trace events to `sink`. The driver only
+    /// relays: every event is minted inside the sans-IO machine, so the
+    /// trace matches the blocking drivers' byte for byte.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(SinkHandle(sink));
+    }
+
+    /// Record each stream packet's pacing error (nanoseconds past its
+    /// absolute send deadline) into `hist`. Register the same handle in a
+    /// `telemetry::Registry` to expose it.
+    pub fn set_pacing_histogram(&mut self, hist: Histogram) {
+        self.pacing_hist = Some(hist);
+    }
+
+    /// Drain and forward (or drop, without a sink) the machine's trace.
+    fn forward_trace(&mut self) {
+        if let Some(machine) = self.machine.as_mut() {
+            let events = machine.take_trace();
+            if let Some(SinkHandle(sink)) = &self.sink {
+                for e in &events {
+                    sink.record(e);
+                }
+            }
+        }
     }
 
     /// True once the session has an outcome (estimate or error).
@@ -598,6 +643,9 @@ impl EventedSession {
                         return Ok(());
                     }
                     let send_ns = now;
+                    if let Some(h) = &self.pacing_hist {
+                        h.observe(now - deadline);
+                    }
                     ProbePacket {
                         session: self.transport.session(),
                         kind: ProbeKind::Stream,
@@ -650,6 +698,7 @@ impl EventedSession {
             .expect("machine built before commands execute")
             .on_event(event)
             .expect("the machine accepts the event answering its own command");
+        self.forward_trace();
         self.advance(lp)
     }
 
@@ -661,6 +710,7 @@ impl EventedSession {
             .expect("machine built before commands execute")
             .poll()
             .expect("the evented session answers each command before advancing");
+        self.forward_trace();
         match cmd {
             Command::SendTrain { len, size } => {
                 let size = (size as usize).max(PROBE_HEADER_LEN) as u32;

@@ -28,6 +28,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::io;
 use std::time::Duration;
+use telemetry::{Counter, Histogram};
 
 /// The raw file descriptor type the poller registers.
 ///
@@ -316,10 +317,17 @@ impl TimerQueue {
 
     /// Pop the earliest timer if it has expired by `now_ns`.
     pub fn pop_expired(&mut self, now_ns: u64) -> Option<u64> {
+        self.pop_expired_at(now_ns).map(|(token, _)| token)
+    }
+
+    /// Like [`TimerQueue::pop_expired`], but also reports the deadline the
+    /// timer was armed for — the event loop uses `now − deadline` as its
+    /// timer-lag sample.
+    pub fn pop_expired_at(&mut self, now_ns: u64) -> Option<(u64, u64)> {
         match self.heap.peek() {
             Some(Reverse((d, _, _))) if *d <= now_ns => {
-                let Reverse((_, _, token)) = self.heap.pop().expect("peeked");
-                Some(token)
+                let Reverse((deadline, _, token)) = self.heap.pop().expect("peeked");
+                Some((token, deadline))
             }
             _ => None,
         }
@@ -347,6 +355,11 @@ pub struct EventLoop {
     poller: Poller,
     timers: TimerQueue,
     clock: MonoClock,
+    /// Calls of [`EventLoop::wait`] (`None`: not recorded).
+    wakeups: Option<Counter>,
+    /// Nanoseconds between a timer's deadline and the wakeup that
+    /// delivered it (`None`: not recorded).
+    timer_lag: Option<Histogram>,
 }
 
 impl EventLoop {
@@ -357,7 +370,32 @@ impl EventLoop {
             poller: Poller::new()?,
             timers: TimerQueue::new(),
             clock,
+            wakeups: None,
+            timer_lag: None,
         })
+    }
+
+    /// Record loop wakeups and timer lag into the given metric handles
+    /// (register the same handles in a `telemetry::Registry` to expose
+    /// them). Timer lag is the gap between a timer's armed deadline and
+    /// the `wait` wakeup that delivered it — the fleet-level analogue of
+    /// the blocking pacer's overshoot.
+    pub fn set_metrics(&mut self, wakeups: Counter, timer_lag: Histogram) {
+        self.wakeups = Some(wakeups);
+        self.timer_lag = Some(timer_lag);
+    }
+
+    /// Pop every timer expired by `now`, recording lag; true if any fired.
+    fn drain_expired(&mut self, now: u64, out: &mut Vec<MuxEvent>) -> bool {
+        let mut any = false;
+        while let Some((token, deadline)) = self.timers.pop_expired_at(now) {
+            if let Some(h) = &self.timer_lag {
+                h.observe(now.saturating_sub(deadline));
+            }
+            out.push(MuxEvent::Timer { token });
+            any = true;
+        }
+        any
     }
 
     /// The loop's clock (shared epoch).
@@ -400,16 +438,14 @@ impl EventLoop {
     /// Deadlines within [`SPIN_WINDOW_NS`] are spun for rather than slept
     /// for — epoll's millisecond timeout is too coarse for probe pacing.
     pub fn wait(&mut self, out: &mut Vec<MuxEvent>, max_wait: Duration) -> io::Result<()> {
+        if let Some(c) = &self.wakeups {
+            c.inc();
+        }
         let now = self.clock.now_ns();
         // Already-expired timers: deliver without touching epoll (but
         // still collect instantly-ready I/O so a busy timer treadmill
         // cannot starve socket readiness).
-        let mut any_timer = false;
-        while let Some(token) = self.timers.pop_expired(now) {
-            out.push(MuxEvent::Timer { token });
-            any_timer = true;
-        }
-        if any_timer {
+        if self.drain_expired(now, out) {
             let mut io_ready = Vec::new();
             self.poller.wait(&mut io_ready, Some(Duration::ZERO))?;
             out.extend(io_ready.into_iter().map(MuxEvent::Io));
@@ -430,9 +466,7 @@ impl EventLoop {
             out.extend(io_ready.into_iter().map(MuxEvent::Io));
             // Deliver timers that expired while we slept, too.
             let now = self.clock.now_ns();
-            while let Some(token) = self.timers.pop_expired(now) {
-                out.push(MuxEvent::Timer { token });
-            }
+            self.drain_expired(now, out);
             return Ok(());
         }
 
@@ -446,9 +480,7 @@ impl EventLoop {
             }
         }
         let now = self.clock.now_ns();
-        while let Some(token) = self.timers.pop_expired(now) {
-            out.push(MuxEvent::Timer { token });
-        }
+        self.drain_expired(now, out);
         Ok(())
     }
 }

@@ -38,6 +38,7 @@ use std::sync::mpsc::{Receiver as ChanReceiver, RecvTimeoutError, SyncSender};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+use telemetry::Counter;
 
 /// A probe packet as the demux thread hands it to a session's collector:
 /// decoded header plus the arrival timestamp (receiver clock, stamped at
@@ -78,6 +79,41 @@ const STREAM_SILENCE_NS: u64 = 200_000_000;
 /// A back-to-back train is considered over after this much silence.
 const TRAIN_SILENCE_NS: u64 = 50_000_000;
 
+/// A session whose collections have dropped at least this many datagrams
+/// (duplicates, malformed indices) earns a stderr warning — silent loss of
+/// this magnitude usually means a broken sender or a duplicating path.
+const DROP_WARN_THRESHOLD: u64 = 32;
+
+/// Minimum spacing between drop warnings across all sessions, so a flood
+/// of duplicates cannot turn the log into its own flood.
+const DROP_WARN_INTERVAL_NS: u64 = 5_000_000_000;
+
+/// Route/drop accounting for the shared demux thread and the per-session
+/// collectors. Dropping a datagram is often *by design* here (stale
+/// tokens, duplicated datagrams, bounded collector channels); these
+/// counters make the by-design drops visible instead of silent. Handles
+/// are created at [`Receiver::bind`] time and can be attached to any
+/// [`telemetry::Registry`] later via [`Receiver::register_metrics`].
+#[derive(Clone, Debug, Default)]
+struct RecvCounters {
+    /// Datagrams routed to a live session's collector.
+    routed: Counter,
+    /// Datagrams carrying a token no live session owns (stale session,
+    /// never issued, foreign).
+    drop_unknown_token: Counter,
+    /// Datagrams dropped because the owning session's collector channel
+    /// was full (flood protection; reads as loss to the session).
+    drop_collector_full: Counter,
+    /// Stream/train packets discarded by a collector: duplicated datagram
+    /// or out-of-range index.
+    drop_dedup: Counter,
+    /// Collections ended by the silence window instead of a complete
+    /// arrival set (the missing tail is treated as lost).
+    silence_stops: Counter,
+    /// Control connections refused with `Deny` at the session cap.
+    denied: Counter,
+}
+
 fn lock_registry(reg: &Registry) -> MutexGuard<'_, HashMap<u64, SyncSender<Arrival>>> {
     // A poisoned registry only means some session thread panicked while
     // holding the (insert/remove-only) lock; the map itself stays sound.
@@ -96,6 +132,9 @@ struct Shared {
     /// (Atomic only so [`Receiver::with_max_sessions`] can set it after
     /// the demux thread already shares the struct.)
     max_sessions: AtomicUsize,
+    counters: RecvCounters,
+    /// Receiver-clock timestamp of the last drop warning (rate limiting).
+    last_drop_warn_ns: AtomicU64,
 }
 
 /// The pathload receiver: one TCP control listener plus one **shared** UDP
@@ -130,6 +169,8 @@ impl Receiver {
             registry: Mutex::new(HashMap::new()),
             next_token: AtomicU64::new(token_base),
             max_sessions: AtomicUsize::new(0),
+            counters: RecvCounters::default(),
+            last_drop_warn_ns: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let demux = {
@@ -162,6 +203,36 @@ impl Receiver {
     pub fn with_max_sessions(self, max: usize) -> Receiver {
         self.shared.max_sessions.store(max, Ordering::SeqCst);
         self
+    }
+
+    /// Attach this receiver's route/drop counters to `reg` so a scrape or
+    /// digest sees them. The counters exist (and count) from
+    /// [`Receiver::bind`] on; registering merely names them. Safe to call
+    /// any number of times, on any number of registries.
+    pub fn register_metrics(&self, reg: &telemetry::Registry) {
+        let c = &self.shared.counters;
+        reg.register_counter("receiver_demux_routed_total", &[], c.routed.clone());
+        reg.register_counter(
+            "receiver_demux_drops_total",
+            &[("reason", "unknown_token")],
+            c.drop_unknown_token.clone(),
+        );
+        reg.register_counter(
+            "receiver_demux_drops_total",
+            &[("reason", "collector_full")],
+            c.drop_collector_full.clone(),
+        );
+        reg.register_counter(
+            "receiver_demux_drops_total",
+            &[("reason", "dedup")],
+            c.drop_dedup.clone(),
+        );
+        reg.register_counter(
+            "receiver_collect_silence_stops_total",
+            &[],
+            c.silence_stops.clone(),
+        );
+        reg.register_counter("receiver_sessions_denied_total", &[], c.denied.clone());
     }
 
     /// Serve exactly one sender session (blocking), then return. Other
@@ -303,7 +374,12 @@ fn demux_loop(udp: &UdpSocket, shared: &Shared, stop: &AtomicBool) {
                     // A full collector also drops (never block the demux
                     // — other sessions' packets are behind this one).
                     if let Some(tx) = lock_registry(&shared.registry).get(&packet.session) {
-                        let _ = tx.try_send(Arrival { packet, recv_ns });
+                        match tx.try_send(Arrival { packet, recv_ns }) {
+                            Ok(()) => shared.counters.routed.inc(),
+                            Err(_) => shared.counters.drop_collector_full.inc(),
+                        }
+                    } else {
+                        shared.counters.drop_unknown_token.inc();
                     }
                 }
             }
@@ -339,6 +415,7 @@ impl Shared {
             let max = self.max_sessions.load(Ordering::SeqCst);
             if max != 0 && registry.len() >= max {
                 drop(registry);
+                self.counters.denied.inc();
                 CtrlMsg::Deny {
                     version: PROTO_VERSION,
                     code: DENY_AT_CAPACITY,
@@ -365,6 +442,10 @@ impl Shared {
             session: token,
         }
         .write_to(ctrl)?;
+        // Per-session drop tally across all of the session's collections
+        // (the total counters aggregate every session; this one names the
+        // offender in the warning).
+        let mut session_drops = 0u64;
         loop {
             let msg = match CtrlMsg::read_from(ctrl) {
                 Ok(m) => m,
@@ -381,14 +462,19 @@ impl Shared {
                     check_count(count)?;
                     drain(arrivals);
                     CtrlMsg::Ready { id }.write_to(ctrl)?;
-                    let samples = self.collect_stream(arrivals, id, count, period_ns);
+                    let (samples, dropped) = self.collect_stream(arrivals, id, count, period_ns);
+                    session_drops += dropped;
+                    self.maybe_warn_drops(token, session_drops);
                     CtrlMsg::StreamReport { id, samples }.write_to(ctrl)?;
                 }
                 CtrlMsg::TrainAnnounce { id, count, size: _ } => {
                     check_count(count)?;
                     drain(arrivals);
                     CtrlMsg::Ready { id }.write_to(ctrl)?;
-                    let (received, first_ns, last_ns) = self.collect_train(arrivals, id, count);
+                    let (received, first_ns, last_ns, dropped) =
+                        self.collect_train(arrivals, id, count);
+                    session_drops += dropped;
+                    self.maybe_warn_drops(token, session_drops);
                     CtrlMsg::TrainReport {
                         id,
                         received,
@@ -417,15 +503,17 @@ impl Shared {
     /// silence window elapsed with nothing new — which covers a lost or
     /// reordered final packet without stalling to the full deadline.
     /// Duplicated datagrams are counted once (first arrival wins).
+    /// Returns the samples plus how many datagrams the dedup discarded.
     fn collect_stream(
         &self,
         arrivals: &ChanReceiver<Arrival>,
         id: u32,
         count: u32,
         period_ns: u64,
-    ) -> Vec<SampleWire> {
+    ) -> (Vec<SampleWire>, u64) {
         let mut samples = Vec::with_capacity(count as usize);
         let mut seen = vec![false; count as usize];
+        let mut dropped = 0u64;
         let start = self.clock.now_ns();
         // Arm-to-end budget: 2 s to start + nominal duration + 1 s grace.
         let deadline = start + 2_000_000_000 + count as u64 * period_ns + 1_000_000_000;
@@ -441,7 +529,10 @@ impl Shared {
                     first_arrival.get_or_insert(recv_ns);
                     let idx = p.idx as usize;
                     if idx >= seen.len() || seen[idx] {
-                        continue; // malformed index or duplicated datagram
+                        // Malformed index or duplicated datagram.
+                        dropped += 1;
+                        self.counters.drop_dedup.inc();
+                        continue;
                     }
                     seen[idx] = true;
                     samples.push(SampleWire {
@@ -457,29 +548,33 @@ impl Shared {
                         if now >= nominal_end
                             && now.saturating_sub(last_activity) >= STREAM_SILENCE_NS
                         {
-                            break; // stream over; the missing tail is lost
+                            // Stream over; the missing tail is lost.
+                            self.counters.silence_stops.inc();
+                            break;
                         }
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        samples
+        (samples, dropped)
     }
 
     /// Collect a back-to-back train: distinct packets of train `id`,
     /// de-duplicated on index, until all arrived or a silence window
-    /// passed after the first arrival.
+    /// passed after the first arrival. The last tuple element counts the
+    /// datagrams the dedup discarded.
     fn collect_train(
         &self,
         arrivals: &ChanReceiver<Arrival>,
         id: u32,
         count: u32,
-    ) -> (u32, u64, u64) {
+    ) -> (u32, u64, u64, u64) {
         let mut received = 0u32;
         let mut first_ns = 0u64;
         let mut last_ns = 0u64;
         let mut seen = vec![false; count as usize];
+        let mut dropped = 0u64;
         let start = self.clock.now_ns();
         let deadline = start + 5_000_000_000;
         let mut last_activity = start;
@@ -492,6 +587,8 @@ impl Shared {
                     last_activity = recv_ns;
                     let idx = p.idx as usize;
                     if idx >= seen.len() || seen[idx] {
+                        dropped += 1;
+                        self.counters.drop_dedup.inc();
                         continue;
                     }
                     seen[idx] = true;
@@ -507,13 +604,40 @@ impl Shared {
                     if received > 0
                         && self.clock.now_ns().saturating_sub(last_activity) >= TRAIN_SILENCE_NS
                     {
+                        self.counters.silence_stops.inc();
                         break;
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        (received, first_ns, last_ns)
+        (received, first_ns, last_ns, dropped)
+    }
+
+    /// Warn (rate-limited) once a session's collections have discarded a
+    /// suspicious number of datagrams. The threshold keeps the occasional
+    /// duplicated datagram quiet; the interval keeps a duplicate *flood*
+    /// from flooding stderr too.
+    fn maybe_warn_drops(&self, token: u64, session_drops: u64) {
+        if session_drops < DROP_WARN_THRESHOLD {
+            return;
+        }
+        let now = self.clock.now_ns();
+        let last = self.last_drop_warn_ns.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < DROP_WARN_INTERVAL_NS {
+            return;
+        }
+        if self
+            .last_drop_warn_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            eprintln!(
+                "receiver: session {token:#018x} dropped {session_drops} \
+                 duplicate/malformed probe datagrams ({} across all sessions)",
+                self.counters.drop_dedup.get()
+            );
+        }
     }
 }
 
@@ -651,6 +775,40 @@ mod tests {
             "deny must carry the receiver's protocol version: {msg}"
         );
         drop(first);
+        server.join().unwrap().unwrap();
+    }
+
+    /// Datagrams carrying a token no live session owns are dropped *and
+    /// counted*: the by-design drop is visible in the registry.
+    #[test]
+    fn unknown_token_datagrams_are_counted_as_drops() {
+        use crate::proto::PROBE_HEADER_LEN;
+
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let reg = telemetry::Registry::new();
+        rx.register_metrics(&reg);
+        let drops = reg.counter("receiver_demux_drops_total", &[("reason", "unknown_token")]);
+        let addr = rx.ctrl_addr();
+        let server = thread::spawn(move || rx.serve_one());
+        let (ctrl, udp_port, token) = connect_ctrl(addr).unwrap();
+        let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut buf = [0u8; PROBE_HEADER_LEN];
+        ProbePacket {
+            session: token.wrapping_add(0xdead), // never issued
+            kind: ProbeKind::Stream,
+            id: 1,
+            idx: 0,
+            send_ns: 0,
+        }
+        .encode(&mut buf);
+        let target = SocketAddr::new(addr.ip(), udp_port);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while drops.get() == 0 && std::time::Instant::now() < deadline {
+            udp.send_to(&buf, target).unwrap();
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(drops.get() > 0, "unknown-token drop was not counted");
+        drop(ctrl);
         server.join().unwrap().unwrap();
     }
 

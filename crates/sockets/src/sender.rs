@@ -10,6 +10,7 @@ use slops::{
 };
 use std::io;
 use std::net::{SocketAddr, TcpStream, UdpSocket};
+use telemetry::Histogram;
 use units::{Rate, TimeNs};
 
 /// SLoPS probing over real UDP/TCP sockets.
@@ -28,6 +29,9 @@ pub struct SocketTransport {
     /// box sustains with the sleep-spin pacer; raise it on fast dedicated
     /// hardware.
     pub rate_cap: Rate,
+    /// Per-packet pacing error sink: each stream packet's overshoot past
+    /// its absolute deadline, in nanoseconds. `None` = not recorded.
+    pacing_hist: Option<Histogram>,
 }
 
 impl SocketTransport {
@@ -58,12 +62,20 @@ impl SocketTransport {
             session,
             next_id: 0,
             rate_cap: Rate::from_mbps(80.0),
+            pacing_hist: None,
         })
     }
 
     /// The session token the receiver minted for this connection.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// Record each stream packet's pacing error (nanoseconds late past
+    /// its absolute send deadline) into `hist`. The histogram is shared:
+    /// register the same handle in a `telemetry::Registry` to expose it.
+    pub fn set_pacing_histogram(&mut self, hist: Histogram) {
+        self.pacing_hist = Some(hist);
     }
 
     /// Switch both sockets (control TCP and probe UDP) between blocking
@@ -185,7 +197,10 @@ impl ProbeTransport for SocketTransport {
         let mut actual_send = Vec::with_capacity(req.count as usize);
         for i in 0..req.count {
             let deadline = t0 + i as u64 * req.period.as_nanos();
-            pace_until(&self.clock, deadline);
+            let overshoot = pace_until(&self.clock, deadline);
+            if let Some(h) = &self.pacing_hist {
+                h.observe(overshoot);
+            }
             let send_ns = self.clock.now_ns();
             ProbePacket {
                 session: self.session,

@@ -1,0 +1,46 @@
+//! # telemetry — metrics registry and sans-IO trace events
+//!
+//! The measurement methodology lives or dies on timing fidelity: SLoPS
+//! verdicts depend on pacing accuracy, one-way-delay trends, and per-fleet
+//! convergence that are invisible without instrumentation. This crate is
+//! the workspace's dependency-free observability layer:
+//!
+//! * [`registry`] — a process-wide metrics [`Registry`] of [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket log-scale [`Histogram`]s. All handles are
+//!   cheap clones around atomics: the hot path (increment, observe) is
+//!   lock-free; only registration (cold) takes a mutex. The registry
+//!   renders snapshots in the Prometheus text exposition format.
+//! * [`trace`] — the structured [`TraceEvent`] stream emitted by the
+//!   sans-IO `slops::SessionMachine` (phase transitions, stream summaries,
+//!   fleet verdicts, session results) plus driver-level timing samples.
+//!   The machine emits events as plain data; drivers forward them to a
+//!   [`TraceSink`]. Drivers never synthesize estimation telemetry — they
+//!   only relay what the machine said, so the trace is identical across
+//!   drivers (the observability extension of the repo's driver-equivalence
+//!   invariant).
+//! * [`serve`] — a tiny read-only TCP listener ([`MetricsServer`]) that
+//!   answers any HTTP request with the current registry snapshot, for
+//!   `monitord --metrics <addr>`.
+//!
+//! ```
+//! use telemetry::Registry;
+//!
+//! let reg = Registry::new();
+//! let hist = reg.histogram("pacing_error_ns", &[("path", "lo0")]);
+//! hist.observe(1_200);
+//! hist.observe(90_000);
+//! assert_eq!(hist.count(), 2);
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("pacing_error_ns_count{path=\"lo0\"} 2"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod serve;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use serve::MetricsServer;
+pub use trace::{NullSink, TraceEvent, TraceSink, VecSink};

@@ -1,0 +1,151 @@
+//! A tiny read-only metrics endpoint.
+//!
+//! [`MetricsServer::bind`] spawns one background thread that answers
+//! every TCP connection with an `HTTP/1.0` response carrying the current
+//! [`Registry`] snapshot in Prometheus text format. It
+//! ignores the request beyond draining the header block — there is
+//! nothing to route: every path returns the same snapshot. That keeps the
+//! attack surface of a long-running daemon's diagnostic port as close to
+//! zero as an HTTP-ish endpoint can be: no parsing of untrusted input, no
+//! state mutation, bounded reads, short write timeout.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use std::{io, thread};
+
+use crate::Registry;
+
+/// How long the accept loop sleeps between polls of the (non-blocking)
+/// listener. Scrapes are rare; 25 ms of accept latency is invisible to a
+/// scraper and keeps the idle thread cheap.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection IO timeout: a stalled scraper cannot wedge the thread.
+const CONN_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A background thread serving registry snapshots over TCP.
+///
+/// Dropping the server stops the thread and closes the listener.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9091"`; port 0 picks a free port)
+    /// and start serving snapshots of `registry`.
+    pub fn bind(addr: &str, registry: Registry) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = thread::Builder::new()
+            .name("metrics-server".into())
+            .spawn(move || serve_loop(listener, registry, flag))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Best effort: a scrape that fails mid-write is the
+                // scraper's problem, not the daemon's.
+                let _ = answer(stream, &registry);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn answer(mut stream: std::net::TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(CONN_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONN_TIMEOUT))?;
+    // Drain the request header block (bounded) so well-behaved HTTP
+    // clients don't see a reset before they finish writing.
+    let mut buf = [0u8; 1024];
+    let mut seen = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() >= 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = registry.render_prometheus();
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    #[test]
+    fn serves_registry_snapshot() {
+        let reg = Registry::new();
+        reg.counter("scrapes_expected_total", &[]).add(3);
+        let server = MetricsServer::bind("127.0.0.1:0", reg.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("scrapes_expected_total 3"), "{response}");
+
+        // The registry is live: a second scrape sees new values.
+        reg.counter("scrapes_expected_total", &[]).inc();
+        let mut stream = TcpStream::connect(addr).expect("connect 2");
+        stream
+            .write_all(b"GET / HTTP/1.0\r\n\r\n")
+            .expect("request 2");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response 2");
+        assert!(response.contains("scrapes_expected_total 4"), "{response}");
+    }
+}

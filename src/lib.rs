@@ -19,6 +19,7 @@
 //!   in-sim and thread-backed drivers, JSONL export (§I, §VI, §IX).
 //! * [`baselines`] — cprobe/packet-train (ADR) and TOPP baselines.
 //! * [`pathload_net`] — pathload over real UDP/TCP sockets.
+//! * [`telemetry`] — metrics registry, trace events, scrape endpoint.
 //! * [`units`] — shared time/rate newtypes and statistics helpers.
 //!
 //! ## Quickstart
@@ -46,5 +47,6 @@ pub use pathload_net;
 pub use simprobe;
 pub use slops;
 pub use tcpsim;
+pub use telemetry;
 pub use traffic;
 pub use units;

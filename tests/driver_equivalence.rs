@@ -9,12 +9,14 @@
 //!   estimates for the same simulator seed.
 
 use availbw::simprobe::scenarios::{PaperPath, PaperPathConfig};
-use availbw::simprobe::{install_session, run_session};
+use availbw::simprobe::{install_session, run_session, SessionApp};
 use availbw::slops::machine::{Command, Event, SessionMachine};
 use availbw::slops::testutil::OracleTransport;
 use availbw::slops::{Estimate, ProbeTransport, Session, SlopsConfig};
+use availbw::telemetry::{TraceEvent, VecSink};
 use availbw::units::{Rate, TimeNs};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Drive a `SessionMachine` by hand over a transport, exactly as the
 /// blocking driver does — but stepping explicitly, and checking the
@@ -98,6 +100,98 @@ proptest! {
         let blocking = Session::new(SlopsConfig::default()).run(&mut make()).unwrap();
         let stepped = hand_step(SlopsConfig::default(), &mut make());
         prop_assert_eq!(blocking, stepped);
+    }
+}
+
+/// The trace a measurement emits is minted entirely inside the sans-IO
+/// machine, so the blocking driver and a hand-stepped machine produce
+/// byte-identical event sequences — phases, stream verdicts, fleet
+/// verdicts, and termination, in order.
+#[test]
+fn blocking_driver_trace_equals_hand_stepped_trace() {
+    for seed in [0u64, 5, 11] {
+        let a = Rate::from_mbps(9.0 + 13.0 * seed as f64);
+        let blocking_trace = {
+            let sink = Arc::new(VecSink::new());
+            let mut t = OracleTransport::new(a, seed);
+            Session::new(SlopsConfig::default())
+                .with_trace_sink(sink.clone())
+                .run(&mut t)
+                .unwrap();
+            sink.take()
+        };
+        let stepped_trace = {
+            let mut t = OracleTransport::new(a, seed);
+            let mut m = SessionMachine::new(SlopsConfig::default(), t.rtt(), t.max_rate()).unwrap();
+            let mut trace = Vec::new();
+            loop {
+                let cmd = m.poll().expect("no command pending at loop head");
+                trace.extend(m.take_trace());
+                let event = match cmd {
+                    Command::SendTrain { len, size } => {
+                        Event::TrainDone(t.send_train(len, size).unwrap())
+                    }
+                    Command::SendStream(req) => Event::StreamDone(t.send_stream(&req).unwrap()),
+                    Command::Idle(dur) => {
+                        t.idle(dur);
+                        Event::Tick(t.elapsed())
+                    }
+                    Command::Finish(_) => break trace,
+                };
+                m.on_event(event).unwrap();
+                trace.extend(m.take_trace());
+            }
+        };
+        assert!(!blocking_trace.is_empty(), "trace must not be empty");
+        assert_eq!(
+            blocking_trace, stepped_trace,
+            "trace diverged at seed {seed}"
+        );
+        // The trace ends with the terminal phase and the session verdict.
+        let n = blocking_trace.len();
+        assert!(matches!(
+            blocking_trace[n - 1],
+            TraceEvent::SessionDone { .. }
+        ));
+        assert!(matches!(
+            blocking_trace[n - 2],
+            TraceEvent::Phase { to: "Done", .. }
+        ));
+    }
+}
+
+/// On the paper's loaded 5-hop topology, the event-driven in-sim driver
+/// relays the very same machine-minted trace as the blocking shim —
+/// bit-identical events in identical order for the same simulator seed.
+/// Drivers forward trace events; they never synthesize them.
+#[test]
+fn in_sim_driver_trace_equals_blocking_trace_on_paper_path() {
+    let path_cfg = PaperPathConfig::default();
+    for seed in [7u64, 77] {
+        let blocking_trace = {
+            let sink = Arc::new(VecSink::new());
+            let mut t = PaperPath::build(&path_cfg, seed).into_transport();
+            Session::new(SlopsConfig::default())
+                .with_trace_sink(sink.clone())
+                .run(&mut t)
+                .unwrap();
+            sink.take()
+        };
+        let in_sim_trace = {
+            let sink = Arc::new(VecSink::new());
+            let t = PaperPath::build(&path_cfg, seed).into_transport();
+            let chain = t.chain().clone();
+            let mut sim = t.into_sim();
+            let id = install_session(&mut sim, &chain, SlopsConfig::default()).unwrap();
+            sim.app_mut::<SessionApp>(id).set_trace_sink(sink.clone());
+            run_session(&mut sim, id, TimeNs::from_secs(3600)).expect("session finished");
+            sink.take()
+        };
+        assert!(!blocking_trace.is_empty(), "trace must not be empty");
+        assert_eq!(
+            blocking_trace, in_sim_trace,
+            "traces diverged at seed {seed}"
+        );
     }
 }
 

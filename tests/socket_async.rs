@@ -20,8 +20,9 @@
 
 use availbw::monitord::export::{sample_line, summary_line};
 use availbw::monitord::{
-    run_socket_fleet_async, run_socket_fleet_with_shutdown, FleetEvent, ScheduleConfig,
-    SeriesConfig, ShutdownFlag, SocketPathSpec,
+    run_socket_fleet_async, run_socket_fleet_async_with_telemetry, run_socket_fleet_with_shutdown,
+    run_socket_fleet_with_telemetry, FleetEvent, FleetTelemetry, ScheduleConfig, SeriesConfig,
+    ShutdownFlag, SocketPathSpec,
 };
 use availbw::pathload_net::clock::MonoClock;
 use availbw::pathload_net::mux::{EventLoop, MuxEvent};
@@ -266,6 +267,142 @@ fn run_driver(
         .map(|s| s.samples().copied().collect())
         .collect();
     (samples, lines)
+}
+
+/// Run one fleet driver with the full telemetry wiring and return the
+/// number of samples observed plus the registry's Prometheus snapshot.
+fn run_driver_with_telemetry(
+    use_async: bool,
+    n: usize,
+    sched: &ScheduleConfig,
+    horizon: TimeNs,
+) -> (usize, String) {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(n));
+    let specs: Vec<SocketPathSpec> = (0..n)
+        .map(|i| SocketPathSpec {
+            label: format!("p{i}"),
+            ctrl_addr: addr,
+            cfg: gentle_cfg(),
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        })
+        .collect();
+    let telemetry = FleetTelemetry::new();
+    let mut samples = 0usize;
+    let observer = |ev: FleetEvent<'_>| match ev {
+        FleetEvent::Sample { .. } => samples += 1,
+        FleetEvent::Failed { path, error, .. } => {
+            panic!("path {path} failed on loopback: {error}")
+        }
+        FleetEvent::Change { .. } => {}
+    };
+    if use_async {
+        run_socket_fleet_async_with_telemetry(
+            specs,
+            sched,
+            &SeriesConfig::default(),
+            horizon,
+            &ShutdownFlag::new(),
+            Some(&telemetry),
+            observer,
+        )
+        .unwrap();
+    } else {
+        run_socket_fleet_with_telemetry(
+            specs,
+            sched,
+            &SeriesConfig::default(),
+            horizon,
+            2,
+            &ShutdownFlag::new(),
+            Some(&telemetry),
+            observer,
+        )
+        .unwrap();
+    }
+    server.join().unwrap().unwrap();
+    (samples, telemetry.registry().render_prometheus())
+}
+
+/// The machine-trace series of one Prometheus snapshot: every
+/// `name{labels}` key of the families minted from machine trace events,
+/// plus the summed value of one family for cross-checks.
+fn trace_series(text: &str) -> (Vec<String>, u64) {
+    const FAMILIES: [&str; 3] = [
+        "streams_total{",
+        "fleet_verdicts_total{",
+        "sessions_done_total{",
+    ];
+    let mut keys = Vec::new();
+    let mut sessions_done = 0u64;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if FAMILIES.iter().any(|f| line.starts_with(f)) {
+            let (key, value) = line.rsplit_once(' ').expect("metric line has a value");
+            keys.push(key.to_string());
+            if key.starts_with("sessions_done_total{") {
+                sessions_done += value.parse::<u64>().expect("counter value");
+            }
+        }
+    }
+    keys.sort();
+    (keys, sessions_done)
+}
+
+/// Thread-vs-async trace-event equivalence: both drivers only RELAY the
+/// machine-minted trace into the shared registry, so they surface the
+/// exact same machine-trace series (same families, same label
+/// vocabulary, same paths), and in both runs every recorded sample is
+/// matched by exactly one machine-minted `SessionDone`. Real-socket
+/// timing makes the verdict distributions differ; the series themselves
+/// must not.
+#[test]
+fn thread_and_async_drivers_relay_the_same_machine_trace() {
+    let _serial = serialized();
+    const N: usize = 2;
+    let sched = ScheduleConfig {
+        period: TimeNs::from_secs(2),
+        jitter: TimeNs::from_millis(100),
+        max_concurrent: N,
+        seed: 42,
+    };
+    let horizon = TimeNs::from_secs(5);
+    let (thread_samples, thread_text) = run_driver_with_telemetry(false, N, &sched, horizon);
+    let (async_samples, async_text) = run_driver_with_telemetry(true, N, &sched, horizon);
+
+    let (thread_keys, thread_done) = trace_series(&thread_text);
+    let (async_keys, async_done) = trace_series(&async_text);
+    assert!(!thread_keys.is_empty(), "no machine-trace series surfaced");
+    assert_eq!(
+        thread_keys, async_keys,
+        "drivers surfaced different machine-trace series"
+    );
+    assert_eq!(
+        thread_done, thread_samples as u64,
+        "thread driver: samples without a machine-minted SessionDone"
+    );
+    assert_eq!(
+        async_done, async_samples as u64,
+        "async driver: samples without a machine-minted SessionDone"
+    );
+    // Both runs actually measured something.
+    assert!(thread_samples >= N, "thread driver measured too little");
+    assert!(async_samples >= N, "async driver measured too little");
+    // Both drivers also fed the per-path pacing histograms.
+    for text in [&thread_text, &async_text] {
+        for p in 0..N {
+            let needle = format!("pacing_error_ns_count{{path=\"p{p}\"}}");
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&needle))
+                .unwrap_or_else(|| panic!("missing {needle}"));
+            let count: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(count > 0, "path p{p} paced no packets");
+        }
+    }
 }
 
 /// Thread-vs-async structural equivalence: the two drivers take every
