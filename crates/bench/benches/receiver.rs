@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the receiver's hot datapath (ROADMAP
+//! item 5 / PR 8): probe-packet demux routing (decode + token lookup,
+//! the per-datagram work of both receiver shapes) and the kernel
+//! crossing itself — a 32-datagram drain through `recvmmsg` batching
+//! versus the scalar one-syscall-per-datagram fallback.
+//!
+//! Results are committed as `BENCH_8.json` at the repo root (absolute
+//! times carry the single-core container caveat from ARCHITECTURE.md;
+//! the batched/scalar ratio is the stable signal).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pathload_net::batch::UdpRecvBatch;
+use pathload_net::proto::{ProbeKind, ProbePacket};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::net::UdpSocket;
+
+fn bench_demux_routing(c: &mut Criterion) {
+    // The evented receiver's per-datagram routing decision at fleet
+    // scale: decode the 32-byte header, look the session token up in a
+    // 1024-session table. Every 4th packet carries an unknown token (the
+    // drop path is part of the hot loop: stale sessions keep sending).
+    const SESSIONS: usize = 1024;
+    const PACKETS: usize = 1024;
+    let base = 0x9E37_79B9_7F4A_7C15u64;
+    let mut by_token: HashMap<u64, usize> = HashMap::with_capacity(SESSIONS);
+    for s in 0..SESSIONS {
+        by_token.insert(base.wrapping_add(s as u64), s);
+    }
+    let bufs: Vec<[u8; 64]> = (0..PACKETS)
+        .map(|i| {
+            let session = if i % 4 == 0 {
+                base.wrapping_sub(1 + i as u64) // never minted
+            } else {
+                base.wrapping_add((i % SESSIONS) as u64)
+            };
+            let mut buf = [0u8; 64];
+            ProbePacket {
+                session,
+                kind: ProbeKind::Stream,
+                id: 7,
+                idx: i as u32,
+                send_ns: i as u64,
+            }
+            .encode(&mut buf);
+            buf
+        })
+        .collect();
+    c.bench_function("demux_route_1k_packets", |b| {
+        b.iter(|| {
+            let mut routed = 0usize;
+            let mut unknown = 0usize;
+            for buf in &bufs {
+                match ProbePacket::decode(buf).and_then(|p| by_token.get(&p.session)) {
+                    Some(_) => routed += 1,
+                    None => unknown += 1,
+                }
+            }
+            black_box((routed, unknown))
+        })
+    });
+}
+
+fn bench_udp_drain(c: &mut Criterion) {
+    // One readability wakeup's worth of kernel crossings: 32 loopback
+    // datagrams drained batched (`recvmmsg`, one syscall for up to 32)
+    // versus scalar (one `recv` per datagram). Setup (sending the 32)
+    // is not timed. Off Linux the batched case silently runs the scalar
+    // loop, so the two numbers converge there.
+    let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+    rx.set_nonblocking(true).unwrap();
+    let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+    tx.connect(rx.local_addr().unwrap()).unwrap();
+    let payload = [0u8; 64];
+    for (name, scalar) in [
+        ("udp_drain_32_recvmmsg", false),
+        ("udp_drain_32_scalar", true),
+    ] {
+        let mut batch = UdpRecvBatch::new(32, 2048);
+        batch.set_scalar(scalar);
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    for _ in 0..32 {
+                        tx.send(&payload).unwrap();
+                    }
+                },
+                |()| {
+                    let mut got = 0usize;
+                    loop {
+                        match batch.recv(&rx) {
+                            Ok(n) => got += n,
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) => panic!("drain: {e}"),
+                        }
+                    }
+                    black_box(got)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}
+
+criterion_group!(receiver, bench_demux_routing, bench_udp_drain);
+criterion_main!(receiver);

@@ -53,6 +53,9 @@ use monitord::{
     run_socket_fleet_with_telemetry, DaemonConfig, FleetEvent, FleetTelemetry, ShutdownFlag,
     SocketPathSpec,
 };
+#[cfg(unix)]
+use pathload_net::EventedReceiver;
+#[cfg(not(unix))]
 use pathload_net::Receiver;
 use std::fs;
 use std::io::{self, Write};
@@ -283,17 +286,31 @@ fn run_loopback(
     cfg.probe.max_fleets = 6;
 
     // ONE shared receiver for the whole fleet: every path connects to the
-    // same control address and becomes its own session. One long-lived
-    // sender connection per path; serve_n returns when the fleet drops
-    // its transports.
-    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap())
-        .map_err(|e| format!("cannot bind the loopback receiver: {e}"))?;
-    let ctrl_addr = rx.ctrl_addr();
-    // The receiver shares the fleet's registry, so a `--metrics` scrape
-    // of the loopback run also exposes the demux/drop counters.
+    // same control address and becomes its own session. On Unix the far
+    // end is the evented receiver — the whole fleet's sessions on one
+    // event-loop thread with the `recvmmsg`-batched datapath — stopped
+    // once the fleet is done; elsewhere the threaded receiver serves one
+    // session per sender (serve_n returns when the fleet drops its
+    // transports). Either way the receiver shares the fleet's registry,
+    // so a `--metrics` scrape of the loopback run also exposes the
+    // demux/drop counters (and, evented, the `receiver_sessions` gauge).
     let telemetry = FleetTelemetry::new();
-    rx.register_metrics(telemetry.registry());
-    let server = thread::spawn(move || rx.serve_n(n));
+    #[cfg(unix)]
+    let (ctrl_addr, server) = {
+        let rx = EventedReceiver::bind("127.0.0.1:0".parse().unwrap())
+            .map_err(|e| format!("cannot bind the loopback receiver: {e}"))?;
+        rx.register_metrics(telemetry.registry());
+        let handle = rx.spawn();
+        (handle.ctrl_addr(), handle)
+    };
+    #[cfg(not(unix))]
+    let (ctrl_addr, server) = {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap())
+            .map_err(|e| format!("cannot bind the loopback receiver: {e}"))?;
+        let ctrl_addr = rx.ctrl_addr();
+        rx.register_metrics(telemetry.registry());
+        (ctrl_addr, thread::spawn(move || rx.serve_n(n)))
+    };
     let specs: Vec<SocketPathSpec> = (0..n)
         .map(|i| SocketPathSpec {
             label: format!("lo{i}"),
@@ -318,6 +335,9 @@ fn run_loopback(
         metrics_flag.as_deref(),
         stop,
     )?;
+    #[cfg(unix)]
+    server.stop().map_err(|e| format!("receiver failed: {e}"))?;
+    #[cfg(not(unix))]
     server
         .join()
         .map_err(|_| "receiver thread panicked".to_string())?

@@ -32,6 +32,18 @@
 //! Like every wall-clock driver, the schedule is best effort: a start
 //! instant may already be in the past when its timer pops (the measurement
 //! then starts immediately), and the exact tick grid is not asserted.
+//!
+//! **Reconnect policy** (driver/scheduler plumbing, not estimation): when
+//! a measurement fails with a *transport* error — the receiver died,
+//! restarted, or the control channel broke — the path's transport is
+//! dropped and the slot parks as disconnected. The scheduler
+//! keeps issuing the path's periodic starts as if nothing happened; each
+//! start on a disconnected path re-dials the receiver's address first
+//! (fresh `Hello`, fresh session token — a restarted receiver speaks to
+//! it like any new sender) and measures on success. A failed re-dial
+//! counts as that start's failure and the next scheduled start retries.
+//! Paths whose receivers stay up never notice; nothing is fatal after
+//! the initial fleet connect.
 
 use crate::metrics::FleetTelemetry;
 use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
@@ -85,6 +97,12 @@ enum Slot {
         session: Box<EventedSession>,
         at: TimeNs,
     },
+    /// The path's transport died (receiver gone/restarted). The next
+    /// scheduled start re-dials.
+    Disconnected,
+    /// The scheduler issued a start at `at` on a disconnected path; the
+    /// armed timer re-dials before measuring.
+    PendingRedial { at: TimeNs },
     /// Transient placeholder during transitions (never observed).
     Moving,
 }
@@ -196,7 +214,12 @@ pub fn run_socket_fleet_async_with_telemetry(
         .collect();
     let mut cfgs: Vec<SlopsConfig> = Vec::with_capacity(n);
     let mut slots: Vec<Slot> = Vec::with_capacity(n);
+    // Retained for re-dialing after a receiver restart.
+    let mut addrs = Vec::with_capacity(n);
+    let mut caps = Vec::with_capacity(n);
     for (spec, transport) in connected {
+        addrs.push(spec.ctrl_addr);
+        caps.push(spec.rate_cap);
         cfgs.push(spec.cfg);
         slots.push(Slot::Idle(transport));
     }
@@ -259,6 +282,11 @@ pub fn run_socket_fleet_async_with_telemetry(
                         generation[p] += 1;
                         sched.on_complete(PathId(p as u32), now);
                     }
+                    Slot::PendingRedial { .. } => {
+                        slots[p] = Slot::Disconnected;
+                        generation[p] += 1;
+                        sched.on_complete(PathId(p as u32), TimeNs::from_nanos(epoch.now_ns()));
+                    }
                     other => slots[p] = other,
                 }
             }
@@ -269,10 +297,12 @@ pub fn run_socket_fleet_async_with_telemetry(
         // timer then pops on the next wait, i.e. start immediately).
         while let Poll::Start { path, at } = sched.poll() {
             let p = path.0 as usize;
-            let Slot::Idle(transport) = slots[p].take() else {
-                unreachable!("the scheduler never starts a busy path");
-            };
-            slots[p] = Slot::Pending { transport, at };
+            match slots[p].take() {
+                Slot::Idle(transport) => slots[p] = Slot::Pending { transport, at },
+                // Receiver gone: the start stands, prefixed by a re-dial.
+                Slot::Disconnected => slots[p] = Slot::PendingRedial { at },
+                _ => unreachable!("the scheduler never starts a busy path"),
+            }
             lp.arm_timer(at.as_nanos(), tok(TOK_START, generation[p], p));
         }
 
@@ -280,7 +310,11 @@ pub fn run_socket_fleet_async_with_telemetry(
             t.observe_scheduler(&sched, TimeNs::from_nanos(epoch.now_ns()));
         }
 
-        if sched.is_done() && slots.iter().all(|s| matches!(s, Slot::Idle(_))) {
+        if sched.is_done()
+            && slots
+                .iter()
+                .all(|s| matches!(s, Slot::Idle(_) | Slot::Disconnected))
+        {
             break;
         }
 
@@ -295,58 +329,101 @@ pub fn run_socket_fleet_async_with_telemetry(
             if p >= n || generation_tag != (generation[p] & 0xFF_FFFF) {
                 continue; // stale timer or retired session
             }
+            // A transport-level failure means the far end is gone or
+            // restarted: the old control channel and session token are
+            // useless, so the slot parks Disconnected and the next
+            // scheduled start re-dials. Any other failure keeps the
+            // connection.
+            macro_rules! park {
+                ($p:expr, $transport:expr, $error:expr) => {{
+                    if matches!($error, SlopsError::Transport(_)) {
+                        drop($transport);
+                        slots[$p] = Slot::Disconnected;
+                    } else {
+                        slots[$p] = Slot::Idle($transport);
+                    }
+                }};
+            }
             match kind {
-                TOK_START => match slots[p].take() {
-                    // Begin the measurement scheduled for this path.
-                    Slot::Pending { transport, at } => {
-                        let tokens = SessionTokens {
-                            ctrl: tok(TOK_CTRL, generation[p], p),
-                            probe: tok(TOK_PROBE, generation[p], p),
-                            timer: tok(TOK_TIMER, generation[p], p),
-                        };
-                        match EventedSession::new(transport, cfgs[p].clone(), tokens) {
-                            Ok(mut session) => {
-                                if let Some(instruments) = &instruments {
-                                    let (sink, hist) = &instruments[p];
-                                    session.set_trace_sink(Arc::clone(sink));
-                                    session.set_pacing_histogram(hist.clone());
-                                }
-                                match session.register(&lp) {
-                                    Ok(()) => {
-                                        slots[p] = Slot::Active {
-                                            session: Box::new(session),
-                                            at,
-                                        };
+                TOK_START => {
+                    // Resolve the start's transport: either the held idle
+                    // one, or a fresh re-dial of the path's receiver.
+                    let (transport, at) = match slots[p].take() {
+                        Slot::Pending { transport, at } => (transport, at),
+                        Slot::PendingRedial { at } => {
+                            match SocketTransport::connect_with_clock(addrs[p], epoch.same_epoch())
+                            {
+                                Ok(mut t) => {
+                                    if let Some(cap) = caps[p] {
+                                        t.rate_cap = cap;
                                     }
-                                    Err(e) => {
-                                        let transport = session.abort(&lp);
-                                        let finished = transport.elapsed();
-                                        slots[p] = Slot::Idle(transport);
-                                        complete!(
-                                            p,
-                                            at,
-                                            Err::<slops::Estimate, _>(io_err(e)),
-                                            finished
-                                        );
-                                    }
+                                    (t, at)
                                 }
-                            }
-                            Err((transport, error)) => {
-                                let finished = transport.elapsed();
-                                slots[p] = Slot::Idle(transport);
-                                complete!(p, at, Err::<slops::Estimate, _>(error), finished);
+                                Err(e) => {
+                                    // Receiver still down: this start
+                                    // fails, the next one retries.
+                                    slots[p] = Slot::Disconnected;
+                                    complete!(
+                                        p,
+                                        at,
+                                        Err::<slops::Estimate, _>(io_err(e)),
+                                        TimeNs::from_nanos(epoch.now_ns())
+                                    );
+                                    continue;
+                                }
                             }
                         }
+                        other => {
+                            slots[p] = other; // cancelled or already begun
+                            continue;
+                        }
+                    };
+                    // Begin the measurement scheduled for this path.
+                    let tokens = SessionTokens {
+                        ctrl: tok(TOK_CTRL, generation[p], p),
+                        probe: tok(TOK_PROBE, generation[p], p),
+                        timer: tok(TOK_TIMER, generation[p], p),
+                    };
+                    match EventedSession::new(transport, cfgs[p].clone(), tokens) {
+                        Ok(mut session) => {
+                            if let Some(instruments) = &instruments {
+                                let (sink, hist) = &instruments[p];
+                                session.set_trace_sink(Arc::clone(sink));
+                                session.set_pacing_histogram(hist.clone());
+                            }
+                            match session.register(&lp) {
+                                Ok(()) => {
+                                    slots[p] = Slot::Active {
+                                        session: Box::new(session),
+                                        at,
+                                    };
+                                }
+                                Err(e) => {
+                                    let transport = session.abort(&lp);
+                                    let finished = transport.elapsed();
+                                    let error = io_err(e);
+                                    park!(p, transport, error);
+                                    complete!(p, at, Err::<slops::Estimate, _>(error), finished);
+                                }
+                            }
+                        }
+                        Err((transport, error)) => {
+                            let finished = transport.elapsed();
+                            park!(p, transport, error);
+                            complete!(p, at, Err::<slops::Estimate, _>(error), finished);
+                        }
                     }
-                    other => slots[p] = other, // cancelled or already begun
-                },
+                }
                 TOK_CTRL | TOK_PROBE | TOK_TIMER => match slots[p].take() {
                     Slot::Active { mut session, at } => {
                         session.on_event(&mut lp, &ev);
                         if session.is_finished() {
                             let (transport, outcome) = session.finish(&lp);
                             let finished = transport.elapsed();
-                            slots[p] = Slot::Idle(transport);
+                            match &outcome {
+                                Err(error) => park!(p, transport, *error),
+                                Ok(_) => slots[p] = Slot::Idle(transport),
+                            }
                             complete!(p, at, outcome, finished);
                         } else {
                             slots[p] = Slot::Active { session, at };

@@ -1,4 +1,4 @@
-//! `pathload_rcv <listen-addr>` — the pathload receiver daemon.
+//! `pathload_rcv [--evented] <listen-addr>` — the pathload receiver daemon.
 //!
 //! Example: `pathload_rcv 0.0.0.0:9100`
 //!
@@ -6,16 +6,30 @@
 //! connection becomes an independent session, and the shared UDP probe
 //! socket is demuxed by the session token minted at `Hello`. A whole
 //! `monitord` fleet can therefore point every path at this one address.
+//!
+//! With `--evented` (Unix only) the sessions are hosted on one event-loop
+//! thread with a `recvmmsg`-batched probe datapath instead of a thread
+//! per session — same wire contract, far-end capacity in the thousands
+//! of sessions.
 
 use pathload_net::Receiver;
 use std::net::SocketAddr;
 use std::process::exit;
+use std::sync::atomic::AtomicBool;
 
 fn main() {
-    let addr = match std::env::args().nth(1) {
+    let mut evented = false;
+    let mut addr_arg = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--evented" => evented = true,
+            _ => addr_arg = Some(arg),
+        }
+    }
+    let addr = match addr_arg {
         Some(a) => a,
         None => {
-            eprintln!("usage: pathload_rcv <listen-addr>   (e.g. 0.0.0.0:9100)");
+            eprintln!("usage: pathload_rcv [--evented] <listen-addr>   (e.g. 0.0.0.0:9100)");
             exit(2);
         }
     };
@@ -26,6 +40,9 @@ fn main() {
             exit(2);
         }
     };
+    if evented {
+        serve_evented(addr);
+    }
     let rx = match Receiver::bind(addr) {
         Ok(r) => r,
         Err(e) => {
@@ -41,4 +58,34 @@ fn main() {
         eprintln!("fatal: {e}");
         exit(1);
     }
+}
+
+/// Serve on the one-thread evented receiver; never returns.
+#[cfg(unix)]
+fn serve_evented(addr: SocketAddr) {
+    let mut rx = match pathload_net::EventedReceiver::bind(addr) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "pathload_rcv: control on {} (evented: one thread, batched datapath)",
+        rx.ctrl_addr()
+    );
+    static RUN_FOREVER: AtomicBool = AtomicBool::new(false);
+    match rx.run(&RUN_FOREVER) {
+        Ok(()) => exit(0),
+        Err(e) => {
+            eprintln!("fatal: {e}");
+            exit(1);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_evented(_addr: SocketAddr) {
+    eprintln!("--evented requires an epoll event loop (Unix only)");
+    exit(2);
 }

@@ -56,10 +56,12 @@ pub struct SessionTokens {
     pub ctrl: u64,
     /// Token of the probe UDP socket registration.
     pub probe: u64,
-    /// Token this session's timer entries are armed with. Timers cannot
-    /// be cancelled (lazy cancellation), so the host must never reuse a
-    /// timer token for a *later* session while entries may still be
-    /// pending — tag it with a per-path generation.
+    /// Token this session's timer entries are armed with. The session
+    /// arms plain (uncancellable) entries and relies on lazy
+    /// cancellation, so the host must never reuse a timer token for a
+    /// *later* session while entries may still be pending — tag it with a
+    /// per-path generation (or arm through
+    /// [`EventLoop::arm_timer_with_generation`] and cancel eagerly).
     pub timer: u64,
 }
 
@@ -71,14 +73,15 @@ enum Exec {
     /// An announce was queued; waiting for the `Ready` frame.
     AwaitReady(AfterReady),
     /// Mid-train: next packet to blast is `next` (resumes on UDP
-    /// writability when the socket back-pressures). `buf` is the packet
-    /// buffer, allocated once per train.
+    /// writability when the socket back-pressures). `bufs` are the
+    /// per-message packet buffers of one `sendmmsg` batch, allocated once
+    /// per train.
     BlastTrain {
         id: u32,
         len: u32,
         size: u32,
         next: u32,
-        buf: Vec<u8>,
+        bufs: Vec<Vec<u8>>,
     },
     /// Train sent; waiting for the `TrainReport` frame.
     AwaitTrainReport { id: u32, len: u32, size: u32 },
@@ -501,12 +504,13 @@ impl EventedSession {
             (Exec::AwaitReady(AfterReady::Train { id, len, size }), CtrlMsg::Ready { id: got })
                 if got == id =>
             {
+                let batch = (len as usize).clamp(1, crate::batch::MAX_BATCH);
                 self.exec = Exec::BlastTrain {
                     id,
                     len,
                     size,
                     next: 0,
-                    buf: vec![0u8; size as usize],
+                    bufs: vec![vec![0u8; size as usize]; batch],
                 };
                 self.resume_blast(lp)
             }
@@ -565,31 +569,50 @@ impl EventedSession {
 
     // ---- probe socket --------------------------------------------------
 
-    /// Send as much of a pending train blast as the UDP socket accepts;
-    /// on back-pressure, wait for writability and resume.
+    /// Send as much of a pending train blast as the UDP socket accepts —
+    /// batched through `sendmmsg` where available, one kernel crossing
+    /// per [`crate::batch::MAX_BATCH`] packets; on back-pressure, wait
+    /// for writability and resume. Packets the kernel refuses keep their
+    /// place: they are re-encoded (fresh `send_ns`) on the next attempt,
+    /// so the timestamp on the wire is always the actual send instant.
     fn resume_blast(&mut self, lp: &mut EventLoop) -> Result<(), TransportError> {
         let Exec::BlastTrain {
             id,
             len,
             size,
             next,
-            buf,
+            bufs,
         } = &mut self.exec
         else {
             return Ok(()); // stale writability notification
         };
         let (id, len, size) = (*id, *len, *size);
         while *next < len {
-            ProbePacket {
-                session: self.transport.session(),
-                kind: ProbeKind::Train,
-                id,
-                idx: *next,
-                send_ns: self.transport.clock().now_ns(),
+            let k = ((len - *next) as usize).min(bufs.len());
+            for (j, buf) in bufs[..k].iter_mut().enumerate() {
+                ProbePacket {
+                    session: self.transport.session(),
+                    kind: ProbeKind::Train,
+                    id,
+                    idx: *next + j as u32,
+                    send_ns: self.transport.clock().now_ns(),
+                }
+                .encode(buf);
             }
-            .encode(buf);
-            match self.transport.udp().send(buf) {
-                Ok(_) => *next += 1,
+            match crate::batch::send_batch(self.transport.udp(), &bufs[..k]) {
+                Ok(sent) => {
+                    *next += sent as u32;
+                    if sent < k {
+                        // The kernel took a prefix; wait out the back-pressure.
+                        return lp
+                            .set_interest(
+                                self.transport.udp().as_raw_fd(),
+                                self.tokens.probe,
+                                Interest::WRITE,
+                            )
+                            .map_err(|e| TransportError::Io(e.to_string()));
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     return lp
                         .set_interest(

@@ -33,10 +33,19 @@
 //!   writability/timer expiry, events come back on readability, so one
 //!   thread can multiplex hundreds of concurrent sessions (the
 //!   `monitord --driver async` fleet).
-//! * [`receiver`] — the `pathload_rcv` side: accepts concurrent sender
-//!   sessions, demuxes the shared probe socket by session token, collects
-//!   (de-duplicating, loss-tolerant), timestamps arrivals, ships records
-//!   back.
+//! * [`batch`] — the kernel-fast datapath: `recvmmsg`/`sendmmsg`
+//!   batching (one syscall, many datagrams) behind scalar fallbacks, and
+//!   a `SO_REUSEADDR` listener bind so a restarted receiver reclaims its
+//!   port through `TIME_WAIT`.
+//! * [`receiver`] — the threaded `pathload_rcv` side: accepts concurrent
+//!   sender sessions (a thread per session plus a demux thread), demuxes
+//!   the shared probe socket by session token, collects (de-duplicating,
+//!   loss-tolerant), timestamps arrivals, ships records back.
+//! * [`receiver_evented`] — [`EventedReceiver`], the same receiver
+//!   contract hosted on one [`mux::EventLoop`] thread: non-blocking
+//!   accept, per-session control state machines, batched probe reads,
+//!   silence windows as timer entries. Thousands of sessions, one
+//!   thread.
 //! * [`sender`] — the `pathload_snd` side: [`SocketTransport`].
 //! * [`driver`] — [`SocketDriver`], the explicit command/event pump of the
 //!   sans-IO `slops::SessionMachine` over this transport (the reference
@@ -51,12 +60,14 @@
 //! pathload_snd 127.0.0.1:9100
 //! ```
 
-// `deny`, not `forbid`: the one exception is the FFI block in `mux::sys`
-// wrapping the epoll syscalls (std links libc but exposes no poller), and
-// it opts in explicitly with `#[allow(unsafe_code)]`.
+// `deny`, not `forbid`: the exceptions are the FFI blocks in `mux::sys`
+// (epoll) and `batch::sys` (`recvmmsg`/`sendmmsg`/`SO_REUSEADDR`) wrapping
+// syscalls std links but does not expose; each opts in explicitly with
+// `#[allow(unsafe_code)]`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod clock;
 pub mod driver;
 // The evented driver registers raw fds (`std::os::fd`), a Unix-only
@@ -67,10 +78,15 @@ pub mod mux;
 pub mod pacing;
 pub mod proto;
 pub mod receiver;
+#[cfg(unix)]
+pub mod receiver_evented;
 pub mod sender;
 
+pub use batch::UdpRecvBatch;
 pub use driver::SocketDriver;
 #[cfg(unix)]
 pub use evented::{EventedSession, SessionTokens};
 pub use receiver::{AcceptBackoff, Receiver};
+#[cfg(unix)]
+pub use receiver_evented::{EventedReceiver, EventedReceiverHandle};
 pub use sender::SocketTransport;

@@ -25,7 +25,7 @@
 
 use crate::clock::MonoClock;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::io;
 use std::time::Duration;
 use telemetry::{Counter, Histogram};
@@ -287,14 +287,29 @@ impl Poller {
 
 /// A queue of one-shot deadline timers on a [`MonoClock`] timeline.
 ///
-/// Entries are `(deadline, token)`; ties expire in arming order. There is
-/// no cancel — callers that stop caring about a timer simply ignore its
-/// token when it fires (lazy cancellation), which keeps the queue a plain
-/// binary heap.
+/// Entries are `(deadline, token)`; ties expire in arming order. Entries
+/// may optionally carry a nonzero *generation* ([`TimerQueue::arm_with_generation`]):
+/// [`TimerQueue::cancel_generation`] then cancels every entry of that
+/// generation armed so far, without touching entries armed afterwards —
+/// so a generation number can be reused across a session's lifetime.
+/// Cancelled entries are reaped lazily as pops walk past them; the
+/// bookkeeping (per-generation live counts and a cancel horizon) is
+/// dropped as soon as a generation has no entries left in the heap, so
+/// memory stays bounded by the number of pending entries.
+///
+/// Plain [`TimerQueue::arm`] entries have generation 0 and cannot be
+/// cancelled — callers that stop caring simply ignore the token when it
+/// fires (lazy cancellation), which keeps the pacing hot path free of
+/// hash-map traffic.
 #[derive(Debug, Default)]
 pub struct TimerQueue {
-    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    heap: BinaryHeap<Reverse<(u64, u64, u64, u64)>>,
     seq: u64,
+    /// generation → number of its entries still in the heap.
+    live: HashMap<u64, u64>,
+    /// generation → cancel horizon: entries with `seq <= horizon` are
+    /// cancelled; entries armed later (larger seq) are not.
+    cancelled: HashMap<u64, u64>,
 }
 
 impl TimerQueue {
@@ -304,15 +319,37 @@ impl TimerQueue {
     }
 
     /// Arm a one-shot timer for `deadline_ns` (clock nanoseconds) carrying
-    /// `token`.
+    /// `token`. The entry has generation 0: it cannot be cancelled.
     pub fn arm(&mut self, deadline_ns: u64, token: u64) {
-        self.seq += 1;
-        self.heap.push(Reverse((deadline_ns, self.seq, token)));
+        self.arm_with_generation(deadline_ns, token, 0);
     }
 
-    /// The earliest pending deadline, if any.
+    /// Arm a one-shot timer carrying `token` under `generation` (nonzero
+    /// to make it cancellable via [`TimerQueue::cancel_generation`];
+    /// generation 0 is the uncancellable default of [`TimerQueue::arm`]).
+    pub fn arm_with_generation(&mut self, deadline_ns: u64, token: u64, generation: u64) {
+        self.seq += 1;
+        if generation != 0 {
+            *self.live.entry(generation).or_insert(0) += 1;
+        }
+        self.heap
+            .push(Reverse((deadline_ns, self.seq, token, generation)));
+    }
+
+    /// Cancel every entry of `generation` armed so far. Entries armed
+    /// *after* this call under the same generation are unaffected. A
+    /// no-op for generation 0 or a generation with nothing pending.
+    pub fn cancel_generation(&mut self, generation: u64) {
+        if generation != 0 && self.live.contains_key(&generation) {
+            self.cancelled.insert(generation, self.seq);
+        }
+    }
+
+    /// The earliest pending deadline, if any. Conservative: a
+    /// not-yet-reaped cancelled entry may be reported (waking early is
+    /// harmless; the pop then skips it).
     pub fn next_deadline(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse((d, _, _))| *d)
+        self.heap.peek().map(|Reverse((d, _, _, _))| *d)
     }
 
     /// Pop the earliest timer if it has expired by `now_ns`.
@@ -322,23 +359,47 @@ impl TimerQueue {
 
     /// Like [`TimerQueue::pop_expired`], but also reports the deadline the
     /// timer was armed for — the event loop uses `now − deadline` as its
-    /// timer-lag sample.
+    /// timer-lag sample. Cancelled entries are reaped silently on the way.
     pub fn pop_expired_at(&mut self, now_ns: u64) -> Option<(u64, u64)> {
-        match self.heap.peek() {
-            Some(Reverse((d, _, _))) if *d <= now_ns => {
-                let Reverse((deadline, _, token)) = self.heap.pop().expect("peeked");
-                Some((token, deadline))
+        loop {
+            match self.heap.peek() {
+                Some(Reverse((d, _, _, _))) if *d <= now_ns => {
+                    let Reverse((deadline, seq, token, generation)) =
+                        self.heap.pop().expect("peeked");
+                    if generation != 0 && !self.reap(seq, generation) {
+                        continue; // cancelled: skip silently
+                    }
+                    return Some((token, deadline));
+                }
+                _ => return None,
             }
-            _ => None,
         }
     }
 
-    /// Number of pending timers.
+    /// Bookkeeping for a popped entry of a nonzero generation. Returns
+    /// false when the entry was cancelled.
+    fn reap(&mut self, seq: u64, generation: u64) -> bool {
+        let alive = self
+            .cancelled
+            .get(&generation)
+            .is_none_or(|&horizon| seq > horizon);
+        if let Some(count) = self.live.get_mut(&generation) {
+            *count -= 1;
+            if *count == 0 {
+                self.live.remove(&generation);
+                self.cancelled.remove(&generation);
+            }
+        }
+        alive
+    }
+
+    /// Number of entries still in the heap (cancelled entries count until
+    /// a pop walks past them).
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True when no timers are pending.
+    /// True when no entries remain in the heap.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -418,10 +479,24 @@ impl EventLoop {
         self.poller.remove(fd)
     }
 
-    /// Arm a one-shot timer at `deadline_ns` on the loop's clock. There is
-    /// no cancel: ignore the token when it no longer matters.
+    /// Arm a one-shot timer at `deadline_ns` on the loop's clock. The
+    /// entry is uncancellable (generation 0): ignore the token when it no
+    /// longer matters.
     pub fn arm_timer(&mut self, deadline_ns: u64, token: u64) {
         self.timers.arm(deadline_ns, token);
+    }
+
+    /// Arm a one-shot timer under a nonzero `generation`, cancellable via
+    /// [`EventLoop::cancel_timer_generation`].
+    pub fn arm_timer_with_generation(&mut self, deadline_ns: u64, token: u64, generation: u64) {
+        self.timers
+            .arm_with_generation(deadline_ns, token, generation);
+    }
+
+    /// Cancel every timer armed so far under `generation` (see
+    /// [`TimerQueue::cancel_generation`]).
+    pub fn cancel_timer_generation(&mut self, generation: u64) {
+        self.timers.cancel_generation(generation);
     }
 
     /// Pending timer count (diagnostics).
@@ -504,6 +579,29 @@ mod tests {
         assert_eq!(q.pop_expired(1_000), Some(9));
         assert_eq!(q.pop_expired(1_000), Some(3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_generation_skips_pending_entries_but_not_later_arms() {
+        let mut q = TimerQueue::new();
+        q.arm_with_generation(100, 1, 7);
+        q.arm_with_generation(200, 2, 7);
+        q.arm_with_generation(150, 3, 8);
+        q.cancel_generation(7);
+        // Generation reuse: armed after the cancel, so it survives.
+        q.arm_with_generation(300, 4, 7);
+        assert_eq!(q.pop_expired(1_000), Some(3), "gen 8 untouched");
+        assert_eq!(q.pop_expired(1_000), Some(4), "post-cancel arm fires");
+        assert_eq!(q.pop_expired(1_000), None);
+        assert!(q.is_empty(), "cancelled entries reaped by the pops");
+    }
+
+    #[test]
+    fn cancel_generation_zero_is_a_no_op() {
+        let mut q = TimerQueue::new();
+        q.arm(50, 1);
+        q.cancel_generation(0);
+        assert_eq!(q.pop_expired(60), Some(1));
     }
 
     #[cfg(target_os = "linux")]

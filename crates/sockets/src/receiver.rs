@@ -52,8 +52,10 @@ struct Arrival {
 type Registry = Mutex<HashMap<u64, SyncSender<Arrival>>>;
 
 /// How long a collector waits on its channel per wakeup (also bounds how
-/// fast the demux thread notices shutdown).
-const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+/// fast the demux thread notices shutdown). The evented receiver uses the
+/// same period for its collection-check timers, so both shapes notice
+/// silence windows and deadlines at the same cadence.
+pub(crate) const POLL_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// Bound on a session's collector channel. Far above any stream or train
 /// the sender announces (default stream length is 100 packets), so a
@@ -74,19 +76,19 @@ pub const MAX_ANNOUNCE_COUNT: u32 = 1 << 16;
 /// A stream whose nominal duration has passed is considered over after
 /// this much silence (covers a lost or reordered final packet without
 /// waiting out the full deadline).
-const STREAM_SILENCE_NS: u64 = 200_000_000;
+pub(crate) const STREAM_SILENCE_NS: u64 = 200_000_000;
 
 /// A back-to-back train is considered over after this much silence.
-const TRAIN_SILENCE_NS: u64 = 50_000_000;
+pub(crate) const TRAIN_SILENCE_NS: u64 = 50_000_000;
 
 /// A session whose collections have dropped at least this many datagrams
 /// (duplicates, malformed indices) earns a stderr warning — silent loss of
 /// this magnitude usually means a broken sender or a duplicating path.
-const DROP_WARN_THRESHOLD: u64 = 32;
+pub(crate) const DROP_WARN_THRESHOLD: u64 = 32;
 
 /// Minimum spacing between drop warnings across all sessions, so a flood
 /// of duplicates cannot turn the log into its own flood.
-const DROP_WARN_INTERVAL_NS: u64 = 5_000_000_000;
+pub(crate) const DROP_WARN_INTERVAL_NS: u64 = 5_000_000_000;
 
 /// Route/drop accounting for the shared demux thread and the per-session
 /// collectors. Dropping a datagram is often *by design* here (stale
@@ -94,24 +96,57 @@ const DROP_WARN_INTERVAL_NS: u64 = 5_000_000_000;
 /// counters make the by-design drops visible instead of silent. Handles
 /// are created at [`Receiver::bind`] time and can be attached to any
 /// [`telemetry::Registry`] later via [`Receiver::register_metrics`].
+///
+/// The evented receiver shares this struct (and [`RecvCounters::register`])
+/// so both receiver shapes expose the exact same metric families — the
+/// structural-equivalence test pins that.
 #[derive(Clone, Debug, Default)]
-struct RecvCounters {
+pub(crate) struct RecvCounters {
     /// Datagrams routed to a live session's collector.
-    routed: Counter,
+    pub(crate) routed: Counter,
     /// Datagrams carrying a token no live session owns (stale session,
     /// never issued, foreign).
-    drop_unknown_token: Counter,
+    pub(crate) drop_unknown_token: Counter,
     /// Datagrams dropped because the owning session's collector channel
     /// was full (flood protection; reads as loss to the session).
-    drop_collector_full: Counter,
+    pub(crate) drop_collector_full: Counter,
     /// Stream/train packets discarded by a collector: duplicated datagram
     /// or out-of-range index.
-    drop_dedup: Counter,
+    pub(crate) drop_dedup: Counter,
     /// Collections ended by the silence window instead of a complete
     /// arrival set (the missing tail is treated as lost).
-    silence_stops: Counter,
+    pub(crate) silence_stops: Counter,
     /// Control connections refused with `Deny` at the session cap.
-    denied: Counter,
+    pub(crate) denied: Counter,
+}
+
+impl RecvCounters {
+    /// Register every family under its canonical name (both receiver
+    /// shapes go through here, so the families can never drift apart).
+    pub(crate) fn register(&self, reg: &telemetry::Registry) {
+        reg.register_counter("receiver_demux_routed_total", &[], self.routed.clone());
+        reg.register_counter(
+            "receiver_demux_drops_total",
+            &[("reason", "unknown_token")],
+            self.drop_unknown_token.clone(),
+        );
+        reg.register_counter(
+            "receiver_demux_drops_total",
+            &[("reason", "collector_full")],
+            self.drop_collector_full.clone(),
+        );
+        reg.register_counter(
+            "receiver_demux_drops_total",
+            &[("reason", "dedup")],
+            self.drop_dedup.clone(),
+        );
+        reg.register_counter(
+            "receiver_collect_silence_stops_total",
+            &[],
+            self.silence_stops.clone(),
+        );
+        reg.register_counter("receiver_sessions_denied_total", &[], self.denied.clone());
+    }
 }
 
 fn lock_registry(reg: &Registry) -> MutexGuard<'_, HashMap<u64, SyncSender<Arrival>>> {
@@ -153,7 +188,10 @@ impl Receiver {
     /// demux thread routing its datagrams starts here and runs until the
     /// receiver is dropped.
     pub fn bind(addr: SocketAddr) -> io::Result<Receiver> {
-        let listener = TcpListener::bind(addr)?;
+        // SO_REUSEADDR: a restarted receiver daemon rebinds its control
+        // port immediately even while the previous incarnation's accepted
+        // sockets linger in TIME_WAIT (see `batch::bind_reuse`).
+        let listener = crate::batch::bind_reuse(addr)?;
         let mut udp_addr = listener.local_addr()?;
         udp_addr.set_port(0);
         let udp = UdpSocket::bind(udp_addr)?;
@@ -210,29 +248,7 @@ impl Receiver {
     /// [`Receiver::bind`] on; registering merely names them. Safe to call
     /// any number of times, on any number of registries.
     pub fn register_metrics(&self, reg: &telemetry::Registry) {
-        let c = &self.shared.counters;
-        reg.register_counter("receiver_demux_routed_total", &[], c.routed.clone());
-        reg.register_counter(
-            "receiver_demux_drops_total",
-            &[("reason", "unknown_token")],
-            c.drop_unknown_token.clone(),
-        );
-        reg.register_counter(
-            "receiver_demux_drops_total",
-            &[("reason", "collector_full")],
-            c.drop_collector_full.clone(),
-        );
-        reg.register_counter(
-            "receiver_demux_drops_total",
-            &[("reason", "dedup")],
-            c.drop_dedup.clone(),
-        );
-        reg.register_counter(
-            "receiver_collect_silence_stops_total",
-            &[],
-            c.silence_stops.clone(),
-        );
-        reg.register_counter("receiver_sessions_denied_total", &[], c.denied.clone());
+        self.shared.counters.register(reg);
     }
 
     /// Serve exactly one sender session (blocking), then return. Other
@@ -650,7 +666,7 @@ fn drain(arrivals: &ChanReceiver<Arrival>) {
 /// would make the receiver allocate absurd per-stream state (see
 /// [`MAX_ANNOUNCE_COUNT`]). The offending session is closed with a
 /// protocol error; other sessions are unaffected.
-fn check_count(count: u32) -> io::Result<()> {
+pub(crate) fn check_count(count: u32) -> io::Result<()> {
     if count > MAX_ANNOUNCE_COUNT {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

@@ -26,6 +26,8 @@ use availbw::monitord::{
 };
 use availbw::pathload_net::clock::MonoClock;
 use availbw::pathload_net::mux::{EventLoop, MuxEvent};
+#[cfg(target_os = "linux")]
+use availbw::pathload_net::{EventedReceiver, EventedReceiverHandle};
 use availbw::pathload_net::{EventedSession, Receiver, SessionTokens, SocketTransport};
 use availbw::slops::series::RangeSample;
 use availbw::slops::SlopsConfig;
@@ -402,6 +404,172 @@ fn thread_and_async_drivers_relay_the_same_machine_trace() {
             let count: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
             assert!(count > 0, "path p{p} paced no packets");
         }
+    }
+}
+
+/// One far end of a fleet run: a threaded receiver thread or an evented
+/// receiver handle.
+#[cfg(target_os = "linux")]
+enum FarEnd {
+    Threaded(thread::JoinHandle<std::io::Result<()>>),
+    Evented(EventedReceiverHandle),
+}
+
+/// Run one async-driver fleet against either receiver shape, with the
+/// receiver's metrics registered on the fleet's registry. Returns the
+/// per-path samples, the JSONL sample lines, and the registry's
+/// Prometheus snapshot.
+#[cfg(target_os = "linux")]
+fn run_fleet_against_receiver(
+    evented: bool,
+    n: usize,
+    sched: &ScheduleConfig,
+    horizon: TimeNs,
+) -> (Vec<Vec<RangeSample>>, Vec<String>, String) {
+    let telemetry = FleetTelemetry::new();
+    let (addr, far_end) = if evented {
+        let rx = EventedReceiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        rx.register_metrics(telemetry.registry());
+        let handle = rx.spawn();
+        (handle.ctrl_addr(), FarEnd::Evented(handle))
+    } else {
+        let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        rx.register_metrics(telemetry.registry());
+        let addr = rx.ctrl_addr();
+        (addr, FarEnd::Threaded(thread::spawn(move || rx.serve_n(n))))
+    };
+    let specs: Vec<SocketPathSpec> = (0..n)
+        .map(|i| SocketPathSpec {
+            label: format!("p{i}"),
+            ctrl_addr: addr,
+            cfg: gentle_cfg(),
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        })
+        .collect();
+    let mut lines = Vec::new();
+    let series = run_socket_fleet_async_with_telemetry(
+        specs,
+        sched,
+        &SeriesConfig::default(),
+        horizon,
+        &ShutdownFlag::new(),
+        Some(&telemetry),
+        |ev| match ev {
+            FleetEvent::Sample {
+                path,
+                label,
+                sample,
+            } => lines.push(sample_line(path, label, &sample)),
+            FleetEvent::Failed { path, error, .. } => {
+                panic!("path {path} failed on loopback: {error}")
+            }
+            FleetEvent::Change { .. } => {}
+        },
+    )
+    .unwrap();
+    match far_end {
+        FarEnd::Threaded(h) => h.join().unwrap().unwrap(),
+        FarEnd::Evented(h) => h.stop().unwrap(),
+    }
+    let samples = series
+        .iter()
+        .map(|s| s.samples().copied().collect())
+        .collect();
+    (samples, lines, telemetry.registry().render_prometheus())
+}
+
+/// The `receiver_*` metric family names of one Prometheus snapshot.
+#[cfg(target_os = "linux")]
+fn receiver_families(text: &str) -> std::collections::BTreeSet<String> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && l.starts_with("receiver_"))
+        .map(|l| {
+            l.split(['{', ' '])
+                .next()
+                .expect("metric line has a name")
+                .to_string()
+        })
+        .collect()
+}
+
+/// Threaded-vs-evented **receiver** structural equivalence: the same
+/// 32-path async fleet (same seed, schedule, configs) runs against both
+/// receiver shapes. The far end must be interchangeable: per-path sample
+/// counts equal, every path measured, one uniform JSONL schema across
+/// both runs, and the demux metric surface identical — the same six
+/// `receiver_demux_*`/`receiver_collect_*`/`receiver_sessions_denied_total`
+/// families with routed traffic in both. (Estimates are not compared:
+/// real sockets are nondeterministic.)
+#[cfg(target_os = "linux")]
+#[test]
+fn threaded_and_evented_receivers_are_structurally_equivalent() {
+    let _serial = serialized();
+    const N: usize = 32;
+    let sched = ScheduleConfig {
+        period: TimeNs::from_secs(5),
+        jitter: TimeNs::from_millis(200),
+        max_concurrent: 8,
+        seed: 7,
+    };
+    let horizon = TimeNs::from_secs(6);
+    let (t_samples, t_lines, t_text) = run_fleet_against_receiver(false, N, &sched, horizon);
+    let (e_samples, e_lines, e_text) = run_fleet_against_receiver(true, N, &sched, horizon);
+
+    // Same per-path sample counts, every path measured.
+    let counts = |s: &Vec<Vec<RangeSample>>| s.iter().map(|p| p.len()).collect::<Vec<_>>();
+    assert_eq!(
+        counts(&t_samples),
+        counts(&e_samples),
+        "receiver shapes yielded different sample counts"
+    );
+    for (p, samples) in t_samples.iter().enumerate() {
+        assert!(!samples.is_empty(), "path {p} was never measured");
+    }
+
+    // One uniform JSONL schema across both runs.
+    let keys = |line: &String| {
+        parse_flat_json(line)
+            .unwrap_or_else(|| panic!("bad JSONL: {line}"))
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect::<Vec<_>>()
+    };
+    let t_keys: Vec<_> = t_lines.iter().map(keys).collect();
+    let e_keys: Vec<_> = e_lines.iter().map(keys).collect();
+    assert!(!t_keys.is_empty() && !e_keys.is_empty());
+    for k in t_keys.iter().chain(e_keys.iter()) {
+        assert_eq!(*k, t_keys[0], "JSONL schema diverged between receivers");
+    }
+
+    // Identical demux metric surface. The evented receiver may add
+    // families of its own (sessions gauge, batch-size histogram) but the
+    // shared demux/collect/deny vocabulary must match exactly.
+    const DEMUX: [&str; 4] = [
+        "receiver_demux_routed_total",
+        "receiver_demux_drops_total",
+        "receiver_collect_silence_stops_total",
+        "receiver_sessions_denied_total",
+    ];
+    let t_families = receiver_families(&t_text);
+    let e_families = receiver_families(&e_text);
+    for family in DEMUX {
+        assert!(t_families.contains(family), "threaded run lost {family}");
+        assert!(e_families.contains(family), "evented run lost {family}");
+    }
+    assert!(
+        t_families.is_subset(&e_families),
+        "evented receiver dropped families the threaded one exposes: \
+         {t_families:?} vs {e_families:?}"
+    );
+    // Both shapes actually routed probe traffic through the demux path.
+    for (who, text) in [("threaded", &t_text), ("evented", &e_text)] {
+        let routed: u64 = text
+            .lines()
+            .find(|l| l.starts_with("receiver_demux_routed_total"))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse().expect("counter value"))
+            .unwrap_or_else(|| panic!("{who}: no routed counter line"));
+        assert!(routed > 0, "{who} receiver routed nothing");
     }
 }
 

@@ -8,7 +8,13 @@
 //! the collection semantics directly (de-duplication on index, no stall
 //! on a lost final packet, stale tokens dropped).
 
+#[cfg(target_os = "linux")]
+use availbw::monitord::{
+    run_socket_fleet_async, FleetEvent, ScheduleConfig, SeriesConfig, SocketPathSpec,
+};
 use availbw::pathload_net::proto::{CtrlMsg, ProbeKind, ProbePacket, PROTO_VERSION};
+#[cfg(target_os = "linux")]
+use availbw::pathload_net::EventedReceiver;
 use availbw::pathload_net::{Receiver, SocketTransport};
 use availbw::slops::{stream_params, Estimate, ProbeTransport, Session, SlopsConfig};
 use availbw::units::{Rate, TimeNs};
@@ -227,17 +233,12 @@ impl RawClient {
     }
 }
 
-/// Duplicated and reordered datagrams are collected once each, and a
-/// stream missing packets (including a hole in the middle) terminates
-/// after a short silence window instead of stalling for the multi-second
-/// deadline — the regression test for the seed's double-count/stall bug
-/// cluster in `collect_stream`.
-#[test]
-fn duplicate_datagrams_are_deduplicated_and_losses_do_not_stall() {
-    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-    let addr = rx.ctrl_addr();
-    let server = thread::spawn(move || rx.serve_n(1));
-
+/// The duplicate/reorder/loss injection scenario, against whichever
+/// receiver listens on `addr`: duplicated and reordered datagrams are
+/// collected once each, and a stream missing packets (including a hole
+/// in the middle) terminates after a short silence window instead of
+/// stalling for the multi-second deadline.
+fn dedup_case(addr: SocketAddr) {
     let mut client = RawClient::connect(addr);
     const ID: u32 = 9;
     const COUNT: u32 = 20;
@@ -284,7 +285,32 @@ fn duplicate_datagrams_are_deduplicated_and_losses_do_not_stall() {
     );
 
     client.bye();
+}
+
+/// Duplicated and reordered datagrams are collected once each, and a
+/// stream missing packets (including a hole in the middle) terminates
+/// after a short silence window instead of stalling for the multi-second
+/// deadline — the regression test for the seed's double-count/stall bug
+/// cluster in `collect_stream`.
+#[test]
+fn duplicate_datagrams_are_deduplicated_and_losses_do_not_stall() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(1));
+    dedup_case(addr);
     server.join().unwrap().unwrap();
+}
+
+/// The same injected byte sequence against the **evented** receiver's
+/// inline demux: identical dedup, loss-tolerance, and silence-window
+/// semantics.
+#[cfg(target_os = "linux")]
+#[test]
+fn evented_receiver_deduplicates_and_does_not_stall() {
+    let rx = EventedReceiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let handle = rx.spawn();
+    dedup_case(handle.ctrl_addr());
+    handle.stop().unwrap();
 }
 
 /// Token recycling across receiver **restarts**: a restarted receiver
@@ -389,15 +415,11 @@ fn dead_receiver_mid_session_yields_a_clean_restart_error() {
     server.join().unwrap();
 }
 
-/// Probe datagrams carrying a stale token (a finished session's) or a
-/// never-issued token are dropped by the demux, not collected into a live
-/// session — even when id, kind, and indices match the live stream.
-#[test]
-fn stale_session_probe_packets_are_dropped() {
-    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
-    let addr = rx.ctrl_addr();
-    let server = thread::spawn(move || rx.serve_n(2));
-
+/// The stale-token injection scenario, against whichever receiver
+/// listens on `addr`: datagrams carrying a finished session's token or a
+/// never-issued token are dropped by the demux, never collected into a
+/// live session.
+fn stale_case(addr: SocketAddr) {
     // Session 1 connects and leaves: its token is now stale.
     let t1 = SocketTransport::connect(addr).unwrap();
     let stale = t1.session();
@@ -430,5 +452,207 @@ fn stale_session_probe_packets_are_dropped() {
     }
 
     client.bye();
+}
+
+/// Probe datagrams carrying a stale token (a finished session's) or a
+/// never-issued token are dropped by the demux, not collected into a live
+/// session — even when id, kind, and indices match the live stream.
+#[test]
+fn stale_session_probe_packets_are_dropped() {
+    let rx = Receiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = rx.ctrl_addr();
+    let server = thread::spawn(move || rx.serve_n(2));
+    stale_case(addr);
     server.join().unwrap().unwrap();
+}
+
+/// The same stale-token injection against the **evented** receiver's
+/// inline demux: unknown tokens never reach a live collection.
+#[cfg(target_os = "linux")]
+#[test]
+fn evented_receiver_drops_stale_session_probe_packets() {
+    let rx = EventedReceiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let handle = rx.spawn();
+    stale_case(handle.ctrl_addr());
+    handle.stop().unwrap();
+}
+
+/// One batching-correctness run: an evented receiver pinned to either
+/// the scalar or the `recvmmsg` receive path, fed a fixed injected
+/// sequence (per index: one unknown-token datagram, the real packet, a
+/// duplicate). Returns the collected `(idx, send_ns)` pairs and every
+/// `receiver_demux_*` counter.
+#[cfg(target_os = "linux")]
+#[allow(clippy::type_complexity)]
+fn batching_run(scalar: bool) -> (Vec<(u32, u64)>, Vec<(String, u64)>) {
+    let reg = availbw::telemetry::Registry::new();
+    let rx = EventedReceiver::bind("127.0.0.1:0".parse().unwrap())
+        .unwrap()
+        .with_scalar_recv(scalar);
+    rx.register_metrics(&reg);
+    let handle = rx.spawn();
+    let mut client = RawClient::connect(handle.ctrl_addr());
+    const ID: u32 = 12;
+    const COUNT: u32 = 24;
+    client.announce_stream(ID, COUNT, 1_000_000);
+    let unknown = client.session.wrapping_add(0x5AA5);
+    for idx in 0..COUNT {
+        client.send_probe(unknown, ID, idx, 0xBAD);
+        client.send_probe(client.session, ID, idx, 1_000 + idx as u64);
+        client.send_probe(client.session, ID, idx, 1_000 + idx as u64); // duplicate
+    }
+    let samples = client.read_report(ID);
+    client.bye();
+    // The duplicate of the final (completing) index lands after the
+    // report is queued; give it time to be counted before scraping.
+    thread::sleep(Duration::from_millis(200));
+    let text = reg.render_prometheus();
+    handle.stop().unwrap();
+    let mut counters: Vec<(String, u64)> = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && l.starts_with("receiver_demux_"))
+        .map(|l| {
+            let (key, value) = l.rsplit_once(' ').expect("metric line has a value");
+            (key.to_string(), value.parse().expect("counter value"))
+        })
+        .collect();
+    counters.sort();
+    let mut collected: Vec<(u32, u64)> = samples.iter().map(|s| (s.idx, s.send_ns)).collect();
+    collected.sort_unstable();
+    (collected, counters)
+}
+
+/// **Batching correctness:** the `recvmmsg` path and the scalar fallback
+/// route a byte-identical injected sequence — unknown tokens, in-order
+/// packets, duplicates, including a duplicate arriving after the
+/// collection completed — to identical per-session collections and
+/// identical `receiver_demux_*` counters, with the absolute values
+/// pinned: 48 routed (24 real + 24 duplicates), 24 unknown-token drops,
+/// 23 dedup drops (the final index's duplicate lands post-completion and
+/// is discarded by the idle session, not the dedup check).
+#[cfg(target_os = "linux")]
+#[test]
+fn batched_and_scalar_datapaths_route_identically() {
+    let (scalar_samples, scalar_counters) = batching_run(true);
+    let (batched_samples, batched_counters) = batching_run(false);
+    assert_eq!(
+        scalar_samples, batched_samples,
+        "the two receive paths collected different samples"
+    );
+    assert_eq!(
+        scalar_counters, batched_counters,
+        "the two receive paths counted differently"
+    );
+    let expected: Vec<(u32, u64)> = (0..24).map(|i| (i, 1_000 + i as u64)).collect();
+    assert_eq!(scalar_samples, expected, "wrong collection");
+    let value = |needle: &str| {
+        scalar_counters
+            .iter()
+            .find(|(k, _)| k.contains(needle))
+            .unwrap_or_else(|| panic!("no {needle} counter"))
+            .1
+    };
+    assert_eq!(value("routed_total"), 48);
+    assert_eq!(value("unknown_token"), 24);
+    assert_eq!(value("dedup"), 23);
+}
+
+/// **Fault injection, whole-fleet:** kill and restart a receiver while an
+/// async-driver fleet is mid-run. The path pointed at the restarted
+/// receiver loses its session (counted as measurement errors), re-dials
+/// at its next scheduled start — fresh `Hello`, fresh token, no operator
+/// action — and completes more samples afterwards. A path pointed at a
+/// receiver that stays up never notices.
+#[cfg(target_os = "linux")]
+#[test]
+fn receiver_restart_mid_fleet_redials_at_the_next_scheduled_start() {
+    let gentle = {
+        let mut cfg = SlopsConfig::default();
+        cfg.stream_len = 20;
+        cfg.fleet_len = 3;
+        cfg.min_period = TimeNs::from_millis(1);
+        cfg.resolution = Rate::from_mbps(10.0);
+        cfg.grey_resolution = Rate::from_mbps(20.0);
+        cfg.max_fleets = 4;
+        cfg
+    };
+    // Receiver A will be killed and rebound on the SAME address
+    // (SO_REUSEADDR carries it through TIME_WAIT); receiver B stays up.
+    let rx_a = EventedReceiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let handle_a = rx_a.spawn();
+    let addr_a = handle_a.ctrl_addr();
+    let rx_b = EventedReceiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let handle_b = rx_b.spawn();
+    let addr_b = handle_b.ctrl_addr();
+
+    // The saboteur: on signal, stop A and bring up a fresh incarnation on
+    // the same address — a daemon restart as the fleet sees it.
+    let (signal, armed) = std::sync::mpsc::channel::<()>();
+    let saboteur = thread::spawn(move || {
+        armed.recv().expect("restart signal");
+        handle_a.stop().expect("receiver A stops cleanly");
+        let rx = EventedReceiver::bind(addr_a).expect("rebind through TIME_WAIT");
+        rx.spawn()
+    });
+
+    let specs = vec![
+        SocketPathSpec {
+            label: "restarted".into(),
+            ctrl_addr: addr_a,
+            cfg: gentle.clone(),
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        },
+        SocketPathSpec {
+            label: "stable".into(),
+            ctrl_addr: addr_b,
+            cfg: gentle,
+            rate_cap: Some(Rate::from_mbps(RATE_CAP_MBPS)),
+        },
+    ];
+    let sched = ScheduleConfig {
+        period: TimeNs::from_secs(2),
+        jitter: TimeNs::ZERO,
+        max_concurrent: 2,
+        seed: 11,
+    };
+    let mut signalled = false;
+    let series = run_socket_fleet_async(
+        specs,
+        &sched,
+        &SeriesConfig::default(),
+        TimeNs::from_secs(12),
+        |ev| {
+            // The moment path 0 lands its first sample, pull receiver A
+            // out from under it.
+            if let FleetEvent::Sample { path: 0, .. } = ev {
+                if !signalled {
+                    signalled = true;
+                    signal.send(()).expect("saboteur alive");
+                }
+            }
+        },
+    )
+    .unwrap();
+    let handle_a2 = saboteur.join().expect("saboteur thread");
+
+    assert!(signalled, "path 0 never landed its pre-restart sample");
+    assert!(
+        series[0].len() >= 2,
+        "no post-restart sample: the path never re-dialed ({} samples, {} errors)",
+        series[0].len(),
+        series[0].errors()
+    );
+    assert!(
+        series[0].errors() >= 1,
+        "killing the receiver mid-run must surface at least one error"
+    );
+    assert_eq!(
+        series[1].errors(),
+        0,
+        "the stable path must never notice the other receiver's restart"
+    );
+    assert!(!series[1].is_empty(), "the stable path was never measured");
+
+    handle_a2.stop().unwrap();
+    handle_b.stop().unwrap();
 }

@@ -1,0 +1,146 @@
+//! Soak: one `EventedReceiver` thread holding **thousands** of live
+//! sessions while a measurement fleet runs through the same shared UDP
+//! datapath.
+//!
+//! This is the scale pin for the one-thread far end: ≥4096 concurrent
+//! control sessions (each minted its own token at `Hello`), the
+//! `receiver_sessions` gauge reading the full population, arbitrary
+//! sessions still responsive to `Echo` under that load, and a concurrent
+//! async-driver fleet completing real measurements with its per-path
+//! `pacing_error_ns{path}` histograms populated — the same quantiles a
+//! `--metrics` scrape of a production daemon serves.
+//!
+//! Ignored by default: it needs ~8200 file descriptors (raise `ulimit
+//! -n`) and several wall-clock seconds. The CI soak job runs it with
+//! `cargo test --release -q --test socket_soak -- --ignored`.
+
+#![cfg(target_os = "linux")]
+
+use availbw::monitord::{
+    run_socket_fleet_async_with_telemetry, FleetEvent, FleetTelemetry, ScheduleConfig,
+    SeriesConfig, ShutdownFlag, SocketPathSpec,
+};
+use availbw::pathload_net::proto::{CtrlMsg, PROTO_VERSION};
+use availbw::pathload_net::EventedReceiver;
+use availbw::slops::SlopsConfig;
+use availbw::units::{Rate, TimeNs};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const SESSIONS: usize = 4096;
+const FLEET: usize = 4;
+
+fn gentle_cfg() -> SlopsConfig {
+    let mut cfg = SlopsConfig::default();
+    cfg.stream_len = 20;
+    cfg.fleet_len = 3;
+    cfg.min_period = TimeNs::from_millis(1);
+    cfg.resolution = Rate::from_mbps(10.0);
+    cfg.grey_resolution = Rate::from_mbps(20.0);
+    cfg.max_fleets = 4;
+    cfg
+}
+
+/// The value of the first sample line of `family` in a Prometheus
+/// snapshot.
+fn scrape(text: &str, family: &str) -> i64 {
+    text.lines()
+        .find(|l| l.starts_with(family) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit_once(' '))
+        .map(|(_, v)| v.parse().expect("metric value"))
+        .unwrap_or_else(|| panic!("no {family} line in scrape"))
+}
+
+#[test]
+#[ignore = "soak: ≥4096 concurrent sessions, ~8200 fds; run via the CI soak job"]
+fn evented_receiver_sustains_4096_sessions_on_one_thread() {
+    let telemetry = FleetTelemetry::new();
+    let rx = EventedReceiver::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    rx.register_metrics(telemetry.registry());
+    let handle = rx.spawn();
+    let addr = handle.ctrl_addr();
+
+    // Fill the far end: 4096 control connections, each a full session
+    // (Hello read and version-checked), all held open.
+    let mut held = Vec::with_capacity(SESSIONS);
+    for i in 0..SESSIONS {
+        let mut ctrl = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("connect {i}/{SESSIONS}: {e} (raise ulimit -n?)"));
+        ctrl.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        match CtrlMsg::read_from(&mut ctrl) {
+            Ok(CtrlMsg::Hello { version, .. }) => assert_eq!(version, PROTO_VERSION),
+            other => panic!("session {i}: expected Hello, got {other:?}"),
+        }
+        held.push(ctrl);
+    }
+
+    // The sessions gauge reads the full population.
+    let live = scrape(
+        &telemetry.registry().render_prometheus(),
+        "receiver_sessions ",
+    );
+    assert!(
+        live >= SESSIONS as i64,
+        "receiver_sessions gauge reads {live}, want >= {SESSIONS}"
+    );
+
+    // Arbitrary sessions are still responsive under the load.
+    for (i, ctrl) in held.iter_mut().enumerate().step_by(512) {
+        CtrlMsg::Echo { token: i as u64 }.write_to(ctrl).unwrap();
+        match CtrlMsg::read_from(ctrl).unwrap() {
+            CtrlMsg::Echo { token } => assert_eq!(token, i as u64),
+            other => panic!("session {i}: expected Echo, got {other:?}"),
+        }
+    }
+
+    // A real measurement fleet runs through the same receiver while the
+    // 4096 idle sessions sit on it.
+    let specs: Vec<SocketPathSpec> = (0..FLEET)
+        .map(|i| SocketPathSpec {
+            label: format!("soak{i}"),
+            ctrl_addr: addr,
+            cfg: gentle_cfg(),
+            rate_cap: Some(Rate::from_mbps(30.0)),
+        })
+        .collect();
+    let sched = ScheduleConfig {
+        period: TimeNs::from_secs(2),
+        jitter: TimeNs::from_millis(100),
+        max_concurrent: 2,
+        seed: 5,
+    };
+    let series = run_socket_fleet_async_with_telemetry(
+        specs,
+        &sched,
+        &SeriesConfig::default(),
+        TimeNs::from_secs(6),
+        &ShutdownFlag::new(),
+        Some(&telemetry),
+        |ev| {
+            if let FleetEvent::Failed { path, error, .. } = ev {
+                panic!("path {path} failed under soak load: {error}");
+            }
+        },
+    )
+    .unwrap();
+    for s in &series {
+        assert!(!s.is_empty(), "{}: never measured under load", s.label());
+        assert_eq!(s.errors(), 0, "{}: errored under load", s.label());
+    }
+
+    // The p99 pacing error is readable exactly as a `--metrics` scrape
+    // would read it: per-path quantiles plus the raw histogram lines.
+    let quantiles = telemetry.pacing_quantiles();
+    assert_eq!(quantiles.len(), FLEET, "pacing quantiles: {quantiles:?}");
+    let text = telemetry.registry().render_prometheus();
+    for p in 0..FLEET {
+        let count = scrape(&text, &format!("pacing_error_ns_count{{path=\"soak{p}\"}}"));
+        assert!(count > 0, "path soak{p} paced no packets");
+    }
+    let routed = scrape(&text, "receiver_demux_routed_total");
+    assert!(routed > 0, "no probe traffic routed during the soak");
+
+    drop(held);
+    handle.stop().unwrap();
+}
