@@ -1,0 +1,74 @@
+//! The archlint binary: `cargo run -p archlint` from anywhere in the
+//! repository.
+//!
+//! Finds the repository root (the directory holding `archlint.policy`),
+//! parses the policy, walks every declared crate's `src/` tree, and
+//! prints findings as `path:line: [ALxxx rule] message`. Exit status:
+//!
+//! * `0` — clean; prints one greppable `archlint: clean ...` line.
+//! * `1` — findings were printed.
+//! * `2` — the policy file is missing or malformed.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const POLICY_FILE: &str = "archlint.policy";
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join(POLICY_FILE).is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(root) = find_root() else {
+        eprintln!("archlint: no `{POLICY_FILE}` found here or in any parent directory");
+        return ExitCode::from(2);
+    };
+    let policy_text = match fs::read_to_string(root.join(POLICY_FILE)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("archlint: reading {POLICY_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = match archlint::Policy::parse(&policy_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("archlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match archlint::check_workspace(&root, &policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("archlint: walking the workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        println!(
+            "archlint: clean ({} files across {} crates, {} rules)",
+            report.files,
+            report.crates,
+            archlint::ALL_RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("archlint: {} finding(s)", report.findings.len());
+        ExitCode::from(1)
+    }
+}

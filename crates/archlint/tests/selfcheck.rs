@@ -1,0 +1,29 @@
+//! The live workspace must be archlint-clean: the same check CI runs via
+//! `cargo run -p archlint`, here as a test so `cargo test` alone catches
+//! architecture drift.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/archlint sits two levels under the repo root");
+    let policy_text =
+        std::fs::read_to_string(root.join("archlint.policy")).expect("archlint.policy exists");
+    let policy = archlint::Policy::parse(&policy_text).expect("archlint.policy parses");
+    let report = archlint::check_workspace(root, &policy).expect("workspace walk succeeds");
+
+    assert!(
+        !policy.crates.is_empty() && report.files > 50,
+        "the walk saw too little ({} files) — policy or layout moved",
+        report.files
+    );
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        rendered.is_empty(),
+        "architecture violations in the live workspace:\n{}",
+        rendered.join("\n")
+    );
+}

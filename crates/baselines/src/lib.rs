@@ -21,7 +21,6 @@
 //! measured by all three tools for comparison benches.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod cprobe;
 pub mod delphi;

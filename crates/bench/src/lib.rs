@@ -16,7 +16,6 @@
 //! `cargo bench`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod figs;
 pub mod report;

@@ -22,7 +22,6 @@
 //! these formulas as packet sizes shrink; integration tests verify that.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use units::Rate;
 

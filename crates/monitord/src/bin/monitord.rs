@@ -46,6 +46,10 @@
 //! per-path summaries for everything collected so far are flushed, and
 //! the process exits 0.
 
+// The one unsafe block (signal(2) FFI in `install_signal_handlers`) is
+// explicitly allowed where it appears; see docs/LINTS.md (AL003).
+#![deny(unsafe_code)]
+
 use monitord::export::{change_line, fleet_summary, sample_line, summary_line, telemetry_line};
 #[cfg(unix)]
 use monitord::run_socket_fleet_async_with_telemetry;
@@ -80,12 +84,16 @@ extern "C" fn on_signal(_signum: i32) {
 /// only dependency). The handler merely sets an atomic; a watcher thread
 /// forwards it to the cooperative flag.
 #[cfg(unix)]
+#[allow(unsafe_code)] // FFI onto signal(2) of the libc std links.
 fn install_signal_handlers(stop: ShutdownFlag) {
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` is an async-signal-safe extern "C" fn (it only
+    // stores to an atomic), installed once at startup before any fleet
+    // thread exists; signal(2) itself takes no pointers.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);

@@ -45,6 +45,10 @@
 //! Paths whose receivers stay up never notice; nothing is fatal after
 //! the initial fleet connect.
 
+// Datapath module: a panicking branch here takes the whole fleet down,
+// so `unwrap`/`expect` are denied outright (errors must travel as values).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::metrics::FleetTelemetry;
 use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
 use crate::socket::{connect_transports, SocketPathSpec};
@@ -201,11 +205,13 @@ pub fn run_socket_fleet_async_with_telemetry(
     }
 
     // The fleet epoch: the latest transport clock (all share one epoch).
+    // The fleet is non-empty (asserted above), so `max` always yields;
+    // ZERO is a dead fallback keeping the datapath panic-free.
     let t0 = connected
         .iter()
         .map(|(_, t)| t.elapsed())
         .max()
-        .expect("non-empty fleet");
+        .unwrap_or(TimeNs::ZERO);
     let n = connected.len();
     let mut sched = Scheduler::new(n, t0, horizon, sched_cfg);
     let mut series: Vec<PathSeries> = connected
@@ -301,7 +307,13 @@ pub fn run_socket_fleet_async_with_telemetry(
                 Slot::Idle(transport) => slots[p] = Slot::Pending { transport, at },
                 // Receiver gone: the start stands, prefixed by a re-dial.
                 Slot::Disconnected => slots[p] = Slot::PendingRedial { at },
-                _ => unreachable!("the scheduler never starts a busy path"),
+                // The scheduler never starts a busy path; tolerate the
+                // impossible (slot back, start skipped) rather than
+                // panic mid-fleet.
+                other => {
+                    slots[p] = other;
+                    continue;
+                }
             }
             lp.arm_timer(at.as_nanos(), tok(TOK_START, generation[p], p));
         }
@@ -440,6 +452,7 @@ pub fn run_socket_fleet_async_with_telemetry(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use pathload_net::Receiver;
     use std::thread;

@@ -75,7 +75,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod config;
 // The event-loop driver is Unix-only (raw-fd registration); everything

@@ -40,7 +40,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod app;
 pub mod event;

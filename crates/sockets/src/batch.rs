@@ -21,6 +21,10 @@
 //! linger in TIME_WAIT — the server half of the sender-side reconnect
 //! policy.
 
+// Datapath module: a panicking branch here takes the whole fleet down,
+// so `unwrap`/`expect` are denied outright (errors must travel as values).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io;
 use std::net::{SocketAddr, TcpListener, UdpSocket};
 
@@ -115,6 +119,10 @@ mod sys {
             msgs[i].hdr.iov = &mut iovs[i];
             msgs[i].hdr.iovlen = 1;
         }
+        // SAFETY: every msg/iovec entry in `msgs[..n]` points into the
+        // caller's live `bufs` slices, which outlive the call; the kernel
+        // writes at most `bufs[i].len()` bytes per datagram and no
+        // timeout struct is passed (null).
         let got = unsafe {
             recvmmsg(
                 sock.as_raw_fd(),
@@ -154,6 +162,10 @@ mod sys {
             hdrs[i].hdr.iov = &mut iovs[i];
             hdrs[i].hdr.iovlen = 1;
         }
+        // SAFETY: every header in `hdrs[..n]` points into the caller's
+        // live `msgs` buffers, which outlive the call; sendmmsg only
+        // reads through the iovecs and only writes the per-entry `len`
+        // fields inside `hdrs`.
         let sent = unsafe { sendmmsg(sock.as_raw_fd(), hdrs.as_mut_ptr(), n as u32, 0) };
         if sent < 0 {
             return Err(io::Error::last_os_error());
@@ -174,16 +186,21 @@ mod sys {
             SocketAddr::V4(_) => AF_INET,
             SocketAddr::V6(_) => AF_INET6,
         };
+        // SAFETY: socket(2) takes no pointers; the return is checked.
         let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
         }
         let fail = |fd: i32| {
             let err = io::Error::last_os_error();
+            // SAFETY: `fd` was just created above, is owned by this
+            // function, and is closed exactly once on this error path.
             unsafe { close(fd) };
             Err(err)
         };
         let one: i32 = 1;
+        // SAFETY: `one` is a live i32 and the passed length is its exact
+        // size; the kernel only reads it.
         if unsafe { setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) } != 0 {
             return fail(fd);
         }
@@ -206,12 +223,18 @@ mod sys {
                 28
             }
         };
+        // SAFETY: `raw` is a live, hand-packed sockaddr of `raw_len`
+        // bytes (16 for v4, 28 for v6); the kernel only reads it.
         if unsafe { bind(fd, raw.as_ptr(), raw_len) } != 0 {
             return fail(fd);
         }
+        // SAFETY: no pointers; the return is checked.
         if unsafe { listen(fd, 128) } != 0 {
             return fail(fd);
         }
+        // SAFETY: `fd` is a freshly created, bound, listening TCP socket
+        // owned by this function; ownership transfers to the listener,
+        // which becomes its sole closer.
         Ok(unsafe { TcpListener::from_raw_fd(fd) })
     }
 }
@@ -351,6 +374,7 @@ fn send_batch_scalar(sock: &UdpSocket, msgs: &[Vec<u8>]) -> io::Result<usize> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn pair() -> (UdpSocket, UdpSocket) {

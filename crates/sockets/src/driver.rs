@@ -27,6 +27,10 @@
 //! exposed step by step so callers (and tests) can drive the machine one
 //! command at a time over a real network stack.
 
+// Datapath module: a panicking branch here takes the whole fleet down,
+// so `unwrap`/`expect` are denied outright (errors must travel as values).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::clock::MonoClock;
 use crate::sender::SocketTransport;
 use slops::machine::{Command, Event, SessionMachine};
@@ -116,7 +120,12 @@ impl SocketDriver {
                 self.transport.idle(*dur);
                 Ok(Event::Tick(self.transport.elapsed()))
             }
-            Command::Finish(_) => panic!("Finish is terminal: nothing to execute"),
+            // Terminal: there is no wire operation to perform. Surfaced
+            // as an error instead of a panic — the datapath is
+            // panic-free; `run` never reaches this arm.
+            Command::Finish(_) => Err(TransportError::Unsupported(
+                "Finish is terminal: nothing to execute".into(),
+            )),
         }
     }
 
@@ -132,9 +141,13 @@ impl SocketDriver {
         let rtt = self.transport.rtt();
         let mut machine = SessionMachine::new(cfg, rtt, self.transport.max_rate())?;
         loop {
-            let cmd = machine
-                .poll()
-                .expect("blocking driver answers each command before polling again");
+            // The loop answers every command before polling again, so
+            // `poll` cannot pend and `on_event` cannot be unexpected;
+            // both invariant breaks surface as errors, not panics (the
+            // datapath aborts the measurement instead of the process).
+            let Some(cmd) = machine.poll() else {
+                return Err(machine_protocol_violated("poll pended mid-loop"));
+            };
             self.forward_trace(&mut machine);
             if let Command::Finish(est) = cmd {
                 let mut est = *est;
@@ -142,10 +155,19 @@ impl SocketDriver {
                 return Ok(est);
             }
             let event = self.execute(&cmd)?;
-            machine
-                .on_event(event)
-                .expect("the machine accepts the event answering its own command");
+            if machine.on_event(event).is_err() {
+                return Err(machine_protocol_violated("event refused by the machine"));
+            }
             self.forward_trace(&mut machine);
         }
     }
+}
+
+/// A break of the command/event protocol between this driver and the
+/// machine — unreachable by construction of [`SocketDriver::run`], and
+/// reported as an error so the datapath stays panic-free.
+fn machine_protocol_violated(what: &str) -> SlopsError {
+    SlopsError::Transport(TransportError::Io(format!(
+        "machine protocol violated: {what}"
+    )))
 }

@@ -31,6 +31,10 @@
 //! When [`EventedSession::is_finished`] turns true the host takes the
 //! transport and the outcome back with [`EventedSession::finish`].
 
+// Datapath module: a panicking branch here takes the whole fleet down,
+// so `unwrap`/`expect` are denied outright (errors must travel as values).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::mux::{EventLoop, Interest, MuxEvent};
 use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, PROBE_HEADER_LEN};
 use crate::sender::{ctrl_error_text, stream_record, SocketTransport};
@@ -212,9 +216,7 @@ impl EventedSession {
             sink: None,
             pacing_hist: None,
         };
-        session
-            .queue_ctrl(None, &CtrlMsg::Echo { token: 0 })
-            .expect("queueing into a Vec cannot fail");
+        CtrlMsg::Echo { token: 0 }.append_to(&mut session.wbuf);
         Ok(session)
     }
 
@@ -299,9 +301,14 @@ impl EventedSession {
     }
 
     /// Deregister from the loop, return the transport (back in blocking
-    /// mode) and the outcome. Panics if the session is not finished.
+    /// mode) and the outcome. Calling it on a session that has not
+    /// finished is a host bug, reported as an error outcome (the
+    /// datapath is panic-free).
     pub fn finish(mut self, lp: &EventLoop) -> (SocketTransport, Result<Estimate, SlopsError>) {
-        let outcome = self.outcome.take().expect("session finished");
+        let outcome = self
+            .outcome
+            .take()
+            .unwrap_or_else(|| Err(machine_protocol_violated("finish() before completion")));
         self.deregister(lp);
         let _ = self.transport.set_nonblocking(false);
         (self.transport, outcome)
@@ -362,8 +369,7 @@ impl EventedSession {
     }
 
     fn queue_ctrl(&mut self, lp: Option<&EventLoop>, msg: &CtrlMsg) -> Result<(), TransportError> {
-        msg.write_to(&mut self.wbuf)
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        msg.append_to(&mut self.wbuf);
         if let Some(lp) = lp {
             self.update_ctrl_interest(lp)?;
         }
@@ -433,7 +439,13 @@ impl EventedSession {
                         "EOF on the control channel",
                     ))))
                 }
-                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                // `read` contracts n <= chunk.len(); `get` keeps the
+                // defensive bound out of the panic path.
+                Ok(n) => {
+                    if let Some(read) = chunk.get(..n) {
+                        self.rbuf.extend_from_slice(read);
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(TransportError::Io(ctrl_error_text(&e))),
@@ -443,18 +455,17 @@ impl EventedSession {
 
     /// Pop one complete control frame off the inbound buffer, if present.
     fn take_frame(&mut self) -> Result<Option<CtrlMsg>, TransportError> {
-        if self.rbuf.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.rbuf[..4].try_into().expect("4 bytes")) as usize;
+        let Some(&header) = self.rbuf.first_chunk::<4>() else {
+            return Ok(None); // length prefix not complete yet
+        };
+        let len = u32::from_le_bytes(header) as usize;
         if len == 0 || len > 16 * 1024 * 1024 {
             return Err(TransportError::Io("bad control frame length".into()));
         }
-        if self.rbuf.len() < 4 + len {
-            return Ok(None);
-        }
-        let msg = CtrlMsg::read_from(&mut &self.rbuf[..4 + len])
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let Some(mut frame) = self.rbuf.get(..4 + len) else {
+            return Ok(None); // body not complete yet
+        };
+        let msg = CtrlMsg::read_from(&mut frame).map_err(|e| TransportError::Io(e.to_string()))?;
         self.rbuf.drain(..4 + len);
         Ok(Some(msg))
     }
@@ -481,11 +492,17 @@ impl EventedSession {
                     self.queue_ctrl(Some(lp), &CtrlMsg::Echo { token: next })
                 } else {
                     rtts.sort_unstable();
-                    let rtt = TimeNs::from_nanos(rtts[rtts.len() / 2]);
-                    let cfg = self
-                        .cfg
-                        .take()
-                        .expect("cfg held until the machine is built");
+                    // rtts holds RTT_PROBES (> 0) samples here, so the
+                    // median index is in range; 0 is a dead fallback.
+                    let median = rtts.get(rtts.len() / 2).copied().unwrap_or(0);
+                    let rtt = TimeNs::from_nanos(median);
+                    let Some(cfg) = self.cfg.take() else {
+                        // cfg is held until the machine is built;
+                        // unreachable, surfaced as a failed outcome
+                        // rather than a panic.
+                        self.outcome = Some(Err(machine_protocol_violated("cfg already taken")));
+                        return Ok(());
+                    };
                     let max_rate = self.transport.max_rate();
                     match SessionMachine::new(cfg, rtt, max_rate) {
                         Ok(machine) => {
@@ -589,7 +606,7 @@ impl EventedSession {
         let (id, len, size) = (*id, *len, *size);
         while *next < len {
             let k = ((len - *next) as usize).min(bufs.len());
-            for (j, buf) in bufs[..k].iter_mut().enumerate() {
+            for (j, buf) in bufs.iter_mut().take(k).enumerate() {
                 ProbePacket {
                     session: self.transport.session(),
                     kind: ProbeKind::Train,
@@ -599,7 +616,7 @@ impl EventedSession {
                 }
                 .encode(buf);
             }
-            match crate::batch::send_batch(self.transport.udp(), &bufs[..k]) {
+            match crate::batch::send_batch(self.transport.udp(), bufs.get(..k).unwrap_or(&[])) {
                 Ok(sent) => {
                     *next += sent as u32;
                     if sent < k {
@@ -716,23 +733,26 @@ impl EventedSession {
     // ---- machine pump --------------------------------------------------
 
     fn feed(&mut self, lp: &mut EventLoop, event: Event) -> Result<(), TransportError> {
-        self.machine
-            .as_mut()
-            .expect("machine built before commands execute")
-            .on_event(event)
-            .expect("the machine accepts the event answering its own command");
+        // The machine is built before any command executes and accepts
+        // the event answering its own command; invariant breaks surface
+        // as transport errors, not panics.
+        let Some(machine) = self.machine.as_mut() else {
+            return Err(protocol_violation("no machine built"));
+        };
+        if machine.on_event(event).is_err() {
+            return Err(protocol_violation("event refused by the machine"));
+        }
         self.forward_trace();
         self.advance(lp)
     }
 
     /// Poll the machine and begin executing the command it emits.
     fn advance(&mut self, lp: &mut EventLoop) -> Result<(), TransportError> {
-        let cmd = self
-            .machine
-            .as_mut()
-            .expect("machine built before commands execute")
-            .poll()
-            .expect("the evented session answers each command before advancing");
+        // The session answers each command before advancing, so the
+        // machine never pends here; see `feed` on the error mapping.
+        let Some(cmd) = self.machine.as_mut().and_then(SessionMachine::poll) else {
+            return Err(protocol_violation("poll pended mid-session"));
+        };
         self.forward_trace();
         match cmd {
             Command::SendTrain { len, size } => {
@@ -779,4 +799,17 @@ impl EventedSession {
             }
         }
     }
+}
+
+/// A break of the command/event protocol between this session and the
+/// machine — unreachable by construction of the pump (`feed`/`advance`
+/// answer every command before polling again), and reported as an error
+/// so the datapath stays panic-free.
+fn protocol_violation(what: &str) -> TransportError {
+    TransportError::Io(format!("machine protocol violated: {what}"))
+}
+
+/// [`protocol_violation`] as a session outcome.
+fn machine_protocol_violated(what: &str) -> SlopsError {
+    SlopsError::Transport(protocol_violation(what))
 }

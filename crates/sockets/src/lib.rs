@@ -65,7 +65,6 @@
 // syscalls std links but does not expose; each opts in explicitly with
 // `#[allow(unsafe_code)]`.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod batch;
 pub mod clock;

@@ -23,6 +23,10 @@
 //! technique as `pacing::pace_until`, applied to a whole fleet's merged
 //! deadline queue instead of one blocking thread per stream.
 
+// Datapath module: a panicking branch here takes the whole fleet down,
+// so `unwrap`/`expect` are denied outright (errors must travel as values).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::clock::MonoClock;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -134,6 +138,8 @@ mod sys {
     }
 
     pub fn create() -> io::Result<i32> {
+        // SAFETY: epoll_create1 takes no pointers; the flags value is the
+        // kernel's own constant and the return is checked below.
         match unsafe { epoll_create1(EPOLL_CLOEXEC) } {
             -1 => Err(io::Error::last_os_error()),
             fd => Ok(fd),
@@ -153,6 +159,8 @@ mod sys {
             1 => EPOLL_CTL_MOD,
             _ => EPOLL_CTL_DEL,
         };
+        // SAFETY: `ev` is a live, initialized EpollEvent for the whole
+        // call; the kernel only reads it (and only during the call).
         match unsafe { epoll_ctl(epfd, op, fd, &mut ev) } {
             0 => Ok(()),
             _ => Err(io::Error::last_os_error()),
@@ -161,6 +169,9 @@ mod sys {
 
     pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         loop {
+            // SAFETY: the out-pointer and capacity come from the same
+            // live `buf` slice; the kernel writes at most `buf.len()`
+            // entries, each plain-old-data.
             let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
             if n >= 0 {
                 return Ok(n as usize);
@@ -173,6 +184,8 @@ mod sys {
     }
 
     pub fn close_fd(fd: i32) {
+        // SAFETY: no pointers; the caller owns `fd` (the Poller's epoll
+        // fd, closed exactly once on drop).
         unsafe {
             close(fd);
         }
@@ -233,7 +246,9 @@ impl Poller {
         };
         let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 64];
         let n = sys::wait(self.epfd, &mut buf, timeout_ms)?;
-        for ev in &buf[..n] {
+        // `wait` contracts n <= buf.len(); `take` keeps the bound out of
+        // the panic path.
+        for ev in buf.iter().take(n) {
             let bits = ev.events;
             let err = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
             out.push(IoReady {
@@ -264,24 +279,33 @@ impl Poller {
         ))
     }
 
-    /// See [`Poller::new`]: unreachable off Linux.
+    /// See [`Poller::new`]: unreachable off Linux (no constructor
+    /// succeeds), but answered with the same `Unsupported` error rather
+    /// than a panic — the datapath is panic-free.
     pub fn add(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
-        unreachable!("Poller cannot be constructed off Linux")
+        Err(Poller::unsupported())
     }
 
-    /// See [`Poller::new`]: unreachable off Linux.
+    /// See [`Poller::add`].
     pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
-        unreachable!("Poller cannot be constructed off Linux")
+        Err(Poller::unsupported())
     }
 
-    /// See [`Poller::new`]: unreachable off Linux.
+    /// See [`Poller::add`].
     pub fn remove(&self, _fd: RawFd) -> io::Result<()> {
-        unreachable!("Poller cannot be constructed off Linux")
+        Err(Poller::unsupported())
     }
 
-    /// See [`Poller::new`]: unreachable off Linux.
+    /// See [`Poller::add`].
     pub fn wait(&self, _out: &mut Vec<IoReady>, _timeout: Option<Duration>) -> io::Result<usize> {
-        unreachable!("Poller cannot be constructed off Linux")
+        Err(Poller::unsupported())
+    }
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "the epoll event loop requires Linux; use the blocking (thread) driver",
+        )
     }
 }
 
@@ -361,19 +385,19 @@ impl TimerQueue {
     /// timer was armed for — the event loop uses `now − deadline` as its
     /// timer-lag sample. Cancelled entries are reaped silently on the way.
     pub fn pop_expired_at(&mut self, now_ns: u64) -> Option<(u64, u64)> {
-        loop {
-            match self.heap.peek() {
-                Some(Reverse((d, _, _, _))) if *d <= now_ns => {
-                    let Reverse((deadline, seq, token, generation)) =
-                        self.heap.pop().expect("peeked");
-                    if generation != 0 && !self.reap(seq, generation) {
-                        continue; // cancelled: skip silently
-                    }
-                    return Some((token, deadline));
-                }
-                _ => return None,
+        // Entries are Copy tuples, so peek-then-pop folds into one
+        // panic-free `while let` over the heap head.
+        while let Some(&Reverse((deadline, seq, token, generation))) = self.heap.peek() {
+            if deadline > now_ns {
+                return None;
             }
+            let _ = self.heap.pop();
+            if generation != 0 && !self.reap(seq, generation) {
+                continue; // cancelled: skip silently
+            }
+            return Some((token, deadline));
         }
+        None
     }
 
     /// Bookkeeping for a popped entry of a nonzero generation. Returns
@@ -562,6 +586,7 @@ impl EventLoop {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

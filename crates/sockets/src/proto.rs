@@ -196,6 +196,17 @@ impl CtrlMsg {
         }
     }
 
+    /// Queue the message as one length-prefixed frame onto `out`.
+    ///
+    /// Infallible counterpart of [`CtrlMsg::write_to`] for the evented
+    /// shapes, whose write buffers are plain byte queues: `Vec<u8>`'s
+    /// `io::Write` impl never errors, so queueing a frame has no error
+    /// path and the datapath stays panic-free.
+    pub fn append_to(&self, out: &mut Vec<u8>) {
+        // Vec<u8> as io::Write cannot fail; discard the impossible Err.
+        let _ = self.write_to(out);
+    }
+
     /// Write the message as one length-prefixed frame.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let mut body = Vec::with_capacity(32);

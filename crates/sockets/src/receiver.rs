@@ -26,6 +26,10 @@
 //! once its nominal duration has passed instead of blocking for the full
 //! multi-second deadline.
 
+// Datapath module: a panicking branch here takes the whole fleet down,
+// so `unwrap`/`expect` are denied outright (errors must travel as values).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::clock::MonoClock;
 use crate::proto::{CtrlMsg, ProbeKind, ProbePacket, SampleWire, DENY_AT_CAPACITY, PROTO_VERSION};
 use std::collections::hash_map::RandomState;
@@ -176,6 +180,9 @@ struct Shared {
 /// probe socket, serving any number of concurrent sender sessions.
 pub struct Receiver {
     listener: TcpListener,
+    /// Bound control address, captured at bind time so `ctrl_addr` has no
+    /// error (or panic) path.
+    ctrl_addr: SocketAddr,
     shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
     demux: Option<JoinHandle<()>>,
@@ -192,7 +199,8 @@ impl Receiver {
         // port immediately even while the previous incarnation's accepted
         // sockets linger in TIME_WAIT (see `batch::bind_reuse`).
         let listener = crate::batch::bind_reuse(addr)?;
-        let mut udp_addr = listener.local_addr()?;
+        let ctrl_addr = listener.local_addr()?;
+        let mut udp_addr = ctrl_addr;
         udp_addr.set_port(0);
         let udp = UdpSocket::bind(udp_addr)?;
         udp.set_read_timeout(Some(POLL_TIMEOUT))?;
@@ -218,6 +226,7 @@ impl Receiver {
         };
         Ok(Receiver {
             listener,
+            ctrl_addr,
             shared,
             stop,
             demux: Some(demux),
@@ -226,7 +235,7 @@ impl Receiver {
 
     /// The control-channel address senders should connect to.
     pub fn ctrl_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener")
+        self.ctrl_addr
     }
 
     /// Cap concurrent sessions at `max` (`0` = unlimited, the default).
@@ -385,7 +394,9 @@ fn demux_loop(udp: &UdpSocket, shared: &Shared, stop: &AtomicBool) {
         match udp.recv_from(&mut buf) {
             Ok((n, _from)) => {
                 let recv_ns = shared.clock.now_ns();
-                if let Some(packet) = ProbePacket::decode(&buf[..n]) {
+                // `recv_from` contracts n <= buf.len(); `get` keeps the
+                // defensive bound out of the panic path.
+                if let Some(packet) = buf.get(..n).and_then(ProbePacket::decode) {
                     // Unknown token (stale session, never issued): drop.
                     // A full collector also drops (never block the demux
                     // — other sessions' packets are behind this one).
@@ -544,13 +555,16 @@ impl Shared {
                     last_activity = recv_ns;
                     first_arrival.get_or_insert(recv_ns);
                     let idx = p.idx as usize;
-                    if idx >= seen.len() || seen[idx] {
+                    match seen.get_mut(idx) {
+                        // In range and fresh: mark and record below.
+                        Some(mark @ false) => *mark = true,
                         // Malformed index or duplicated datagram.
-                        dropped += 1;
-                        self.counters.drop_dedup.inc();
-                        continue;
+                        _ => {
+                            dropped += 1;
+                            self.counters.drop_dedup.inc();
+                            continue;
+                        }
                     }
-                    seen[idx] = true;
                     samples.push(SampleWire {
                         idx: p.idx,
                         send_ns: p.send_ns,
@@ -602,12 +616,16 @@ impl Shared {
                     }
                     last_activity = recv_ns;
                     let idx = p.idx as usize;
-                    if idx >= seen.len() || seen[idx] {
-                        dropped += 1;
-                        self.counters.drop_dedup.inc();
-                        continue;
+                    match seen.get_mut(idx) {
+                        // In range and fresh: mark and count below.
+                        Some(mark @ false) => *mark = true,
+                        // Malformed index or duplicated datagram.
+                        _ => {
+                            dropped += 1;
+                            self.counters.drop_dedup.inc();
+                            continue;
+                        }
                     }
-                    seen[idx] = true;
                     if received == 0 {
                         first_ns = recv_ns;
                     }
@@ -716,6 +734,7 @@ pub(crate) fn connect_ctrl(addr: SocketAddr) -> io::Result<(TcpStream, u16, u64)
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

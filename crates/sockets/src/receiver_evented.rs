@@ -34,6 +34,10 @@
 //! is still registered, so dashboards and the structural-equivalence
 //! test see an identical metric surface.
 
+// Datapath module: a panicking branch here takes the whole fleet down,
+// so `unwrap`/`expect` are denied outright (errors must travel as values).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::batch::{self, UdpRecvBatch};
 use crate::clock::MonoClock;
 use crate::mux::{EventLoop, Interest, MuxEvent};
@@ -133,6 +137,9 @@ struct RxSession {
 /// [`Receiver`](crate::Receiver).
 pub struct EventedReceiver {
     listener: TcpListener,
+    /// Bound control address, captured at bind time so `ctrl_addr` has no
+    /// error (or panic) path.
+    ctrl_addr: SocketAddr,
     udp: UdpSocket,
     udp_port: u16,
     clock: MonoClock,
@@ -166,7 +173,8 @@ impl EventedReceiver {
     pub fn bind(addr: SocketAddr) -> io::Result<EventedReceiver> {
         let listener = batch::bind_reuse(addr)?;
         listener.set_nonblocking(true)?;
-        let mut udp_addr = listener.local_addr()?;
+        let ctrl_addr = listener.local_addr()?;
+        let mut udp_addr = ctrl_addr;
         udp_addr.set_port(0);
         let udp = UdpSocket::bind(udp_addr)?;
         udp.set_nonblocking(true)?;
@@ -180,6 +188,7 @@ impl EventedReceiver {
         let next_token = RandomState::new().build_hasher().finish();
         Ok(EventedReceiver {
             listener,
+            ctrl_addr,
             udp,
             udp_port,
             clock,
@@ -202,7 +211,7 @@ impl EventedReceiver {
 
     /// The control-channel address senders should connect to.
     pub fn ctrl_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener")
+        self.ctrl_addr
     }
 
     /// Cap concurrent sessions at `max` (`0` = unlimited, the default).
@@ -364,8 +373,7 @@ impl EventedReceiver {
             udp_port: self.udp_port,
             session: token,
         }
-        .write_to(&mut sess.wbuf)
-        .expect("queueing into a Vec cannot fail");
+        .append_to(&mut sess.wbuf);
         let slot = match self.free.pop() {
             Some(slot) => slot,
             None => {
@@ -382,13 +390,15 @@ impl EventedReceiver {
             return;
         }
         self.by_token.insert(token, slot);
-        self.sessions[slot] = Some(sess);
+        if let Some(entry) = self.sessions.get_mut(slot) {
+            *entry = Some(sess);
+        }
         self.sessions_gauge.set(self.by_token.len() as i64);
     }
 
     /// Tear a slot down: deregister, cancel its timers, free the token.
     fn close_session(&mut self, slot: usize) {
-        if let Some(sess) = self.sessions[slot].take() {
+        if let Some(sess) = self.sessions.get_mut(slot).and_then(Option::take) {
             let _ = self.lp.deregister(sess.ctrl.as_raw_fd());
             self.lp.cancel_timer_generation(sess.token);
             self.by_token.remove(&sess.token);
@@ -475,7 +485,9 @@ impl EventedReceiver {
     /// One control frame, mirroring the threaded `session_loop` arms.
     fn on_ctrl_msg(&mut self, slot: usize, msg: CtrlMsg) -> io::Result<()> {
         let now = self.clock.now_ns();
-        let sess = self.sessions[slot].as_mut().expect("live slot");
+        let Some(sess) = self.sessions.get_mut(slot).and_then(Option::as_mut) else {
+            return Ok(()); // slot already torn down; frame raced the close
+        };
         match msg {
             CtrlMsg::StreamAnnounce {
                 id,
@@ -584,7 +596,9 @@ impl EventedReceiver {
             return;
         };
         self.counters.routed.inc();
-        let sess = self.sessions[slot].as_mut().expect("live slot");
+        let Some(sess) = self.sessions.get_mut(slot).and_then(Option::as_mut) else {
+            return; // token map raced a slot teardown; nothing to feed
+        };
         let finished = match &mut sess.collect {
             // Between collections: the threaded shape queues the arrival
             // and drains it before the next Ready; discarding here is the
@@ -597,14 +611,17 @@ impl EventedReceiver {
                 st.last_activity = recv_ns;
                 st.first_arrival.get_or_insert(recv_ns);
                 let idx = packet.idx as usize;
-                if idx >= st.seen.len() || st.seen[idx] {
+                // Out of range or already seen: duplicate/malformed.
+                if !matches!(st.seen.get(idx), Some(false)) {
                     sess.drops += 1;
                     self.counters.drop_dedup.inc();
                     let (token, drops) = (sess.token, sess.drops);
                     self.maybe_warn_drops(token, drops);
                     return;
                 }
-                st.seen[idx] = true;
+                if let Some(seen) = st.seen.get_mut(idx) {
+                    *seen = true;
+                }
                 st.samples.push(SampleWire {
                     idx: packet.idx,
                     send_ns: packet.send_ns,
@@ -618,14 +635,17 @@ impl EventedReceiver {
                 }
                 tr.last_activity = recv_ns;
                 let idx = packet.idx as usize;
-                if idx >= tr.seen.len() || tr.seen[idx] {
+                // Out of range or already seen: duplicate/malformed.
+                if !matches!(tr.seen.get(idx), Some(false)) {
                     sess.drops += 1;
                     self.counters.drop_dedup.inc();
                     let (token, drops) = (sess.token, sess.drops);
                     self.maybe_warn_drops(token, drops);
                     return;
                 }
-                tr.seen[idx] = true;
+                if let Some(seen) = tr.seen.get_mut(idx) {
+                    *seen = true;
+                }
                 if tr.received == 0 {
                     tr.first_ns = recv_ns;
                 }
@@ -713,9 +733,7 @@ impl EventedReceiver {
                 last_ns: tr.last_ns,
             },
         };
-        report
-            .write_to(&mut sess.wbuf)
-            .expect("queueing into a Vec cannot fail");
+        report.append_to(&mut sess.wbuf);
         let token = sess.token;
         self.lp.cancel_timer_generation(token);
         // Push what the socket takes now; the rest rides on writability.
@@ -788,7 +806,13 @@ fn fill_rbuf(ctrl: &mut TcpStream, rbuf: &mut Vec<u8>) -> io::Result<bool> {
     loop {
         match ctrl.read(&mut chunk) {
             Ok(0) => return Ok(false),
-            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                // `read` contracts n <= chunk.len(); `get` keeps the
+                // defensive bound out of the panic path.
+                if let Some(read) = chunk.get(..n) {
+                    rbuf.extend_from_slice(read);
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(true),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
@@ -799,20 +823,20 @@ fn fill_rbuf(ctrl: &mut TcpStream, rbuf: &mut Vec<u8>) -> io::Result<bool> {
 /// Pop one complete control frame off `rbuf`, if present (the same
 /// length-prefix framing as the evented sender).
 fn take_frame(rbuf: &mut Vec<u8>) -> io::Result<Option<CtrlMsg>> {
-    if rbuf.len() < 4 {
-        return Ok(None);
-    }
-    let len = u32::from_le_bytes(rbuf[..4].try_into().expect("4 bytes")) as usize;
+    let Some(&header) = rbuf.first_chunk::<4>() else {
+        return Ok(None); // length prefix not complete yet
+    };
+    let len = u32::from_le_bytes(header) as usize;
     if len == 0 || len > 16 * 1024 * 1024 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "bad control frame length",
         ));
     }
-    if rbuf.len() < 4 + len {
-        return Ok(None);
-    }
-    let msg = CtrlMsg::read_from(&mut &rbuf[..4 + len])?;
+    let Some(mut frame) = rbuf.get(..4 + len) else {
+        return Ok(None); // body not complete yet
+    };
+    let msg = CtrlMsg::read_from(&mut frame)?;
     rbuf.drain(..4 + len);
     Ok(Some(msg))
 }
@@ -843,6 +867,7 @@ impl EventedReceiverHandle {
 
 #[cfg(all(test, target_os = "linux"))]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::receiver::connect_ctrl;
     use crate::sender::SocketTransport;

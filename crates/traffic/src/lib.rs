@@ -26,7 +26,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod interarrival;
 pub mod onoff;

@@ -9,7 +9,6 @@
 //! The crate is dependency-free and `#![forbid(unsafe_code)]`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod stats;
 pub mod time;

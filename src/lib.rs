@@ -39,6 +39,8 @@
 //! assert!(est.low.mbps() < a.mbps() + 2.0 && est.high.mbps() > a.mbps() - 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use fluid;
 pub use monitord;
