@@ -98,7 +98,7 @@ pub use evented::{
 pub use export::{fleet_summary, telemetry_line, write_fleet_jsonl};
 pub use metrics::FleetTelemetry;
 pub use scheduler::{PathId, Poll, ScheduleConfig, Scheduler};
-pub use sim::{SimFleetMonitor, SimPathSpec};
+pub use sim::{SimEngine, SimFleetMonitor, SimPathSpec};
 pub use socket::{
     connect_fleet, connect_fleet_with_telemetry, run_socket_fleet, run_socket_fleet_with_shutdown,
     run_socket_fleet_with_telemetry, SocketPathSpec,

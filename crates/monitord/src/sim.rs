@@ -14,12 +14,15 @@
 //! made with exact completion times — byte-identical to the thread-backed
 //! driver on independent paths (pinned by `tests/fleet_monitoring.rs`).
 
+use crate::metrics::FleetTelemetry;
 use crate::scheduler::{PathId, Poll, ScheduleConfig, Scheduler, TICK};
 use crate::store::{PathSeries, SeriesConfig};
-use netsim::{AppId, Chain, Simulator};
+use netsim::{AppId, Chain, EngineStats, LinkId, ShardRefusal, Simulator};
 use simprobe::{install_session_at, SessionApp};
 use slops::series::RangeSample;
 use slops::{SlopsConfig, SlopsError};
+use std::sync::Arc;
+use telemetry::{Counter, Gauge, TraceSink};
 use units::TimeNs;
 
 /// One monitored path of an in-sim fleet.
@@ -39,6 +42,33 @@ struct PathRuntime {
     running: Option<(AppId, TimeNs)>,
 }
 
+/// Which event engine the in-sim fleet runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimEngine {
+    /// Try to shard the event queue per connected component; fall back to
+    /// the single queue if the topology refuses (shared links). This is
+    /// what [`SimFleetMonitor::new`] uses — sharding is bit-identical on
+    /// per-path observables, so it is safe to be the default.
+    Auto,
+    /// Force the single global event queue (the A/B baseline for the
+    /// fleet benchmark and the equivalence tests).
+    SingleQueue,
+}
+
+/// Resolved telemetry handles for the engine counters, plus the last
+/// published snapshot so the monotonic counters can be fed deltas.
+struct EngineTelemetry {
+    events: Counter,
+    heap_ops: Counter,
+    front_hits: Counter,
+    shards: Gauge,
+    heap_max_depth: Gauge,
+    last: EngineStats,
+    /// Per-path trace sinks (machine-minted events → registry), applied
+    /// to each session at install time.
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
 /// A multi-path monitoring daemon over one simulator. Build with
 /// [`SimFleetMonitor::new`], drive with [`SimFleetMonitor::run_until`] /
 /// [`SimFleetMonitor::run_to_completion`], read the per-path series with
@@ -49,12 +79,17 @@ pub struct SimFleetMonitor {
     paths: Vec<PathRuntime>,
     series: Vec<PathSeries>,
     t0: TimeNs,
+    /// Why the topology could not shard (None when sharded or forced
+    /// single-queue).
+    shard_refusal: Option<ShardRefusal>,
+    tele: Option<EngineTelemetry>,
 }
 
 impl SimFleetMonitor {
-    /// Create the monitor. Scheduling starts at the simulator's current
-    /// instant (warm the topology up first) and no measurement starts at
-    /// or after `horizon`. Every path's config is validated up front.
+    /// Create the monitor on the [`SimEngine::Auto`] engine. Scheduling
+    /// starts at the simulator's current instant (warm the topology up
+    /// first) and no measurement starts at or after `horizon`. Every
+    /// path's config is validated up front.
     pub fn new(
         sim: Simulator,
         paths: Vec<SimPathSpec>,
@@ -62,10 +97,39 @@ impl SimFleetMonitor {
         series_cfg: &SeriesConfig,
         horizon: TimeNs,
     ) -> Result<SimFleetMonitor, SlopsError> {
+        Self::with_engine(sim, paths, sched_cfg, series_cfg, horizon, SimEngine::Auto)
+    }
+
+    /// [`SimFleetMonitor::new`] with an explicit engine choice. Every
+    /// path's chain (both directions) is bound as one component with the
+    /// shard planner, so a fleet of disjoint chains shards 1:1 with its
+    /// paths; fleets sharing links refuse and stay on the single queue.
+    pub fn with_engine(
+        mut sim: Simulator,
+        paths: Vec<SimPathSpec>,
+        sched_cfg: &ScheduleConfig,
+        series_cfg: &SeriesConfig,
+        horizon: TimeNs,
+        engine: SimEngine,
+    ) -> Result<SimFleetMonitor, SlopsError> {
         assert!(!paths.is_empty(), "a fleet needs at least one path");
         for p in &paths {
             p.cfg.validate().map_err(SlopsError::BadConfig)?;
         }
+        for p in &paths {
+            let links: Vec<LinkId> = p
+                .chain
+                .forward
+                .iter()
+                .chain(p.chain.reverse.iter())
+                .copied()
+                .collect();
+            sim.bind_links(&links);
+        }
+        let shard_refusal = match engine {
+            SimEngine::SingleQueue => None,
+            SimEngine::Auto => sim.try_shard().err(),
+        };
         let t0 = sim.now();
         let sched = Scheduler::new(paths.len(), t0, horizon, sched_cfg);
         let series = paths
@@ -86,7 +150,58 @@ impl SimFleetMonitor {
             paths,
             series,
             t0,
+            shard_refusal,
+            tele: None,
         })
+    }
+
+    /// Wire the engine counters and per-path trace sinks into a fleet
+    /// telemetry hub: `sim_events_processed_total`, `sim_heap_ops_total`,
+    /// `sim_front_hits_total`, `sim_shards`, `sim_heap_max_depth`. The
+    /// sans-IO simulator only exposes plain [`EngineStats`]; this driver
+    /// drains them into the registry after every run slice (the
+    /// `take_trace()` idiom).
+    pub fn attach_telemetry(&mut self, tele: &FleetTelemetry) {
+        let reg = tele.registry();
+        let sinks = self
+            .series
+            .iter()
+            .map(|s| tele.trace_sink(s.label()))
+            .collect();
+        let mut t = EngineTelemetry {
+            events: reg.counter("sim_events_processed_total", &[]),
+            heap_ops: reg.counter("sim_heap_ops_total", &[]),
+            front_hits: reg.counter("sim_front_hits_total", &[]),
+            shards: reg.gauge("sim_shards", &[]),
+            heap_max_depth: reg.gauge("sim_heap_max_depth", &[]),
+            last: EngineStats::default(),
+            sinks,
+        };
+        // Everything the engine did before attachment counts too.
+        let stats = self.sim.engine_stats();
+        t.events.add(stats.events_processed);
+        t.heap_ops.add(stats.heap_ops());
+        t.front_hits.add(stats.front_hits);
+        t.shards.set(stats.shards as i64);
+        t.heap_max_depth.set(stats.heap_max_depth as i64);
+        t.last = stats;
+        self.tele = Some(t);
+    }
+
+    /// Push engine-counter deltas since the last publication into the
+    /// attached registry (no-op when telemetry is not attached).
+    fn publish_engine_stats(&mut self) {
+        let Some(t) = &mut self.tele else {
+            return;
+        };
+        let stats = self.sim.engine_stats();
+        t.events
+            .add(stats.events_processed - t.last.events_processed);
+        t.heap_ops.add(stats.heap_ops() - t.last.heap_ops());
+        t.front_hits.add(stats.front_hits - t.last.front_hits);
+        t.shards.set(stats.shards as i64);
+        t.heap_max_depth.set(stats.heap_max_depth as i64);
+        t.last = stats;
     }
 
     /// Install every start the scheduler can issue right now.
@@ -102,6 +217,11 @@ impl SimFleetMonitor {
                 at,
             )
             .expect("config validated at construction");
+            if let Some(t) = &self.tele {
+                self.sim
+                    .app_mut::<SessionApp>(id)
+                    .set_trace_sink(t.sinks[p].clone());
+            }
             self.paths[p].running = Some((id, at));
         }
     }
@@ -139,6 +259,7 @@ impl SimFleetMonitor {
             self.install_ready();
             let now = self.sim.now();
             if now >= t {
+                self.publish_engine_stats();
                 return;
             }
             // The next grid instant strictly after `now`, clamped to `t`.
@@ -173,6 +294,24 @@ impl SimFleetMonitor {
     /// Measurements started so far across the fleet.
     pub fn measurements_started(&self) -> u64 {
         self.sched.started()
+    }
+
+    /// Number of event-queue shards the engine is running (1 = single
+    /// queue).
+    pub fn shards(&self) -> usize {
+        self.sim.shards()
+    }
+
+    /// Why [`SimEngine::Auto`] could not shard this fleet's topology
+    /// (`None` when sharded, or when single-queue was forced).
+    pub fn shard_refusal(&self) -> Option<&ShardRefusal> {
+        self.shard_refusal.as_ref()
+    }
+
+    /// The engine's aggregate counters (events, heap ops, front-slot
+    /// hits, pool peak) — plain data straight from the simulator.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.sim.engine_stats()
     }
 
     /// Borrow the simulator (link stats, utilization monitors, ...).

@@ -8,9 +8,12 @@
 //!
 //! Design points (see DESIGN.md §5):
 //!
-//! * **Deterministic**: a single event queue ordered by `(time, seq)`; all
+//! * **Deterministic**: event queues ordered by `(time, seq)`; all
 //!   randomness flows from seeded [`rng::Prng`] instances. Two runs with the
-//!   same seeds produce identical event sequences.
+//!   same seeds produce identical event sequences. Fleets of disjoint paths
+//!   can shard the queue per connected component
+//!   ([`Simulator::try_shard`]) without changing any per-path observable —
+//!   see [`sim`]'s module docs for the sharding model.
 //! * **Source routing**: packets carry an `Arc<RouteSpec>` (list of link ids
 //!   plus destination application). The paper's topologies are fixed chains,
 //!   so routing tables would be dead weight.
@@ -47,8 +50,10 @@ pub mod link;
 pub mod monitor;
 pub mod packet;
 pub mod ping;
+pub mod pool;
 pub mod red;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod topology;
 
@@ -56,7 +61,9 @@ pub use app::{App, AppId, Ctx};
 pub use link::{Link, LinkConfig, LinkId, LinkStats};
 pub use packet::{FlowId, Packet, Payload, RouteSpec, TcpFlags, TcpHeader};
 pub use ping::{EchoReflector, PingStats, Pinger, PingerConfig};
+pub use pool::PacketSlot;
 pub use red::{RedConfig, RedState};
 pub use rng::Prng;
-pub use sim::Simulator;
+pub use shard::ShardRefusal;
+pub use sim::{EngineStats, Simulator};
 pub use topology::{Chain, ChainConfig};

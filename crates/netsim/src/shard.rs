@@ -1,0 +1,386 @@
+//! Topology partitioning for the sharded engine.
+//!
+//! A union-find over *nodes* — one per link and one per application —
+//! tracks which connected component each belongs to. Components are joined
+//! by route creation ([`crate::Simulator::route`] unions a route's links
+//! with its destination) and by the explicit binds
+//! ([`crate::Simulator::bind_links`], [`crate::Simulator::bind_app`]) that
+//! anchor route-less nodes (a chain's reverse direction, traffic sources
+//! that only ever *send*).
+//!
+//! `TopoMap::freeze` turns the components into a shard plan: one event
+//! queue per link component. It refuses (a [`ShardRefusal`]) whenever the
+//! partition would be degenerate or unsound — the caller then stays on the
+//! single-queue engine, which is always correct. After a freeze the map
+//! keeps watching: unions that merge two different shards, or nodes that
+//! appear outside every shard, set `collapse_pending`, and the engine
+//! folds the shards back into one queue at the next safe point.
+//!
+//! Held to AL004 panic-freedom: lookups are by `.get`, never by index.
+
+use crate::app::AppId;
+use crate::link::LinkId;
+use std::fmt;
+
+/// Shard label meaning "not assigned to any shard".
+pub(crate) const SHARD_NONE: u32 = u32::MAX;
+
+/// Why [`crate::Simulator::try_shard`] refused to partition the topology.
+///
+/// A refusal is not an error: the simulator stays on the single-queue
+/// engine, which handles every topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardRefusal {
+    /// All links form one connected component — e.g. every path crosses a
+    /// shared tight link — so per-component queues would degenerate to the
+    /// single global queue.
+    SingleComponent,
+    /// An application is not connected to any link component, so the
+    /// planner cannot prove which shard its sends and timers belong to.
+    /// Bind it ([`crate::Simulator::bind_app`]) or route to it first.
+    UnanchoredApp(AppId),
+    /// The topology has no links: nothing to partition.
+    NoLinks,
+}
+
+impl fmt::Display for ShardRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardRefusal::SingleComponent => {
+                write!(f, "all links share one connected component")
+            }
+            ShardRefusal::UnanchoredApp(app) => {
+                write!(f, "app {} is not anchored to any link component", app.0)
+            }
+            ShardRefusal::NoLinks => write!(f, "topology has no links"),
+        }
+    }
+}
+
+/// The union-find topology map plus post-freeze bookkeeping flags.
+#[derive(Debug, Default)]
+pub(crate) struct TopoMap {
+    /// Union-find parent per node (links first come first, then apps, in
+    /// creation order — but nodes are allocated interleaved, so the two
+    /// id spaces are mapped through `link_node` / `app_node`).
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Shard label per *root* node; `SHARD_NONE` before freeze and for
+    /// components born after it.
+    shard: Vec<u32>,
+    link_node: Vec<u32>,
+    app_node: Vec<u32>,
+    /// A freeze succeeded and its shard labels are live.
+    pub frozen: bool,
+    /// Post-freeze topology changed: shard lookup tables must be
+    /// re-materialized before the next event is routed.
+    pub dirty: bool,
+    /// A post-freeze union merged two different shards (or touched an
+    /// unassignable node): the engine must collapse to one queue.
+    pub collapse_pending: bool,
+}
+
+impl TopoMap {
+    fn new_node(&mut self) -> u32 {
+        let n = self.parent.len() as u32;
+        self.parent.push(n);
+        self.rank.push(0);
+        self.shard.push(SHARD_NONE);
+        n
+    }
+
+    /// Register a new link (ids are dense and creation-ordered, mirroring
+    /// the simulator's link table).
+    pub fn add_link(&mut self) {
+        let n = self.new_node();
+        self.link_node.push(n);
+    }
+
+    /// Register a new application.
+    pub fn add_app(&mut self) {
+        let n = self.new_node();
+        self.app_node.push(n);
+    }
+
+    /// Find with path halving.
+    fn find(&mut self, mut n: u32) -> u32 {
+        loop {
+            let p = self.parent.get(n as usize).copied().unwrap_or(n);
+            if p == n {
+                return n;
+            }
+            let gp = self.parent.get(p as usize).copied().unwrap_or(p);
+            if let Some(slot) = self.parent.get_mut(n as usize) {
+                *slot = gp;
+            }
+            n = gp;
+        }
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let sa = self.shard.get(ra as usize).copied().unwrap_or(SHARD_NONE);
+        let sb = self.shard.get(rb as usize).copied().unwrap_or(SHARD_NONE);
+        if self.frozen {
+            self.dirty = true;
+            if sa != SHARD_NONE && sb != SHARD_NONE && sa != sb {
+                // Two shards became connected: the partition is unsound.
+                self.collapse_pending = true;
+            }
+        }
+        let merged = if sa != SHARD_NONE { sa } else { sb };
+        let (ra_rank, rb_rank) = (
+            self.rank.get(ra as usize).copied().unwrap_or(0),
+            self.rank.get(rb as usize).copied().unwrap_or(0),
+        );
+        let (root, child) = if ra_rank >= rb_rank {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        if let Some(slot) = self.parent.get_mut(child as usize) {
+            *slot = root;
+        }
+        if ra_rank == rb_rank {
+            if let Some(r) = self.rank.get_mut(root as usize) {
+                *r = r.saturating_add(1);
+            }
+        }
+        if let Some(s) = self.shard.get_mut(root as usize) {
+            *s = merged;
+        }
+    }
+
+    fn link_node(&self, l: LinkId) -> Option<u32> {
+        self.link_node.get(l.0 as usize).copied()
+    }
+
+    fn app_node(&self, a: AppId) -> Option<u32> {
+        self.app_node.get(a.0 as usize).copied()
+    }
+
+    /// Union all of `links` into one component.
+    pub fn union_links(&mut self, links: &[LinkId]) {
+        let mut first = None;
+        for l in links {
+            let Some(n) = self.link_node(*l) else {
+                continue;
+            };
+            match first {
+                None => first = Some(n),
+                Some(f) => self.union(f, n),
+            }
+        }
+    }
+
+    /// Union a route's links with its destination app (what
+    /// [`crate::Simulator::route`] records).
+    pub fn union_route(&mut self, links: &[LinkId], dst: AppId) {
+        self.union_links(links);
+        let Some(d) = self.app_node(dst) else { return };
+        match links.first().and_then(|l| self.link_node(*l)) {
+            Some(n) => self.union(d, n),
+            None => {
+                // A linkless route: the destination forms (or joins) an
+                // app-only component; freeze will refuse it unless some
+                // other route anchors the app.
+            }
+        }
+    }
+
+    /// Union an app (typically a pure sender) with the links of the route
+    /// it sends on, and that route's destination.
+    pub fn union_app_route(&mut self, app: AppId, links: &[LinkId], dst: AppId) {
+        self.union_route(links, dst);
+        let Some(a) = self.app_node(app) else { return };
+        let anchor = links
+            .first()
+            .and_then(|l| self.link_node(*l))
+            .or_else(|| self.app_node(dst));
+        if let Some(n) = anchor {
+            self.union(a, n);
+        }
+    }
+
+    /// Compute the shard plan: assign shard ids to link components in
+    /// link-id order, then map every app to its component's shard.
+    /// Returns `(link_shard, app_shard, shard_count)` and marks the map
+    /// frozen. On refusal nothing changes.
+    pub fn freeze(&mut self) -> Result<(Vec<u32>, Vec<u32>, usize), ShardRefusal> {
+        if self.link_node.is_empty() {
+            return Err(ShardRefusal::NoLinks);
+        }
+        // Work on a scratch label table so a refusal leaves no residue.
+        let mut scratch = vec![SHARD_NONE; self.parent.len()];
+        let mut count: u32 = 0;
+        let links: Vec<u32> = self.link_node.clone();
+        let mut link_shard = Vec::with_capacity(links.len());
+        for n in links {
+            let r = self.find(n) as usize;
+            let s = match scratch.get(r).copied() {
+                Some(SHARD_NONE) | None => {
+                    let s = count;
+                    count += 1;
+                    if let Some(slot) = scratch.get_mut(r) {
+                        *slot = s;
+                    }
+                    s
+                }
+                Some(s) => s,
+            };
+            link_shard.push(s);
+        }
+        if count < 2 {
+            return Err(ShardRefusal::SingleComponent);
+        }
+        let apps: Vec<u32> = self.app_node.clone();
+        let mut app_shard = Vec::with_capacity(apps.len());
+        for (i, n) in apps.into_iter().enumerate() {
+            let r = self.find(n) as usize;
+            match scratch.get(r).copied() {
+                Some(s) if s != SHARD_NONE => app_shard.push(s),
+                _ => return Err(ShardRefusal::UnanchoredApp(AppId(i as u32))),
+            }
+        }
+        self.shard = scratch;
+        self.frozen = true;
+        self.dirty = false;
+        Ok((link_shard, app_shard, count as usize))
+    }
+
+    /// Recompute the shard lookup tables after post-freeze topology
+    /// changes (new nodes, unions within one shard). Nodes in components
+    /// that carry no shard label map to [`SHARD_NONE`]; routing an event
+    /// to one forces a collapse. Clears `dirty`.
+    pub fn materialize(&mut self) -> (Vec<u32>, Vec<u32>) {
+        let links: Vec<u32> = self.link_node.clone();
+        let apps: Vec<u32> = self.app_node.clone();
+        let look = |topo: &mut TopoMap, n: u32| {
+            let r = topo.find(n) as usize;
+            topo.shard.get(r).copied().unwrap_or(SHARD_NONE)
+        };
+        let link_shard = links.into_iter().map(|n| look(self, n)).collect();
+        let app_shard = apps.into_iter().map(|n| look(self, n)).collect();
+        self.dirty = false;
+        (link_shard, app_shard)
+    }
+
+    /// Abandon the shard plan (engine collapse): labels are wiped and
+    /// unions go back to being plain bookkeeping. A later
+    /// [`TopoMap::freeze`] may re-partition.
+    pub fn unfreeze(&mut self) {
+        self.frozen = false;
+        self.dirty = false;
+        self.collapse_pending = false;
+        for s in &mut self.shard {
+            *s = SHARD_NONE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(links: usize, apps: usize) -> TopoMap {
+        let mut m = TopoMap::default();
+        for _ in 0..links {
+            m.add_link();
+        }
+        for _ in 0..apps {
+            m.add_app();
+        }
+        m
+    }
+
+    #[test]
+    fn disjoint_routes_make_disjoint_shards() {
+        let mut m = map(4, 2);
+        m.union_route(&[LinkId(0), LinkId(1)], AppId(0));
+        m.union_route(&[LinkId(2), LinkId(3)], AppId(1));
+        let (link_shard, app_shard, n) = m.freeze().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(link_shard, vec![0, 0, 1, 1]);
+        assert_eq!(app_shard, vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_link_refuses_single_component() {
+        let mut m = map(3, 2);
+        // Both routes cross link 1 (the shared tight link).
+        m.union_route(&[LinkId(0), LinkId(1)], AppId(0));
+        m.union_route(&[LinkId(2), LinkId(1)], AppId(1));
+        assert_eq!(m.freeze().unwrap_err(), ShardRefusal::SingleComponent);
+        assert!(!m.frozen);
+    }
+
+    #[test]
+    fn unanchored_app_refuses() {
+        let mut m = map(2, 2);
+        m.union_route(&[LinkId(0)], AppId(0));
+        // App 1 has no route and no bind: its sends are unprovable.
+        assert_eq!(
+            m.freeze().unwrap_err(),
+            ShardRefusal::UnanchoredApp(AppId(1))
+        );
+        // A failed freeze leaves no labels behind; binding fixes it.
+        m.union_route(&[LinkId(1)], AppId(1));
+        let (_, app_shard, n) = m.freeze().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(app_shard, vec![0, 1]);
+    }
+
+    #[test]
+    fn no_links_refuses() {
+        let mut m = map(0, 1);
+        assert_eq!(m.freeze().unwrap_err(), ShardRefusal::NoLinks);
+    }
+
+    #[test]
+    fn post_freeze_cross_shard_union_flags_collapse() {
+        let mut m = map(2, 2);
+        m.union_route(&[LinkId(0)], AppId(0));
+        m.union_route(&[LinkId(1)], AppId(1));
+        m.freeze().unwrap();
+        assert!(!m.collapse_pending);
+        // A new route spanning both shards makes the partition unsound.
+        m.union_route(&[LinkId(0), LinkId(1)], AppId(0));
+        assert!(m.collapse_pending);
+        m.unfreeze();
+        assert!(!m.collapse_pending);
+        assert!(!m.frozen);
+    }
+
+    #[test]
+    fn post_freeze_same_shard_union_just_dirties() {
+        let mut m = map(4, 2);
+        m.union_route(&[LinkId(0), LinkId(1)], AppId(0));
+        m.union_route(&[LinkId(2), LinkId(3)], AppId(1));
+        m.freeze().unwrap();
+        // A new app routed within shard 1: benign, needs re-materialize.
+        m.add_app();
+        m.union_route(&[LinkId(2)], AppId(2));
+        assert!(m.dirty);
+        assert!(!m.collapse_pending);
+        let (link_shard, app_shard) = m.materialize();
+        assert_eq!(link_shard, vec![0, 0, 1, 1]);
+        assert_eq!(app_shard, vec![0, 1, 1]);
+        assert!(!m.dirty);
+    }
+
+    #[test]
+    fn pure_sender_binds_through_union_app_route() {
+        let mut m = map(2, 3);
+        m.union_route(&[LinkId(0)], AppId(0));
+        m.union_route(&[LinkId(1)], AppId(1));
+        // App 2 sends on link 1's route but is never a destination.
+        m.union_app_route(AppId(2), &[LinkId(1)], AppId(1));
+        let (_, app_shard, n) = m.freeze().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(app_shard, vec![0, 1, 1]);
+    }
+}

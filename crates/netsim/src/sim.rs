@@ -1,27 +1,188 @@
-//! The simulation engine: event loop, link forwarding, app dispatch.
+//! The simulation engine: event loop, link forwarding, app dispatch — and
+//! the sharded event queues that make fleet-scale simulations cheap.
+//!
+//! # Sharding model
+//!
+//! A fleet of disjoint paths needs no total event order: events on path A
+//! never causally affect path B. The engine therefore partitions the
+//! topology into connected components (tracked by [`crate::shard`]'s
+//! union-find as routes and binds are created) and, on
+//! [`Simulator::try_shard`], gives each component its own event queue.
+//! Shards are drained round-robin per time slice ([`Simulator::run_until`]),
+//! so a fleet of N disjoint paths pays N *small* heap operations where the
+//! single queue paid one *global* one — the win is O(log total) →
+//! O(log per-path), measured in op counts ([`EngineStats`]) because this
+//! is a single-core engine.
+//!
+//! Sharding never changes results where it is allowed to engage:
+//!
+//! * **Refusal**: topologies whose links form one component (e.g. every
+//!   path crosses a shared tight link) refuse to shard
+//!   ([`ShardRefusal::SingleComponent`]) and stay on the always-correct
+//!   single queue. So do topologies with apps the planner cannot anchor.
+//! * **Bit identity**: on a sharded run, per-component event order is the
+//!   single-queue order restricted to that component (the freeze splits
+//!   the pending queue in pop order; per-shard sequence numbers preserve
+//!   relative order from then on), so every per-path observable —
+//!   estimates, traces, link stats — is bit-identical to the single-queue
+//!   engine. Only the interleaving *between* independent components (and
+//!   the unobserved global packet-id assignment order) differs.
+//! * **Collapse**: if the topology changes mid-run in a way that connects
+//!   two shards (a new cross-shard route) or produces events the plan
+//!   cannot place, the engine deterministically folds all shards back
+//!   into one queue at the next API boundary and keeps going —
+//!   correctness never depends on the partition staying valid.
 
 use crate::app::{App, AppId, Ctx};
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue, QueueStats};
 use crate::link::{Arrival, Link, LinkConfig, LinkId};
 use crate::packet::{Packet, RouteSpec};
+use crate::pool::PacketPool;
 use crate::rng::Prng;
+use crate::shard::{ShardRefusal, TopoMap, SHARD_NONE};
 use std::any::Any;
+use std::cell::RefCell;
 use std::sync::Arc;
 use units::TimeNs;
 
+/// One event-queue shard: a queue plus its own clock (the time of the last
+/// event it dispatched; all shard clocks are aligned at run boundaries).
+#[derive(Debug)]
+struct Shard {
+    queue: EventQueue,
+    now: TimeNs,
+}
+
+/// Aggregated engine counters: throughput, heap-op, and pool metrics.
+///
+/// Plain data — netsim is sans-IO, so drivers (e.g. the monitord in-sim
+/// fleet driver) drain this into their own telemetry registries, mirroring
+/// the `take_trace()` idiom.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events dispatched since construction.
+    pub events_processed: u64,
+    /// Real `BinaryHeap` pushes across all queues (front-slot placements
+    /// excluded).
+    pub heap_pushes: u64,
+    /// Real `BinaryHeap` pops across all queues (front-slot serves
+    /// excluded).
+    pub heap_pops: u64,
+    /// Pushes and pops served by the one-element front slot, bypassing
+    /// the heap entirely.
+    pub front_hits: u64,
+    /// Sum over heap ops of ceil(log2(depth)): a comparison-cost proxy
+    /// that captures the log(global) → log(shard) win sharding buys even
+    /// when the raw op count is unchanged.
+    pub heap_cmp_weight: u64,
+    /// Deepest any single event queue got (front slot included).
+    pub heap_max_depth: usize,
+    /// Number of event-queue shards (1 = the single-queue engine).
+    pub shards: usize,
+    /// High-water mark of simultaneously in-flight pooled packets.
+    pub pool_live_max: usize,
+}
+
+impl EngineStats {
+    /// Total real heap operations (pushes + pops).
+    pub fn heap_ops(&self) -> u64 {
+        self.heap_pushes + self.heap_pops
+    }
+
+    /// Real heap operations per dispatched event (0 when idle).
+    pub fn heap_ops_per_event(&self) -> f64 {
+        if self.events_processed == 0 {
+            0.0
+        } else {
+            self.heap_ops() as f64 / self.events_processed as f64
+        }
+    }
+
+    /// Heap comparison weight per dispatched event (0 when idle).
+    pub fn cmp_weight_per_event(&self) -> f64 {
+        if self.events_processed == 0 {
+            0.0
+        } else {
+            self.heap_cmp_weight as f64 / self.events_processed as f64
+        }
+    }
+}
+
 /// Engine state shared with applications through [`Ctx`]: clock, event
-/// queue, and links. Kept separate from the app table so apps can be
-/// dispatched with `&mut SimCore` without aliasing themselves.
+/// queues, links, and the packet pool. Kept separate from the app table so
+/// apps can be dispatched with `&mut SimCore` without aliasing themselves.
 #[derive(Debug)]
 pub struct SimCore {
     pub(crate) now: TimeNs,
-    pub(crate) queue: EventQueue,
+    shards: Vec<Shard>,
+    /// Owning shard per link (parallel to `links`; all zeros when the
+    /// engine runs a single queue).
+    link_shard: Vec<u32>,
+    /// Owning shard per app id.
+    app_shard: Vec<u32>,
+    /// Shard currently dispatching (valid while `in_dispatch`).
+    current_shard: u32,
+    in_dispatch: bool,
+    /// An in-dispatch push crossed into another shard this pass: the
+    /// round-robin loop must rescan before declaring the slice done.
+    rescan: bool,
     pub(crate) links: Vec<Link>,
+    pool: PacketPool,
+    /// Union-find topology map. In a `RefCell` because
+    /// [`Simulator::route`] takes `&self` but must record the union; the
+    /// hot event path never touches it (it reads the materialized
+    /// `link_shard` / `app_shard` tables instead).
+    topo: RefCell<TopoMap>,
+    /// Counters absorbed from queues retired by freeze/collapse.
+    carried: QueueStats,
     next_pkt_id: u64,
     events_processed: u64,
 }
 
 impl SimCore {
+    /// The shard an event belongs to. Only meaningful input reaches here:
+    /// the public API sanitizes external pushes, and in-dispatch pushes
+    /// are covered by the closure invariant (see [`SimCore::push`]).
+    fn target_shard(&self, kind: &EventKind) -> u32 {
+        if self.shards.len() <= 1 {
+            return 0;
+        }
+        match kind {
+            EventKind::ArriveAtLink { link, .. } | EventKind::TxDone { link } => self
+                .link_shard
+                .get(link.0 as usize)
+                .copied()
+                .unwrap_or(SHARD_NONE),
+            EventKind::Deliver { app, .. } | EventKind::Timer { app, .. } => self
+                .app_shard
+                .get(app.0 as usize)
+                .copied()
+                .unwrap_or(SHARD_NONE),
+        }
+    }
+
+    fn push(&mut self, time: TimeNs, kind: EventKind) {
+        let s = self.target_shard(&kind);
+        assert!(
+            s != SHARD_NONE,
+            "event targets a node outside every shard (route it, or bind it, \
+             before scheduling into it)"
+        );
+        let s = s as usize;
+        if self.in_dispatch && s as u32 != self.current_shard {
+            // A cross-shard push (an app sending on a route that spans
+            // components). Sound only if it lands in the target shard's
+            // future; the round-robin pass rescans to pick it up.
+            assert!(
+                time >= self.shards[s].now,
+                "cross-shard event into the past: the topology violated the \
+                 shard closure invariant (bind routes before sharding)"
+            );
+            self.rescan = true;
+        }
+        self.shards[s].queue.push(time, kind);
+    }
+
     /// Inject a packet at `at` (≥ now): stamps id and `sent_at`, then
     /// schedules its arrival at the first link of its route (or direct
     /// delivery for an empty route).
@@ -32,21 +193,26 @@ impl SimCore {
         pkt.sent_at = at;
         pkt.hop = 0;
         match pkt.next_link() {
-            Some(link) => self.queue.push(at, EventKind::ArriveAtLink { link, pkt }),
+            Some(link) => {
+                let slot = self.pool.insert(pkt);
+                self.push(at, EventKind::ArriveAtLink { link, slot });
+            }
             None => {
                 let app = pkt.route.dst;
-                self.queue.push(at, EventKind::Deliver { app, pkt });
+                let slot = self.pool.insert(pkt);
+                self.push(at, EventKind::Deliver { app, slot });
             }
         }
     }
 
     pub(crate) fn schedule_timer(&mut self, app: AppId, at: TimeNs, token: u64) {
         assert!(at >= self.now, "cannot arm a timer in the past");
-        self.queue.push(at, EventKind::Timer { app, token });
+        self.push(at, EventKind::Timer { app, token });
     }
 }
 
-/// The discrete-event simulator. See the crate docs for an overview.
+/// The discrete-event simulator. See the crate docs for an overview and
+/// the module docs for the sharding model.
 pub struct Simulator {
     core: SimCore,
     apps: Vec<Option<Box<dyn App>>>,
@@ -59,13 +225,25 @@ pub struct Simulator {
 
 impl Simulator {
     /// Create a simulator; `seed` roots all randomness (links, and any
-    /// [`Prng`] handed out by [`Simulator::rng`]).
+    /// [`Prng`] handed out by [`Simulator::rng`]). Starts on the
+    /// single-queue engine; see [`Simulator::try_shard`].
     pub fn new(seed: u64) -> Simulator {
         Simulator {
             core: SimCore {
                 now: TimeNs::ZERO,
-                queue: EventQueue::default(),
+                shards: vec![Shard {
+                    queue: EventQueue::default(),
+                    now: TimeNs::ZERO,
+                }],
+                link_shard: Vec::new(),
+                app_shard: Vec::new(),
+                current_shard: 0,
+                in_dispatch: false,
+                rescan: false,
                 links: Vec::new(),
+                pool: PacketPool::default(),
+                topo: RefCell::new(TopoMap::default()),
+                carried: QueueStats::default(),
                 next_pkt_id: 0,
                 events_processed: 0,
             },
@@ -87,6 +265,35 @@ impl Simulator {
         self.core.events_processed
     }
 
+    /// Aggregated engine counters: events, heap ops (per queue shard),
+    /// front-slot hits, pool high-water mark. Plain data for drivers to
+    /// drain into their telemetry.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut q = self.core.carried;
+        for s in &self.core.shards {
+            q.absorb(s.queue.stats());
+        }
+        EngineStats {
+            events_processed: self.core.events_processed,
+            heap_pushes: q.heap_pushes,
+            heap_pops: q.heap_pops,
+            front_hits: q.front_hits,
+            heap_cmp_weight: q.cmp_weight,
+            heap_max_depth: q.max_depth,
+            shards: self.core.shards.len(),
+            pool_live_max: self.core.pool.live_max(),
+        }
+    }
+
+    /// Number of event-queue shards (1 = single-queue engine).
+    pub fn shards(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    fn is_sharded(&self) -> bool {
+        self.core.shards.len() > 1
+    }
+
     /// Derive a fresh deterministic RNG (for traffic sources etc.).
     pub fn rng(&mut self) -> Prng {
         self.rng_streams_taken += 1;
@@ -98,6 +305,11 @@ impl Simulator {
         let id = LinkId(self.core.links.len() as u32);
         let rng = self.master_rng.derive(0x11_0000 + id.0 as u64);
         self.core.links.push(Link::new(cfg, rng));
+        self.core.topo.get_mut().add_link();
+        // Post-freeze links start outside every shard until a route or
+        // bind places them (or forces a collapse).
+        let shard = if self.is_sharded() { SHARD_NONE } else { 0 };
+        self.core.link_shard.push(shard);
         id
     }
 
@@ -116,15 +328,19 @@ impl Simulator {
         let id = AppId(self.apps.len() as u32);
         self.apps.push(Some(app));
         self.retired.push(false);
+        self.core.topo.get_mut().add_app();
+        let shard = if self.is_sharded() { SHARD_NONE } else { 0 };
+        self.core.app_shard.push(shard);
         id
     }
 
     /// Permanently retire an application, returning it for final
     /// inspection. Events still addressed to it — packets in flight, armed
-    /// timers — are dropped on delivery, like traffic to a host that went
-    /// away. Long-running experiments (the monitoring daemon installs a
-    /// fresh session app per measurement) use this to keep the app table
-    /// from accumulating finished sessions.
+    /// timers, in whichever shard owns them — are dropped on delivery,
+    /// like traffic to a host that went away. Long-running experiments
+    /// (the monitoring daemon installs a fresh session app per
+    /// measurement) use this to keep the app table from accumulating
+    /// finished sessions.
     ///
     /// Panics if the app is currently being dispatched or was already
     /// removed.
@@ -155,7 +371,9 @@ impl Simulator {
         any.downcast_mut::<T>().expect("app type mismatch")
     }
 
-    /// Build a route over the given links ending at `dst`.
+    /// Build a route over the given links ending at `dst`. Also records
+    /// the connectivity for the shard planner: the route's links and its
+    /// destination join one component.
     pub fn route(&self, links: &[LinkId], dst: AppId) -> Arc<RouteSpec> {
         for l in links {
             assert!(
@@ -163,42 +381,243 @@ impl Simulator {
                 "route references unknown link {l:?}"
             );
         }
+        self.core.topo.borrow_mut().union_route(links, dst);
         Arc::new(RouteSpec {
             links: links.to_vec(),
             dst,
         })
     }
 
+    /// Declare that these links belong to one component even though no
+    /// single route spans them (e.g. a chain's forward and reverse
+    /// directions). Required before [`Simulator::try_shard`] can place
+    /// route-less links.
+    pub fn bind_links(&mut self, links: &[LinkId]) {
+        for l in links {
+            assert!(
+                (l.0 as usize) < self.core.links.len(),
+                "bind references unknown link {l:?}"
+            );
+        }
+        self.core.topo.get_mut().union_links(links);
+        self.sync_topology();
+    }
+
+    /// Anchor an app to the component of the route it sends on. Pure
+    /// senders (cross-traffic sources) are never route *destinations*, so
+    /// without a bind the shard planner cannot prove where their packets
+    /// and timers go and refuses to shard.
+    pub fn bind_app(&mut self, app: AppId, route: &RouteSpec) {
+        assert!((app.0 as usize) < self.apps.len(), "bind of unknown app");
+        self.core
+            .topo
+            .get_mut()
+            .union_app_route(app, &route.links, route.dst);
+        self.sync_topology();
+    }
+
+    /// Partition the event queue by connected component. Returns the
+    /// number of shards, or the reason the topology cannot be partitioned
+    /// (in which case the single-queue engine keeps running — a refusal
+    /// is a fallback, not a failure). Pending events are redistributed to
+    /// their owning shards in pop order, which preserves per-component
+    /// event order exactly (the bit-identity contract).
+    pub fn try_shard(&mut self) -> Result<usize, ShardRefusal> {
+        self.sync_topology();
+        if self.is_sharded() {
+            return Ok(self.core.shards.len());
+        }
+        let (link_shard, app_shard, count) = self.core.topo.get_mut().freeze()?;
+        let now = self.core.now;
+        let old = self
+            .core
+            .shards
+            .pop()
+            .expect("engine always has at least one shard");
+        let (events, stats) = old.queue.into_events();
+        self.core.carried.absorb(&stats);
+        self.core.shards = (0..count)
+            .map(|_| Shard {
+                queue: EventQueue::default(),
+                now,
+            })
+            .collect();
+        self.core.link_shard = link_shard;
+        self.core.app_shard = app_shard;
+        for ev in events {
+            let s = self.core.target_shard(&ev.kind);
+            assert!(s != SHARD_NONE, "freeze left a pending event unplaced");
+            self.core.shards[s as usize].queue.seed(ev.time, ev.kind);
+        }
+        Ok(count)
+    }
+
+    /// Fold every shard back into one queue, deterministically: pending
+    /// events merge in `(time, shard, seq)` order. The topology map keeps
+    /// accumulating, so a later [`Simulator::try_shard`] may re-partition.
+    fn collapse(&mut self) {
+        let shards = std::mem::take(&mut self.core.shards);
+        let mut all: Vec<(TimeNs, usize, u64, EventKind)> = Vec::new();
+        for (i, s) in shards.into_iter().enumerate() {
+            let (evs, stats) = s.queue.into_events();
+            self.core.carried.absorb(&stats);
+            for ev in evs {
+                all.push((ev.time, i, ev.seq, ev.kind));
+            }
+        }
+        all.sort_by_key(|&(t, i, q, _)| (t, i, q));
+        let mut queue = EventQueue::default();
+        for (t, _, _, kind) in all {
+            queue.seed(t, kind);
+        }
+        self.core.shards = vec![Shard {
+            queue,
+            now: self.core.now,
+        }];
+        for s in &mut self.core.link_shard {
+            *s = 0;
+        }
+        for s in &mut self.core.app_shard {
+            *s = 0;
+        }
+        self.core.topo.get_mut().unfreeze();
+    }
+
+    /// Apply pending topology-map changes before touching the queues:
+    /// collapse if a post-freeze union made the partition unsound,
+    /// re-materialize the shard tables if it merely grew.
+    fn sync_topology(&mut self) {
+        let (frozen, dirty, collapse) = {
+            let t = self.core.topo.borrow();
+            (t.frozen, t.dirty, t.collapse_pending)
+        };
+        if collapse {
+            self.collapse();
+        } else if frozen && dirty {
+            let (link_shard, app_shard) = self.core.topo.get_mut().materialize();
+            self.core.link_shard = link_shard;
+            self.core.app_shard = app_shard;
+        }
+    }
+
+    /// Collapse if routing this route's first hop (or destination) would
+    /// hit a node outside every shard.
+    fn ensure_route_placed(&mut self, route: &RouteSpec) {
+        if !self.is_sharded() {
+            return;
+        }
+        self.core
+            .topo
+            .get_mut()
+            .union_route(&route.links, route.dst);
+        self.sync_topology();
+        if !self.is_sharded() {
+            return;
+        }
+        let target = match route.links.first() {
+            Some(l) => self
+                .core
+                .link_shard
+                .get(l.0 as usize)
+                .copied()
+                .unwrap_or(SHARD_NONE),
+            None => self
+                .core
+                .app_shard
+                .get(route.dst.0 as usize)
+                .copied()
+                .unwrap_or(SHARD_NONE),
+        };
+        if target == SHARD_NONE {
+            // A component born after the freeze: no shard can own it.
+            self.core.topo.get_mut().collapse_pending = true;
+            self.sync_topology();
+        }
+    }
+
     /// Inject a packet from outside the simulation at an absolute time
     /// (≥ now). Used by probe transports to realize perfectly periodic
-    /// streams.
+    /// streams. On a sharded engine the route is first recorded with the
+    /// planner (a route that spans shards or lands outside every shard
+    /// collapses the engine back to one queue first).
     pub fn inject(&mut self, pkt: Packet, at: TimeNs) {
+        self.ensure_route_placed(&pkt.route);
         self.core.inject(pkt, at);
     }
 
-    /// Arm an application timer at an absolute time. Used to kick off apps.
+    /// Arm an application timer at an absolute time. Used to kick off
+    /// apps. On a sharded engine an app no shard owns (added after the
+    /// freeze, never routed) collapses the engine back to one queue
+    /// first.
     pub fn schedule_timer(&mut self, app: AppId, at: TimeNs, token: u64) {
+        if self.is_sharded() {
+            self.sync_topology();
+            if self.is_sharded()
+                && self
+                    .core
+                    .app_shard
+                    .get(app.0 as usize)
+                    .copied()
+                    .unwrap_or(SHARD_NONE)
+                    == SHARD_NONE
+            {
+                self.core.topo.get_mut().collapse_pending = true;
+                self.sync_topology();
+            }
+        }
         self.core.schedule_timer(app, at, token);
     }
 
-    /// Process a single event. Returns false if the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(ev) = self.core.queue.pop() else {
+    /// Pop and dispatch the next event of shard `s`. The global clock
+    /// tracks the event being dispatched (apps observe their own shard's
+    /// time through [`Ctx::now`]); shard clocks are re-aligned at run
+    /// boundaries.
+    fn step_shard(&mut self, s: usize) -> bool {
+        let Some(ev) = self.core.shards[s].queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.core.now, "event queue went backwards");
+        debug_assert!(
+            ev.time >= self.core.shards[s].now,
+            "shard queue went backwards"
+        );
         self.core.now = ev.time;
+        self.core.shards[s].now = ev.time;
         self.core.events_processed += 1;
+        self.core.in_dispatch = true;
+        self.core.current_shard = s as u32;
         self.dispatch(ev);
+        self.core.in_dispatch = false;
         true
+    }
+
+    /// Process a single event — the globally earliest pending one (ties
+    /// broken by shard index, then scheduling order). Returns false if
+    /// every queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.sync_topology();
+        let next = self
+            .core
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.queue.peek_time().map(|t| (t, i)))
+            .min();
+        match next {
+            Some((_, i)) => self.step_shard(i),
+            None => false,
+        }
     }
 
     fn dispatch(&mut self, ev: Event) {
         match ev.kind {
-            EventKind::ArriveAtLink { link, pkt } => {
+            EventKind::ArriveAtLink { link, slot } => {
+                let Some(pkt) = self.core.pool.take(slot) else {
+                    debug_assert!(false, "arrival event with an empty packet slot");
+                    return;
+                };
                 let l = &mut self.core.links[link.0 as usize];
                 if let Arrival::StartTx(done) = l.on_arrival(pkt, ev.time) {
-                    self.core.queue.push(done, EventKind::TxDone { link });
+                    self.core.push(done, EventKind::TxDone { link });
                 }
             }
             EventKind::TxDone { link } => {
@@ -206,24 +625,28 @@ impl Simulator {
                 let prop = l.prop_delay();
                 let (mut pkt, next_tx) = l.on_tx_done(ev.time);
                 if let Some(done) = next_tx {
-                    self.core.queue.push(done, EventKind::TxDone { link });
+                    self.core.push(done, EventKind::TxDone { link });
                 }
                 pkt.hop += 1;
                 let arrive = ev.time + prop;
                 match pkt.next_link() {
-                    Some(next) => self
-                        .core
-                        .queue
-                        .push(arrive, EventKind::ArriveAtLink { link: next, pkt }),
+                    Some(next) => {
+                        let slot = self.core.pool.insert(pkt);
+                        self.core
+                            .push(arrive, EventKind::ArriveAtLink { link: next, slot });
+                    }
                     None => {
                         let app = pkt.route.dst;
-                        self.core
-                            .queue
-                            .push(arrive, EventKind::Deliver { app, pkt });
+                        let slot = self.core.pool.insert(pkt);
+                        self.core.push(arrive, EventKind::Deliver { app, slot });
                     }
                 }
             }
-            EventKind::Deliver { app, pkt } => {
+            EventKind::Deliver { app, slot } => {
+                let Some(pkt) = self.core.pool.take(slot) else {
+                    debug_assert!(false, "delivery event with an empty packet slot");
+                    return;
+                };
                 self.with_app(app, |a, ctx| a.on_packet(ctx, pkt));
             }
             EventKind::Timer { app, token } => {
@@ -246,29 +669,62 @@ impl Simulator {
         self.apps[id.0 as usize] = Some(app);
     }
 
-    /// Run until the clock reaches `t` (processing every event at ≤ t),
-    /// then set the clock to exactly `t`.
-    pub fn run_until(&mut self, t: TimeNs) {
-        while let Some(next) = self.core.queue.peek_time() {
-            if next > t {
-                break;
+    /// Drain every shard's events at ≤ `t`, round-robin, rescanning while
+    /// cross-shard pushes land new work in the slice. Returns whether any
+    /// event was processed.
+    fn drain_until(&mut self, t: TimeNs) -> bool {
+        let mut any = false;
+        loop {
+            self.core.rescan = false;
+            let mut progressed = false;
+            for s in 0..self.core.shards.len() {
+                while self.core.shards[s]
+                    .queue
+                    .peek_time()
+                    .is_some_and(|next| next <= t)
+                {
+                    self.step_shard(s);
+                    progressed = true;
+                }
             }
-            self.step();
+            any |= progressed;
+            if !progressed || !self.core.rescan {
+                return any;
+            }
         }
-        debug_assert!(self.core.now <= t);
+    }
+
+    /// Run until the clock reaches `t` (processing every event at ≤ t on
+    /// every shard), then set all clocks to exactly `t`.
+    pub fn run_until(&mut self, t: TimeNs) {
+        self.sync_topology();
+        self.drain_until(t);
+        debug_assert!(self.core.shards.iter().all(|s| s.now <= t));
+        for s in &mut self.core.shards {
+            s.now = t;
+        }
         self.core.now = t;
     }
 
-    /// Run until the event queue drains or the clock would pass `limit`;
-    /// returns true if the queue drained.
+    /// Run until every event queue drains or the clock would pass
+    /// `limit`; returns true if the queues drained. The clock is left at
+    /// the last processed event (like the single-queue engine always
+    /// did); events beyond `limit` stay pending.
     pub fn run_until_idle(&mut self, limit: TimeNs) -> bool {
-        while let Some(next) = self.core.queue.peek_time() {
-            if next > limit {
-                return false;
-            }
-            self.step();
+        self.sync_topology();
+        self.drain_until(limit);
+        let max_now = self
+            .core
+            .shards
+            .iter()
+            .map(|s| s.now)
+            .max()
+            .unwrap_or(self.core.now);
+        self.core.now = self.core.now.max(max_now);
+        for s in &mut self.core.shards {
+            s.now = self.core.now;
         }
-        true
+        self.core.shards.iter().all(|s| s.queue.is_empty())
     }
 }
 
@@ -460,5 +916,174 @@ mod tests {
         // a sends 1; total bounces: b replies 5, a replies 5 => a gets 5, b gets 6.
         assert_eq!(rb, 6);
         assert_eq!(ra, 5);
+    }
+
+    // --- sharding ----------------------------------------------------
+
+    /// Two disjoint one-link paths, each with a sink.
+    fn disjoint_sim() -> (Simulator, [Arc<RouteSpec>; 2], [AppId; 2]) {
+        let mut sim = Simulator::new(3);
+        let l0 = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(8.0),
+            TimeNs::from_millis(1),
+        ));
+        let l1 = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(8.0),
+            TimeNs::from_millis(1),
+        ));
+        let s0 = sim.add_app(Box::new(RecordingSink::default()));
+        let s1 = sim.add_app(Box::new(RecordingSink::default()));
+        let r0 = sim.route(&[l0], s0);
+        let r1 = sim.route(&[l1], s1);
+        (sim, [r0, r1], [s0, s1])
+    }
+
+    #[test]
+    fn disjoint_paths_shard_and_deliver_identically() {
+        let run = |shard: bool| {
+            let (mut sim, routes, sinks) = disjoint_sim();
+            if shard {
+                assert_eq!(sim.try_shard().unwrap(), 2);
+                assert_eq!(sim.shards(), 2);
+            }
+            for i in 0..20u64 {
+                sim.inject(
+                    Packet::new(500, FlowId(0), i, routes[0].clone()),
+                    TimeNs::from_micros(100 * i),
+                );
+                sim.inject(
+                    Packet::new(700, FlowId(1), i, routes[1].clone()),
+                    TimeNs::from_micros(130 * i),
+                );
+            }
+            assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+            let recs = |id| {
+                sim.app::<RecordingSink>(id)
+                    .records
+                    .iter()
+                    .map(|r| (r.seq, r.sent_at, r.recv_at, r.size))
+                    .collect::<Vec<_>>()
+            };
+            (recs(sinks[0]), recs(sinks[1]), sim.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn try_shard_refuses_single_component() {
+        let (mut sim, _, sinks) = two_link_sim_with_shared_route();
+        let err = sim.try_shard().unwrap_err();
+        assert_eq!(err, ShardRefusal::SingleComponent);
+        assert_eq!(sim.shards(), 1);
+        // The refused engine still runs fine.
+        sim.schedule_timer(sinks[0], TimeNs::from_millis(1), 0);
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+    }
+
+    /// Two sinks whose routes cross the same link.
+    fn two_link_sim_with_shared_route() -> (Simulator, [Arc<RouteSpec>; 2], [AppId; 2]) {
+        let mut sim = Simulator::new(5);
+        let shared = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(8.0),
+            TimeNs::from_millis(1),
+        ));
+        let l0 = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(8.0),
+            TimeNs::from_millis(1),
+        ));
+        let l1 = sim.add_link(LinkConfig::new(
+            Rate::from_mbps(8.0),
+            TimeNs::from_millis(1),
+        ));
+        let s0 = sim.add_app(Box::new(RecordingSink::default()));
+        let s1 = sim.add_app(Box::new(RecordingSink::default()));
+        let r0 = sim.route(&[l0, shared], s0);
+        let r1 = sim.route(&[l1, shared], s1);
+        (sim, [r0, r1], [s0, s1])
+    }
+
+    #[test]
+    fn pending_events_survive_the_freeze() {
+        let (mut sim, routes, sinks) = disjoint_sim();
+        // Events queued before the freeze...
+        for i in 0..5u64 {
+            sim.inject(
+                Packet::new(500, FlowId(0), i, routes[0].clone()),
+                TimeNs::from_micros(100 * i),
+            );
+            sim.inject(
+                Packet::new(500, FlowId(1), i, routes[1].clone()),
+                TimeNs::from_micros(100 * i),
+            );
+        }
+        assert_eq!(sim.try_shard().unwrap(), 2);
+        // ...land on the right shards and deliver.
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        assert_eq!(sim.app::<RecordingSink>(sinks[0]).records.len(), 5);
+        assert_eq!(sim.app::<RecordingSink>(sinks[1]).records.len(), 5);
+    }
+
+    #[test]
+    fn cross_shard_route_collapses_deterministically() {
+        let (mut sim, routes, sinks) = disjoint_sim();
+        assert_eq!(sim.try_shard().unwrap(), 2);
+        sim.inject(
+            Packet::new(500, FlowId(0), 0, routes[0].clone()),
+            TimeNs::ZERO,
+        );
+        // A new route that spans both components: the engine must fold
+        // back to one queue and still deliver everything.
+        let l0 = routes[0].links[0];
+        let l1 = routes[1].links[0];
+        let spanning = sim.route(&[l0, l1], sinks[1]);
+        sim.inject(Packet::new(500, FlowId(7), 9, spanning), TimeNs::ZERO);
+        assert_eq!(sim.shards(), 1, "engine collapsed to the single queue");
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        assert_eq!(sim.app::<RecordingSink>(sinks[0]).records.len(), 1);
+        assert_eq!(sim.app::<RecordingSink>(sinks[1]).records.len(), 1);
+    }
+
+    #[test]
+    fn post_freeze_app_on_existing_shard_keeps_sharding() {
+        let (mut sim, routes, _) = disjoint_sim();
+        assert_eq!(sim.try_shard().unwrap(), 2);
+        // A fresh app routed within component 1 (the mid-run load-step /
+        // session-install pattern).
+        let sink = sim.add_app(Box::new(CountingSink::default()));
+        let route = sim.route(&[routes[1].links[0]], sink);
+        sim.inject(Packet::new(400, FlowId(3), 0, route), sim.now());
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        assert_eq!(sim.shards(), 2, "same-shard growth must not collapse");
+        assert_eq!(sim.app::<CountingSink>(sink).packets, 1);
+    }
+
+    #[test]
+    fn unplaced_timer_collapses_instead_of_panicking() {
+        let (mut sim, _, _) = disjoint_sim();
+        assert_eq!(sim.try_shard().unwrap(), 2);
+        // An app added after the freeze with no route at all.
+        let orphan = sim.add_app(Box::new(CountingSink::default()));
+        sim.schedule_timer(orphan, TimeNs::from_millis(1), 0);
+        assert_eq!(sim.shards(), 1);
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+    }
+
+    #[test]
+    fn engine_stats_count_heap_and_front_ops() {
+        let (mut sim, routes, _) = disjoint_sim();
+        for i in 0..10u64 {
+            sim.inject(
+                Packet::new(500, FlowId(0), i, routes[0].clone()),
+                TimeNs::from_micros(100 * i),
+            );
+        }
+        assert!(sim.run_until_idle(TimeNs::from_secs(1)));
+        let s = sim.engine_stats();
+        assert_eq!(s.shards, 1);
+        assert!(s.events_processed >= 30, "3 events per packet");
+        assert!(s.front_hits > 0, "front slot must see traffic");
+        assert!(s.pool_live_max >= 1);
+        // Conservation: everything pushed was popped (queues drained).
+        assert_eq!(s.heap_pushes, s.heap_pops);
     }
 }

@@ -106,7 +106,25 @@ pub fn attach_loaded_chain(
         })
         .collect();
     let chain = Chain::build(sim, &ChainConfig::symmetric(forward));
+    // Declare the whole chain — forward and reverse directions — one
+    // component for the shard planner. Routes alone would leave unloaded
+    // hops and the (initially route-less) reverse direction unplaced.
+    let all_links: Vec<LinkId> = chain
+        .forward
+        .iter()
+        .chain(chain.reverse.iter())
+        .copied()
+        .collect();
+    sim.bind_links(&all_links);
     let cross_sink = sim.add_app(Box::new(CountingSink::default()));
+    // Anchor the sink to the chain even when every hop is unloaded.
+    sim.bind_app(
+        cross_sink,
+        &netsim::RouteSpec {
+            links: vec![chain.forward[0]],
+            dst: cross_sink,
+        },
+    );
     for (hop, load) in loads.iter().enumerate() {
         if load.util <= 0.0 {
             continue;
@@ -217,10 +235,22 @@ pub fn shared_tight_link(sim: &mut Simulator, cfg: &SharedTightLinkConfig) -> Sh
         .into_iter()
         .map(|lc| sim.add_link(lc))
         .collect();
-        chains.push(Chain {
+        let chain = Chain {
             forward: vec![access, tight, egress],
             reverse: rev,
-        });
+        };
+        // Bind each chain's links into one component; because every
+        // forward direction crosses `tight`, the whole topology collapses
+        // to a single component and the shard planner refuses — the
+        // intended fallback for shared-link fleets.
+        let all_links: Vec<LinkId> = chain
+            .forward
+            .iter()
+            .chain(chain.reverse.iter())
+            .copied()
+            .collect();
+        sim.bind_links(&all_links);
+        chains.push(chain);
     }
     let cross_sink = sim.add_app(Box::new(CountingSink::default()));
     if cfg.tight.util > 0.0 {

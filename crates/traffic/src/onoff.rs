@@ -137,6 +137,8 @@ pub fn attach_onoff_sources(
             rng,
         );
         let id = sim.add_app(Box::new(src));
+        // Pure senders need an explicit anchor for the shard planner.
+        sim.bind_app(id, &route);
         let now = sim.now();
         sim.schedule_timer(id, now + start, TOKEN_START_ON);
         ids.push(id);

@@ -134,6 +134,9 @@ pub fn attach_sources(
             rng,
         );
         let id = sim.add_app(Box::new(src));
+        // Sources are pure senders (never a route destination), so anchor
+        // them to their route's component for the shard planner.
+        sim.bind_app(id, &route);
         let now = sim.now();
         sim.schedule_timer(id, now + start, 0);
         ids.push(id);
